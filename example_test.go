@@ -1,0 +1,58 @@
+package cuckoohash_test
+
+import (
+	"errors"
+	"fmt"
+
+	"cuckoohash"
+	"cuckoohash/generic"
+)
+
+func ExampleMap() {
+	m := cuckoohash.MustNewMap(cuckoohash.Config{Capacity: 1 << 16})
+
+	_ = m.Insert(42, 4200)
+	if v, ok := m.Lookup(42); ok {
+		fmt.Println("value:", v)
+	}
+	if err := m.Insert(42, 0); errors.Is(err, cuckoohash.ErrExists) {
+		fmt.Println("already present")
+	}
+	_ = m.Upsert(42, 4300)
+	v, _ := m.Lookup(42)
+	fmt.Println("after upsert:", v)
+	fmt.Println("deleted:", m.Delete(42))
+	// Output:
+	// value: 4200
+	// already present
+	// after upsert: 4300
+	// deleted: true
+}
+
+func ExampleMap_LookupBatch() {
+	m := cuckoohash.MustNewMap(cuckoohash.Config{Capacity: 1 << 12})
+	for k := uint64(1); k <= 100; k++ {
+		_ = m.Insert(k, k*10)
+	}
+	keys := []uint64{5, 999, 7}
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	m.LookupBatch(keys, vals, found)
+	for i := range keys {
+		fmt.Println(keys[i], vals[i], found[i])
+	}
+	// Output:
+	// 5 50 true
+	// 999 0 false
+	// 7 70 true
+}
+
+func ExampleTable() {
+	t := generic.MustNew[string, []int](generic.Config{})
+	_ = t.Insert("fib", []int{1, 1, 2, 3, 5})
+	if v, ok := t.Get("fib"); ok {
+		fmt.Println(v)
+	}
+	// Output:
+	// [1 1 2 3 5]
+}

@@ -1,0 +1,158 @@
+// Kvcache is a memcached-like in-memory key-value cache server built on the
+// generic cuckoo table — the application class that motivates the paper
+// (MemC3 is a memcached replacement; §1 cites kernel and user-level caches).
+//
+// It speaks a tiny text protocol over TCP:
+//
+//	SET <key> <value>\n  -> OK\n
+//	GET <key>\n          -> VALUE <value>\n or MISS\n
+//	DEL <key>\n          -> OK\n or MISS\n
+//	STATS\n              -> STATS <entries> <hits> <misses>\n
+//
+// Run as a server with -listen, or run with no flags for a self-contained
+// demo: it starts the server on a loopback port and drives it with
+// concurrent clients.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cuckoohash/generic"
+)
+
+type cache struct {
+	t      *generic.Table[string, string]
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newCache() *cache {
+	return &cache{t: generic.MustNew[string, string](generic.Config{InitialCapacity: 1 << 16})}
+}
+
+func (c *cache) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		parts := strings.SplitN(sc.Text(), " ", 3)
+		switch strings.ToUpper(parts[0]) {
+		case "SET":
+			if len(parts) != 3 {
+				fmt.Fprintln(w, "ERR usage: SET key value")
+				break
+			}
+			if err := c.t.Upsert(parts[1], parts[2]); err != nil {
+				fmt.Fprintln(w, "ERR", err)
+				break
+			}
+			fmt.Fprintln(w, "OK")
+		case "GET":
+			if len(parts) != 2 {
+				fmt.Fprintln(w, "ERR usage: GET key")
+				break
+			}
+			if v, ok := c.t.Get(parts[1]); ok {
+				c.hits.Add(1)
+				fmt.Fprintln(w, "VALUE", v)
+			} else {
+				c.misses.Add(1)
+				fmt.Fprintln(w, "MISS")
+			}
+		case "DEL":
+			if len(parts) != 2 {
+				fmt.Fprintln(w, "ERR usage: DEL key")
+				break
+			}
+			if c.t.Delete(parts[1]) {
+				fmt.Fprintln(w, "OK")
+			} else {
+				fmt.Fprintln(w, "MISS")
+			}
+		case "STATS":
+			fmt.Fprintln(w, "STATS", c.t.Len(), c.hits.Load(), c.misses.Load())
+		case "QUIT":
+			w.Flush()
+			return
+		default:
+			fmt.Fprintln(w, "ERR unknown command")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func serve(ln net.Listener, c *cache) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handle(conn)
+	}
+}
+
+func main() {
+	listen := flag.String("listen", "", "address to serve on (empty: run the self-driving demo)")
+	clients := flag.Int("clients", 4, "demo client connections")
+	opsPer := flag.Int("ops", 20000, "demo operations per client")
+	flag.Parse()
+
+	c := newCache()
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Println("kvcache listening on", ln.Addr())
+		serve(ln, c)
+		return
+	}
+
+	// Demo mode: loopback server plus concurrent clients.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go serve(ln, c)
+	log.Println("demo server on", ln.Addr())
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < *clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				log.Fatalf("dial: %v", err)
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			w := bufio.NewWriter(conn)
+			for i := 0; i < *opsPer; i++ {
+				key := fmt.Sprintf("user:%d:%d", cl, i%1000)
+				if i%3 == 0 {
+					fmt.Fprintf(w, "SET %s session-%d\n", key, i)
+				} else {
+					fmt.Fprintf(w, "GET %s\n", key)
+				}
+				w.Flush()
+				if _, err := r.ReadString('\n'); err != nil {
+					log.Fatalf("client %d: %v", cl, err)
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	fmt.Printf("demo done: %d entries, %d hits, %d misses\n",
+		c.t.Len(), c.hits.Load(), c.misses.Load())
+}

@@ -1,0 +1,74 @@
+// Quickstart demonstrates the cuckoohash public API: creating a table,
+// inserting, looking up, updating and deleting, plus the concurrent usage
+// pattern the table is designed for.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"cuckoohash"
+)
+
+func main() {
+	// A table with room for ~1M entries. Only Capacity is required; the
+	// defaults are the paper's (8-way buckets, BFS search, fine-grained
+	// striped locks).
+	m, err := cuckoohash.NewMap(cuckoohash.Config{Capacity: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Basic operations.
+	if err := m.Insert(42, 4200); err != nil {
+		log.Fatal(err)
+	}
+	if v, ok := m.Lookup(42); ok {
+		fmt.Println("lookup(42) =", v)
+	}
+	if err := m.Insert(42, 0); errors.Is(err, cuckoohash.ErrExists) {
+		fmt.Println("insert(42) again -> ErrExists, as expected")
+	}
+	m.Upsert(42, 4201) // overwrite
+	m.Update(42, 4202) // overwrite only-if-present
+	fmt.Println("len =", m.Len(), "load factor =", m.LoadFactor())
+	m.Delete(42)
+
+	// The designed-for usage: many goroutines reading and writing at once.
+	// Writers insert disjoint keys; readers run lock-free throughout.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 32
+			for i := uint64(0); i < 100_000; i++ {
+				if err := m.Insert(base|i, i); err != nil {
+					log.Fatalf("insert: %v", err)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			hits := 0
+			for i := uint64(0); i < 200_000; i++ {
+				if _, ok := m.Lookup(uint64(r)<<32 | (i % 100_000)); ok {
+					hits++
+				}
+			}
+			fmt.Printf("reader %d: %d hits\n", r, hits)
+		}(r)
+	}
+	wg.Wait()
+
+	fmt.Println("final len =", m.Len())
+	st := m.Stats()
+	fmt.Printf("cuckoo stats: %d path searches, %d displacements, %d restarts, max path %d\n",
+		st.Searches, st.Displacements, st.PathRestarts, st.MaxPathLen)
+	fmt.Printf("memory: %.1f bytes/entry\n", float64(m.MemoryFootprint())/float64(m.Len()))
+}

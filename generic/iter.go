@@ -1,0 +1,62 @@
+package generic
+
+import "iter"
+
+// All returns an iterator over the table's key/value pairs, in the style of
+// maps.All. Like Range (which it wraps) it holds the full-table lock while
+// iterating: keep loop bodies short, and do not call table methods from
+// inside the loop.
+func (t *Table[K, V]) All() iter.Seq2[K, V] {
+	return func(yield func(K, V) bool) {
+		t.Range(yield)
+	}
+}
+
+// Keys returns a snapshot slice of every key. Unlike All, the snapshot is
+// taken under the lock but consumed after its release, so the caller may
+// freely call table methods while processing it.
+func (t *Table[K, V]) Keys() []K {
+	keys := make([]K, 0, t.Len())
+	t.Range(func(k K, _ V) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return keys
+}
+
+// Items returns a snapshot of every key/value pair.
+func (t *Table[K, V]) Items() map[K]V {
+	m := make(map[K]V, t.Len())
+	t.Range(func(k K, v V) bool {
+		m[k] = v
+		return true
+	})
+	return m
+}
+
+// Clear removes every entry, holding the full-table lock for the duration.
+// The capacity is retained.
+func (t *Table[K, V]) Clear() {
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	t.locks.LockAll()
+	defer t.locks.UnlockAll()
+	arr := t.arr.Load()
+	var zeroK K
+	var zeroV V
+	for b := uint64(0); b < arr.buckets; b++ {
+		occ := arr.occ[b]
+		for s := 0; occ != 0; s, occ = s+1, occ>>1 {
+			if occ&1 == 0 {
+				continue
+			}
+			i := b*t.assoc + uint64(s)
+			arr.keys[i] = zeroK // release references for the GC
+			arr.vals[i] = zeroV
+		}
+		arr.occ[b] = 0
+	}
+	for i := range t.size.shards {
+		t.size.shards[i].v.Store(0)
+	}
+}

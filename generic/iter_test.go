@@ -1,0 +1,122 @@
+package generic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllIterator(t *testing.T) {
+	tab := MustNew[int, string](Config{})
+	want := map[int]string{1: "a", 2: "b", 3: "c"}
+	for k, v := range want {
+		if err := tab.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[int]string{}
+	for k, v := range tab.All() {
+		got[k] = v
+	}
+	if len(got) != len(want) {
+		t.Fatalf("All yielded %d pairs", len(got))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("All[%d] = %q", k, got[k])
+		}
+	}
+	// Early break works.
+	n := 0
+	for range tab.All() {
+		n++
+		break
+	}
+	if n != 1 {
+		t.Fatalf("break did not stop iteration: %d", n)
+	}
+}
+
+func TestKeysItemsClear(t *testing.T) {
+	tab := MustNew[uint64, uint64](Config{})
+	for k := uint64(1); k <= 100; k++ {
+		if err := tab.Insert(k, k*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := tab.Keys()
+	if len(keys) != 100 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	items := tab.Items()
+	if len(items) != 100 || items[50] != 100 {
+		t.Fatalf("Items = %d entries, items[50]=%d", len(items), items[50])
+	}
+	tab.Clear()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", tab.Len())
+	}
+	if _, ok := tab.Get(50); ok {
+		t.Fatal("entry survived Clear")
+	}
+	// Table is reusable after Clear.
+	if err := tab.Insert(7, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tab.Get(7); !ok || v != 7 {
+		t.Fatal("insert after Clear failed")
+	}
+}
+
+// TestQuickOracleGeneric drives random op scripts against a map oracle.
+func TestQuickOracleGeneric(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint8
+		Val  uint16
+	}
+	check := func(ops []op) bool {
+		tab := MustNew[uint8, uint16](Config{InitialCapacity: 64})
+		oracle := map[uint8]uint16{}
+		for _, o := range ops {
+			switch o.Kind % 4 {
+			case 0:
+				err := tab.Insert(o.Key, o.Val)
+				if _, exists := oracle[o.Key]; exists != (err == ErrExists) {
+					return false
+				}
+				if _, exists := oracle[o.Key]; !exists {
+					oracle[o.Key] = o.Val
+				}
+			case 1:
+				if tab.Upsert(o.Key, o.Val) != nil {
+					return false
+				}
+				oracle[o.Key] = o.Val
+			case 2:
+				_, exists := oracle[o.Key]
+				if tab.Delete(o.Key) != exists {
+					return false
+				}
+				delete(oracle, o.Key)
+			default:
+				v, ok := tab.Get(o.Key)
+				wv, wok := oracle[o.Key]
+				if ok != wok || (ok && v != wv) {
+					return false
+				}
+			}
+		}
+		if tab.Len() != uint64(len(oracle)) {
+			return false
+		}
+		for k, v := range oracle {
+			if got, ok := tab.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

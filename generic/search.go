@@ -1,0 +1,127 @@
+package generic
+
+// BFS path search for the generic table. Unlike the specialized table,
+// frontier buckets are scanned under their stripe lock (one bucket at a
+// time, never nested) because keys of arbitrary type cannot be read
+// tear-free without it. The discovered path is still validated entry by
+// entry during execution, exactly as in §4.3.1.
+
+type pathEntry[K comparable] struct {
+	bucket uint64
+	slot   int
+	key    K
+}
+
+type bfsNode[K comparable] struct {
+	bucket    uint64
+	kickedKey K
+	parent    int32
+	slotInPar int8
+}
+
+// search runs BFS from b1/b2 to an empty slot.
+func (t *Table[K, V]) search(arr *tArrays[K, V], b1, b2 uint64) ([]pathEntry[K], bool) {
+	assoc := int(t.assoc)
+	budget := t.cfg.MaxSearchSlots
+	nodes := make([]bfsNode[K], 0, budget+2)
+	nodes = append(nodes,
+		bfsNode[K]{bucket: b1, parent: -1},
+		bfsNode[K]{bucket: b2, parent: -1},
+	)
+	keys := make([]K, assoc)
+	slotsExamined := 0
+	for qi := 0; qi < len(nodes) && slotsExamined < budget; qi++ {
+		n := &nodes[qi]
+		slotsExamined += assoc
+
+		// Snapshot the bucket under its stripe.
+		l := t.locks.IndexFor(n.bucket)
+		t.locks.Lock(l)
+		if t.arr.Load() != arr {
+			t.locks.Unlock(l)
+			return nil, false
+		}
+		occ := arr.occ[n.bucket]
+		base := n.bucket * t.assoc
+		for s := 0; s < assoc; s++ {
+			keys[s] = arr.keys[base+uint64(s)]
+		}
+		t.locks.Unlock(l)
+
+		if s, ok := freeSlot(occ, assoc); ok {
+			return t.buildPath(nodes, qi, s), true
+		}
+		if len(nodes)+assoc > cap(nodes) {
+			continue
+		}
+		for s := 0; s < assoc; s++ {
+			alt := t.altBucket(t.hash(keys[s]), arr.buckets, n.bucket)
+			nodes = append(nodes, bfsNode[K]{
+				bucket:    alt,
+				kickedKey: keys[s],
+				parent:    int32(qi),
+				slotInPar: int8(s),
+			})
+		}
+	}
+	return nil, false
+}
+
+func (t *Table[K, V]) buildPath(nodes []bfsNode[K], qi, s int) []pathEntry[K] {
+	var path []pathEntry[K]
+	path = append(path, pathEntry[K]{bucket: nodes[qi].bucket, slot: s})
+	for i := qi; nodes[i].parent >= 0; i = int(nodes[i].parent) {
+		p := nodes[i].parent
+		path = append(path, pathEntry[K]{
+			bucket: nodes[p].bucket,
+			slot:   int(nodes[i].slotInPar),
+			key:    nodes[i].kickedKey,
+		})
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// execute performs the validated displacements and the final insert,
+// returning the locked attempt's outcome (putNoSpace and putStale both mean
+// "retry the whole insert").
+func (t *Table[K, V]) execute(arr *tArrays[K, V], path []pathEntry[K], b1, b2 uint64, key K, val V, overwrite bool) putResult {
+	for i := len(path) - 2; i >= 0; i-- {
+		if !t.displace(arr, path[i], path[i+1]) {
+			return putNoSpace
+		}
+	}
+	head := path[0]
+	other := b2
+	if head.bucket == b2 {
+		other = b1
+	}
+	return t.attempt(arr, head.bucket, other, key, val, overwrite, head.slot)
+}
+
+func (t *Table[K, V]) displace(arr *tArrays[K, V], src, dst pathEntry[K]) bool {
+	l1, l2 := t.lockPair(src.bucket, dst.bucket)
+	defer t.locks.UnlockPair(l1, l2)
+	if t.arr.Load() != arr {
+		return false
+	}
+	si := src.bucket*t.assoc + uint64(src.slot)
+	if arr.occ[src.bucket]&(1<<uint(src.slot)) == 0 || arr.keys[si] != src.key {
+		return false
+	}
+	if arr.occ[dst.bucket]&(1<<uint(dst.slot)) != 0 {
+		return false
+	}
+	di := dst.bucket*t.assoc + uint64(dst.slot)
+	arr.keys[di] = arr.keys[si]
+	arr.vals[di] = arr.vals[si]
+	arr.occ[dst.bucket] |= 1 << uint(dst.slot)
+	var zeroK K
+	var zeroV V
+	arr.keys[si] = zeroK
+	arr.vals[si] = zeroV
+	arr.occ[src.bucket] &^= 1 << uint(src.slot)
+	return true
+}

@@ -1,0 +1,366 @@
+// Package generic provides a general-purpose concurrent cuckoo hash table
+// for arbitrary key and value types — the libcuckoo-style variant the paper
+// describes in §7: "supports variable length key value pairs of arbitrary
+// types, including those with pointers or strings, provides iterators, and
+// dynamically resizes itself as it fills. The price of this generality is
+// that it uses locks for reads as well as writes, so that pointer-valued
+// items can be safely dereferenced, at the cost of a 5-20% slowdown."
+//
+// The write path is the same BFS + lock-after-discovery algorithm as the
+// specialized cuckoohash.Map; reads take the (very short) bucket-pair lock
+// instead of running optimistically, because values of arbitrary type
+// cannot be copied tear-free without it.
+package generic
+
+import (
+	"errors"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"cuckoohash/internal/spinlock"
+)
+
+// ErrFull is returned by Insert when no slot is reachable and automatic
+// resizing is disabled.
+var ErrFull = errors.New("generic: table is too full")
+
+// ErrExists is returned by Insert when the key is already present.
+var ErrExists = errors.New("generic: key already exists")
+
+// Config configures a Table.
+type Config struct {
+	// InitialCapacity is the initial slot count (default 1024).
+	InitialCapacity uint64
+	// Associativity is the bucket width (default 4, libcuckoo's default).
+	Associativity int
+	// LockStripes is the striped-lock table size (default 4096).
+	LockStripes int
+	// MaxSearchSlots is the insert search budget (default 2000).
+	MaxSearchSlots int
+	// DisableAutoGrow turns off resize-on-full; Insert then returns
+	// ErrFull like the fixed-size tables.
+	DisableAutoGrow bool
+}
+
+func (c *Config) setDefaults() {
+	if c.InitialCapacity == 0 {
+		c.InitialCapacity = 1024
+	}
+	if c.Associativity == 0 {
+		c.Associativity = 4
+	}
+	if c.LockStripes == 0 {
+		c.LockStripes = 4096
+	}
+	if c.MaxSearchSlots == 0 {
+		c.MaxSearchSlots = 2000
+	}
+}
+
+// Table is a concurrent cuckoo hash table mapping K to V. All methods are
+// safe for concurrent use.
+type Table[K comparable, V any] struct {
+	cfg    Config
+	seed   maphash.Seed
+	assoc  uint64
+	locks  *spinlock.Stripe
+	growMu sync.Mutex
+	arr    atomic.Pointer[tArrays[K, V]]
+	size   shardedCounter
+}
+
+type tArrays[K comparable, V any] struct {
+	buckets uint64
+	keys    []K
+	vals    []V
+	occ     []uint32 // guarded by the bucket's lock stripe
+}
+
+// New creates a Table.
+func New[K comparable, V any](cfg Config) (*Table[K, V], error) {
+	cfg.setDefaults()
+	if cfg.Associativity < 1 || cfg.Associativity > 32 {
+		return nil, errors.New("generic: Associativity must be in [1,32]")
+	}
+	if cfg.LockStripes&(cfg.LockStripes-1) != 0 {
+		return nil, errors.New("generic: LockStripes must be a power of two")
+	}
+	if cfg.MaxSearchSlots < 2*cfg.Associativity {
+		return nil, errors.New("generic: MaxSearchSlots too small")
+	}
+	t := &Table[K, V]{
+		cfg:   cfg,
+		seed:  maphash.MakeSeed(),
+		assoc: uint64(cfg.Associativity),
+		locks: spinlock.NewStripe(cfg.LockStripes),
+	}
+	buckets := uint64(2)
+	for buckets*t.assoc < cfg.InitialCapacity {
+		buckets <<= 1
+	}
+	t.arr.Store(t.newArrays(buckets))
+	return t, nil
+}
+
+// MustNew panics on configuration errors.
+func MustNew[K comparable, V any](cfg Config) *Table[K, V] {
+	t, err := New[K, V](cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Table[K, V]) newArrays(buckets uint64) *tArrays[K, V] {
+	return &tArrays[K, V]{
+		buckets: buckets,
+		keys:    make([]K, buckets*t.assoc),
+		vals:    make([]V, buckets*t.assoc),
+		occ:     make([]uint32, buckets),
+	}
+}
+
+// Len returns the number of stored keys.
+func (t *Table[K, V]) Len() uint64 { return uint64(t.size.total()) }
+
+// Cap returns the current slot count.
+func (t *Table[K, V]) Cap() uint64 { return t.arr.Load().buckets * t.assoc }
+
+// LoadFactor returns Len/Cap.
+func (t *Table[K, V]) LoadFactor() float64 { return float64(t.Len()) / float64(t.Cap()) }
+
+func (t *Table[K, V]) hash(key K) uint64 {
+	return maphash.Comparable(t.seed, key)
+}
+
+func (t *Table[K, V]) twoBuckets(h, buckets uint64) (uint64, uint64) {
+	mask := buckets - 1
+	b1 := h & mask
+	b2 := (h >> 32) * 0xC2B2AE3D27D4EB4F >> 32 & mask
+	if b2 == b1 {
+		b2 = (b2 ^ 1) & mask
+	}
+	return b1, b2
+}
+
+func (t *Table[K, V]) altBucket(h, buckets, b uint64) uint64 {
+	b1, b2 := t.twoBuckets(h, buckets)
+	if b == b1 {
+		return b2
+	}
+	return b1
+}
+
+// lockPair acquires the stripes of b1 and b2 in order and returns them.
+func (t *Table[K, V]) lockPair(b1, b2 uint64) (uint64, uint64) {
+	l1, l2 := t.locks.IndexFor(b1), t.locks.IndexFor(b2)
+	t.locks.LockPair(l1, l2)
+	return l1, l2
+}
+
+// Get returns the value for key. The bucket-pair lock is held just long
+// enough to copy the value out (§7: locked reads make pointer-valued items
+// safe to hand to the caller).
+func (t *Table[K, V]) Get(key K) (V, bool) {
+	h := t.hash(key)
+	for {
+		arr := t.arr.Load()
+		b1, b2 := t.twoBuckets(h, arr.buckets)
+		l1, l2 := t.lockPair(b1, b2)
+		if t.arr.Load() != arr {
+			t.locks.UnlockPair(l1, l2)
+			continue
+		}
+		for _, b := range [2]uint64{b1, b2} {
+			if i, ok := t.find(arr, b, key); ok {
+				v := arr.vals[i]
+				t.locks.UnlockPair(l1, l2)
+				return v, true
+			}
+		}
+		t.locks.UnlockPair(l1, l2)
+		var zero V
+		return zero, false
+	}
+}
+
+// find scans bucket b for key; caller holds its stripe.
+func (t *Table[K, V]) find(arr *tArrays[K, V], b uint64, key K) (uint64, bool) {
+	occ := arr.occ[b]
+	base := b * t.assoc
+	for s := 0; occ != 0; s, occ = s+1, occ>>1 {
+		if occ&1 != 0 && arr.keys[base+uint64(s)] == key {
+			return base + uint64(s), true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key, returning ErrExists if present. With auto-grow enabled
+// (the default) it resizes instead of returning ErrFull.
+func (t *Table[K, V]) Insert(key K, val V) error {
+	return t.put(key, val, false)
+}
+
+// Upsert inserts or overwrites key.
+func (t *Table[K, V]) Upsert(key K, val V) error {
+	return t.put(key, val, true)
+}
+
+func (t *Table[K, V]) put(key K, val V, overwrite bool) error {
+	for {
+		err := t.tryPut(key, val, overwrite)
+		if err != ErrFull || t.cfg.DisableAutoGrow {
+			return err
+		}
+		t.grow()
+	}
+}
+
+func (t *Table[K, V]) tryPut(key K, val V, overwrite bool) error {
+	h := t.hash(key)
+	for {
+		arr := t.arr.Load()
+		b1, b2 := t.twoBuckets(h, arr.buckets)
+
+		switch t.attempt(arr, b1, b2, key, val, overwrite, -1) {
+		case putDone:
+			return nil
+		case putExists:
+			return ErrExists
+		case putStale:
+			continue
+		case putNoSpace:
+		}
+
+		path, ok := t.search(arr, b1, b2)
+		if !ok {
+			// Re-check under the lock before giving up.
+			switch t.attempt(arr, b1, b2, key, val, overwrite, -1) {
+			case putDone:
+				return nil
+			case putExists:
+				return ErrExists
+			case putStale:
+				continue
+			}
+			return ErrFull
+		}
+		switch t.execute(arr, path, b1, b2, key, val, overwrite) {
+		case putDone:
+			return nil
+		case putExists:
+			return ErrExists
+		}
+		// Path invalidated or arrays swapped; retry.
+	}
+}
+
+type putResult int
+
+const (
+	putDone putResult = iota
+	putExists
+	putNoSpace
+	putStale
+)
+
+func (t *Table[K, V]) attempt(arr *tArrays[K, V], b1, b2 uint64, key K, val V, overwrite bool, reqSlot int) putResult {
+	l1, l2 := t.lockPair(b1, b2)
+	defer t.locks.UnlockPair(l1, l2)
+	if t.arr.Load() != arr {
+		return putStale
+	}
+	for _, b := range [2]uint64{b1, b2} {
+		if i, ok := t.find(arr, b, key); ok {
+			if !overwrite {
+				return putExists
+			}
+			arr.vals[i] = val
+			return putDone
+		}
+	}
+	if reqSlot >= 0 {
+		if arr.occ[b1]&(1<<uint(reqSlot)) != 0 {
+			return putNoSpace
+		}
+		t.place(arr, b1, reqSlot, key, val)
+		return putDone
+	}
+	for _, b := range [2]uint64{b1, b2} {
+		if s, ok := freeSlot(arr.occ[b], int(t.assoc)); ok {
+			t.place(arr, b, s, key, val)
+			return putDone
+		}
+	}
+	return putNoSpace
+}
+
+func (t *Table[K, V]) place(arr *tArrays[K, V], b uint64, s int, key K, val V) {
+	i := b*t.assoc + uint64(s)
+	arr.keys[i] = key
+	arr.vals[i] = val
+	arr.occ[b] |= 1 << uint(s)
+	t.size.add(b, 1)
+}
+
+func freeSlot(occ uint32, assoc int) (int, bool) {
+	for s := 0; s < assoc; s++ {
+		if occ&(1<<uint(s)) == 0 {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table[K, V]) Delete(key K) bool {
+	h := t.hash(key)
+	for {
+		arr := t.arr.Load()
+		b1, b2 := t.twoBuckets(h, arr.buckets)
+		l1, l2 := t.lockPair(b1, b2)
+		if t.arr.Load() != arr {
+			t.locks.UnlockPair(l1, l2)
+			continue
+		}
+		deleted := false
+		for _, b := range [2]uint64{b1, b2} {
+			if i, ok := t.find(arr, b, key); ok {
+				var zeroK K
+				var zeroV V
+				arr.keys[i] = zeroK // release references for the GC
+				arr.vals[i] = zeroV
+				arr.occ[b] &^= 1 << uint(i-b*t.assoc)
+				t.size.add(b, -1)
+				deleted = true
+				break
+			}
+		}
+		t.locks.UnlockPair(l1, l2)
+		return deleted
+	}
+}
+
+// Range calls fn for every key/value pair until it returns false, holding
+// every stripe for the duration (writers block).
+func (t *Table[K, V]) Range(fn func(key K, val V) bool) {
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	t.locks.LockAll()
+	defer t.locks.UnlockAll()
+	arr := t.arr.Load()
+	for b := uint64(0); b < arr.buckets; b++ {
+		occ := arr.occ[b]
+		for s := 0; occ != 0; s, occ = s+1, occ>>1 {
+			if occ&1 == 0 {
+				continue
+			}
+			i := b*t.assoc + uint64(s)
+			if !fn(arr.keys[i], arr.vals[i]) {
+				return
+			}
+		}
+	}
+}

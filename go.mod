@@ -1,0 +1,3 @@
+module cuckoohash
+
+go 1.24

@@ -1,0 +1,410 @@
+// Package bench is the experiment harness that regenerates every figure of
+// the paper's evaluation (§6). Each experiment drives scaled-down versions
+// of the paper's workloads against the table implementations in this
+// repository and renders the same rows/series the paper reports; see
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// results. Absolute throughput is not comparable to the paper's C++/Haswell
+// numbers — the shapes (scaling slopes, crossovers, ratios) are the
+// reproduced object.
+package bench
+
+import (
+	"errors"
+
+	"cuckoohash/internal/chained"
+	"cuckoohash/internal/core"
+	"cuckoohash/internal/htm"
+	"cuckoohash/internal/memc3"
+	"cuckoohash/internal/openaddr"
+	"cuckoohash/internal/spinlock"
+)
+
+// errStop tells the driver a table cannot accept more inserts.
+var errStop = errors.New("bench: table full")
+
+// KV is the minimal interface the drivers need. Insert must return errStop
+// (or wrap core.ErrFull et al.) when the table cannot take more keys.
+type KV interface {
+	Insert(key, val uint64) error
+	Lookup(key uint64) (uint64, bool)
+	Delete(key uint64) bool
+	Len() uint64
+	Cap() uint64
+}
+
+// TxStatser is implemented by adapters whose table runs under emulated HTM.
+type TxStatser interface {
+	TxStats() htm.Stats
+}
+
+// Scheme is a named table constructor. slots is the number of key slots to
+// provision; valueWords the value width.
+type Scheme struct {
+	Name string
+	// New builds a fresh table. threads tells arena-based tables how many
+	// writer goroutines will use it (ignored by most).
+	New func(slots uint64, valueWords, threads int, seed uint64) KV
+	// SingleWriter marks tables whose Insert already serializes internally
+	// or must be externally serialized.
+	SingleWriter bool
+}
+
+// --- cuckoo+ (core) adapters ---
+
+type coreKV struct{ t *core.Table }
+
+func (a coreKV) Insert(k, v uint64) error {
+	err := a.t.Insert(k, v)
+	if errors.Is(err, core.ErrFull) {
+		return errStop
+	}
+	return err
+}
+func (a coreKV) Lookup(k uint64) (uint64, bool) { return a.t.Lookup(k) }
+func (a coreKV) Delete(k uint64) bool           { return a.t.Delete(k) }
+func (a coreKV) Len() uint64                    { return a.t.Len() }
+func (a coreKV) Cap() uint64                    { return a.t.Cap() }
+
+func coreOptions(slots uint64, valueWords int, seed uint64) core.Options {
+	o := core.Defaults(slots)
+	o.ValueWords = valueWords
+	o.Seed = seed
+	return o
+}
+
+// CuckooPlusFG is cuckoo+ with fine-grained striped locking (§4.4).
+func CuckooPlusFG() Scheme {
+	return Scheme{
+		Name: "cuckoo+ fine-grained",
+		New: func(slots uint64, vw, _ int, seed uint64) KV {
+			return coreKV{core.MustNewTable(coreOptions(slots, vw, seed))}
+		},
+	}
+}
+
+// CuckooPlusGlobal is cuckoo+ with a global writer lock ("+lock later",
+// optimized algorithm but coarse locking).
+func CuckooPlusGlobal() Scheme {
+	return Scheme{
+		Name: "cuckoo+",
+		New: func(slots uint64, vw, _ int, seed uint64) KV {
+			o := coreOptions(slots, vw, seed)
+			o.Locking = core.LockGlobal
+			return coreKV{core.MustNewTable(o)}
+		},
+	}
+}
+
+// CuckooPlusVariant exposes the factor-analysis knobs (Fig. 5).
+func CuckooPlusVariant(name string, locking core.LockMode, search core.SearchMode, prefetch bool) Scheme {
+	return Scheme{
+		Name: name,
+		New: func(slots uint64, vw, _ int, seed uint64) KV {
+			o := coreOptions(slots, vw, seed)
+			o.Locking = locking
+			o.Search = search
+			o.Prefetch = prefetch
+			return coreKV{core.MustNewTable(o)}
+		},
+	}
+}
+
+// CuckooPlusAssoc is cuckoo+ (fine-grained) at a given associativity.
+func CuckooPlusAssoc(assoc int, prefix string) Scheme {
+	return Scheme{
+		Name: prefix,
+		New: func(slots uint64, vw, _ int, seed uint64) KV {
+			o := coreOptions(slots, vw, seed)
+			o.Assoc = assoc
+			buckets := uint64(2)
+			for buckets*uint64(assoc) < slots {
+				buckets <<= 1
+			}
+			o.Buckets = buckets
+			return coreKV{core.MustNewTable(o)}
+		},
+	}
+}
+
+type coreTxKV struct{ t *core.TxTable }
+
+func (a coreTxKV) Insert(k, v uint64) error {
+	err := a.t.Insert(k, v)
+	if errors.Is(err, core.ErrFull) {
+		return errStop
+	}
+	return err
+}
+func (a coreTxKV) Lookup(k uint64) (uint64, bool) { return a.t.Lookup(k) }
+func (a coreTxKV) Delete(k uint64) bool           { return a.t.Delete(k) }
+func (a coreTxKV) Len() uint64                    { return a.t.Len() }
+func (a coreTxKV) Cap() uint64                    { return a.t.Cap() }
+func (a coreTxKV) TxStats() htm.Stats             { return a.t.Region().Stats() }
+
+// CuckooPlusTSX is cuckoo+ under coarse locking with emulated lock elision
+// (§5); policy selects the TSX* or glibc retry policy.
+func CuckooPlusTSX(name string, policy htm.Policy, search core.SearchMode, prefetch bool) Scheme {
+	return Scheme{
+		Name: name,
+		New: func(slots uint64, vw, _ int, seed uint64) KV {
+			o := coreOptions(slots, vw, seed)
+			o.Search = search
+			o.Prefetch = prefetch
+			return coreTxKV{core.MustNewTxTable(o, policy, htm.DefaultConfig())}
+		},
+	}
+}
+
+// CuckooPlusTSXAssoc is the elided cuckoo+ at a given associativity
+// (Figs. 8–9 use "optimized cuckoo hashing with TSX lock elision").
+func CuckooPlusTSXAssoc(assoc int, name string) Scheme {
+	return Scheme{
+		Name: name,
+		New: func(slots uint64, vw, _ int, seed uint64) KV {
+			o := coreOptions(slots, vw, seed)
+			o.Assoc = assoc
+			buckets := uint64(2)
+			for buckets*uint64(assoc) < slots {
+				buckets <<= 1
+			}
+			o.Buckets = buckets
+			return coreTxKV{core.MustNewTxTable(o, htm.PolicyTuned, htm.DefaultConfig())}
+		},
+	}
+}
+
+// --- MemC3 optimistic cuckoo adapters ---
+
+type memc3KV struct{ t *memc3.Table }
+
+func (a memc3KV) Insert(k, v uint64) error {
+	err := a.t.Insert(k, v)
+	switch {
+	case errors.Is(err, memc3.ErrFull):
+		return errStop
+	default:
+		return err
+	}
+}
+func (a memc3KV) Lookup(k uint64) (uint64, bool) { return a.t.Lookup(k) }
+func (a memc3KV) Delete(k uint64) bool           { return a.t.Delete(k) }
+func (a memc3KV) Len() uint64 {
+	n := a.t.Len()
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
+}
+func (a memc3KV) Cap() uint64 { return a.t.Cap() }
+
+func memc3Options(slots uint64, vw, assoc int, seed uint64) memc3.Options {
+	o := memc3.Defaults(slots)
+	if assoc != 0 && assoc != o.Assoc {
+		o.Assoc = assoc
+		buckets := uint64(2)
+		for buckets*uint64(assoc) < slots {
+			buckets <<= 1
+		}
+		o.Buckets = buckets
+	}
+	o.ValueWords = vw
+	o.Seed = seed
+	return o
+}
+
+// Memc3 is the optimistic concurrent cuckoo baseline ("cuckoo" in the
+// figures): multi-reader, single global writer lock, Algorithm 1. assoc
+// selects the set-associativity (MemC3's own default is 4; the factor
+// analysis holds it at 8 to isolate the algorithmic deltas).
+func Memc3(assoc int) Scheme {
+	return Scheme{
+		Name:         "cuckoo",
+		SingleWriter: true,
+		New: func(slots uint64, vw, _ int, seed uint64) KV {
+			return memc3KV{memc3.MustNew(memc3Options(slots, vw, assoc, seed))}
+		},
+	}
+}
+
+type memc3TxKV struct{ t *memc3.TxTable }
+
+func (a memc3TxKV) Insert(k, v uint64) error {
+	err := a.t.Insert(k, v)
+	if errors.Is(err, memc3.ErrFull) {
+		return errStop
+	}
+	return err
+}
+func (a memc3TxKV) Lookup(k uint64) (uint64, bool) { return a.t.Lookup(k) }
+func (a memc3TxKV) Delete(k uint64) bool           { return a.t.Delete(k) }
+func (a memc3TxKV) Len() uint64                    { return a.t.Len() }
+func (a memc3TxKV) Cap() uint64                    { return a.t.Cap() }
+func (a memc3TxKV) TxStats() htm.Stats             { return a.t.Region().Stats() }
+
+// Memc3TSX is the unoptimized cuckoo under coarse-lock elision (whole
+// Algorithm 1 in one transaction).
+func Memc3TSX(name string, policy htm.Policy, assoc int) Scheme {
+	return Scheme{
+		Name: name,
+		New: func(slots uint64, vw, _ int, seed uint64) KV {
+			return memc3TxKV{memc3.MustNewTxTable(memc3Options(slots, vw, assoc, seed), policy, htm.DefaultConfig())}
+		},
+	}
+}
+
+// --- chained adapters ---
+
+type chainedKV struct{ m *chained.Map }
+
+func (a chainedKV) Insert(k, v uint64) error       { a.m.Put(k, v); return nil }
+func (a chainedKV) Lookup(k uint64) (uint64, bool) { return a.m.Get(k) }
+func (a chainedKV) Delete(k uint64) bool           { return a.m.Delete(k) }
+func (a chainedKV) Len() uint64                    { return a.m.Len() }
+func (a chainedKV) Cap() uint64                    { return a.m.Buckets() }
+
+// TBB is the Intel-TBB-analog concurrent chained map, presized like the
+// paper ("we initialize the TBB table with the same number of buckets").
+func TBB() Scheme {
+	return Scheme{
+		Name: "TBB chained",
+		New: func(slots uint64, _, _ int, seed uint64) KV {
+			o := chained.Defaults(slots, true)
+			o.Seed = seed
+			return chainedKV{chained.MustNew(o)}
+		},
+	}
+}
+
+// Unordered is the std::unordered_map analog: unsynchronized chained map.
+// Callers must serialize access (see LockWrapped).
+func Unordered() Scheme {
+	return Scheme{
+		Name:         "unordered_map",
+		SingleWriter: true,
+		New: func(slots uint64, _, _ int, seed uint64) KV {
+			o := chained.Defaults(slots, false)
+			o.Seed = seed
+			return chainedKV{chained.MustNew(o)}
+		},
+	}
+}
+
+type chainedTxKV struct {
+	m *chained.TxMap
+}
+
+func (a *chainedTxKV) Insert(k, v uint64) error {
+	if err := a.m.Put(0, k, v); err != nil {
+		return errStop
+	}
+	return nil
+}
+func (a *chainedTxKV) Lookup(k uint64) (uint64, bool) { return a.m.Get(k) }
+func (a *chainedTxKV) Delete(k uint64) bool           { return false }
+func (a *chainedTxKV) Len() uint64                    { return a.m.Len() }
+func (a *chainedTxKV) Cap() uint64                    { return 0 }
+func (a *chainedTxKV) TxStats() htm.Stats             { return a.m.Region().Stats() }
+
+// UnorderedTSX is the chained map under coarse-lock elision with the shared
+// bump allocator (the allocation-conflict configuration of §5).
+func UnorderedTSX(name string, policy htm.Policy) Scheme {
+	return Scheme{
+		Name: name,
+		New: func(slots uint64, _, _ int, seed uint64) KV {
+			b := uint64(2)
+			for b < slots {
+				b <<= 1
+			}
+			return &chainedTxKV{m: chained.MustNewTxMap(b, slots+slots/4, seed, policy, false, htm.DefaultConfig())}
+		},
+	}
+}
+
+// --- open-addressing adapters ---
+
+type openKV struct{ m *openaddr.Map }
+
+func (a openKV) Insert(k, v uint64) error {
+	if err := a.m.Put(k, v); err != nil {
+		return errStop
+	}
+	return nil
+}
+func (a openKV) Lookup(k uint64) (uint64, bool) { return a.m.Get(k) }
+func (a openKV) Delete(k uint64) bool           { return a.m.Delete(k) }
+func (a openKV) Len() uint64                    { return a.m.Len() }
+func (a openKV) Cap() uint64                    { return a.m.Cap() }
+
+// Dense is the dense_hash_map analog: quadratic probing, 0.5 max load,
+// single-threaded (see LockWrapped for the §2.3 global-lock wrapping).
+func Dense() Scheme {
+	return Scheme{
+		Name:         "dense_hash_map",
+		SingleWriter: true,
+		New: func(slots uint64, _, _ int, seed uint64) KV {
+			// Presize to keep the live load under 0.5 without resizing,
+			// the configuration most favourable to dense_hash_map.
+			return openKV{openaddr.New(slots*2, seed, 0.5, false)}
+		},
+	}
+}
+
+type openTxKV struct{ m *openaddr.TxMap }
+
+func (a openTxKV) Insert(k, v uint64) error {
+	if err := a.m.Put(k, v); err != nil {
+		return errStop
+	}
+	return nil
+}
+func (a openTxKV) Lookup(k uint64) (uint64, bool) { return a.m.Get(k) }
+func (a openTxKV) Delete(k uint64) bool           { return a.m.Delete(k) }
+func (a openTxKV) Len() uint64                    { return a.m.Len() }
+func (a openTxKV) Cap() uint64                    { return a.m.Cap() }
+func (a openTxKV) TxStats() htm.Stats             { return a.m.Region().Stats() }
+
+// DenseTSX is the open-addressing table under coarse-lock elision.
+func DenseTSX(name string, policy htm.Policy) Scheme {
+	return Scheme{
+		Name: name,
+		New: func(slots uint64, _, _ int, seed uint64) KV {
+			return openTxKV{openaddr.NewTxMap(slots*2, seed, policy, htm.DefaultConfig())}
+		},
+	}
+}
+
+// --- global-lock wrapper ---
+
+type lockedKV struct {
+	mu spinlock.Mutex
+	kv KV
+}
+
+func (a *lockedKV) Insert(k, v uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.kv.Insert(k, v)
+}
+func (a *lockedKV) Lookup(k uint64) (uint64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.kv.Lookup(k)
+}
+func (a *lockedKV) Delete(k uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.kv.Delete(k)
+}
+func (a *lockedKV) Len() uint64 { return a.kv.Len() }
+func (a *lockedKV) Cap() uint64 { return a.kv.Cap() }
+
+// LockWrapped wraps a single-writer scheme in one global spinlock, the
+// naive-concurrency baseline of §2.3.
+func LockWrapped(name string, inner Scheme) Scheme {
+	return Scheme{
+		Name: name,
+		New: func(slots uint64, vw, threads int, seed uint64) KV {
+			return &lockedKV{kv: inner.New(slots, vw, threads, seed)}
+		},
+	}
+}

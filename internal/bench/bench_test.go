@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cuckoohash/internal/workload"
+)
+
+// tinyScale keeps harness tests fast; shapes are not asserted at this size.
+func tinyScale() Scale {
+	return Scale{
+		Slots:      1 << 12,
+		Fig2Keys:   1 << 10,
+		Threads:    []int{1, 2},
+		MaxThreads: []int{1, 2, 4},
+		LookupOps:  1 << 12,
+		Seed:       7,
+	}
+}
+
+func TestFillDriverCountsAndWindows(t *testing.T) {
+	s := CuckooPlusFG()
+	tab := s.New(1<<12, 1, 2, 7)
+	res := Fill(tab, FillSpec{
+		Threads: 2, Mix: workload.InsertOnly,
+		TargetLoad: 0.95, Slots: 1 << 12, Seed: 7,
+		WindowBounds: []float64{0, 0.75, 0.90, 0.95},
+	})
+	if res.Overall <= 0 {
+		t.Fatalf("Overall = %v", res.Overall)
+	}
+	lf := float64(tab.Len()) / float64(tab.Cap())
+	if lf < 0.94 {
+		t.Fatalf("fill stopped at load factor %.3f", lf)
+	}
+	for _, w := range []string{wOverall, wMid, wHigh} {
+		if res.Windows[w] <= 0 {
+			t.Fatalf("window %s = %v (windows: %v)", w, res.Windows[w], res.Windows)
+		}
+	}
+}
+
+func TestFillDriverMixedCountsLookups(t *testing.T) {
+	s := CuckooPlusFG()
+	tab := s.New(1<<12, 1, 2, 7)
+	res := Fill(tab, FillSpec{
+		Threads: 2, Mix: workload.Mix1090,
+		TargetLoad: 0.9, Slots: 1 << 12, Seed: 7,
+	})
+	inserts := tab.Len()
+	if res.Ops < 5*inserts {
+		t.Fatalf("10%%-insert mix did ops=%d for inserts=%d; lookups not counted?", res.Ops, inserts)
+	}
+}
+
+func TestLookupDriver(t *testing.T) {
+	s := CuckooPlusFG()
+	tab := s.New(1<<12, 1, 4, 7)
+	counts := PreFill(tab, 1<<12, 0.95, 4, 7)
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if float64(total) < 0.94*float64(1<<12) {
+		t.Fatalf("prefill only reached %d keys", total)
+	}
+	res := Lookups(tab, LookupSpec{Threads: 4, OpsPerThread: 1 << 10, Seed: 7}, counts)
+	if res.Ops != 4<<10 {
+		t.Fatalf("Ops = %d", res.Ops)
+	}
+	if res.Overall <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep is seconds-long; skipped in -short")
+	}
+	sc := tinyScale()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run(sc)
+			if rep == nil || len(rep.Rows) == 0 {
+				t.Fatalf("experiment %s produced no rows", e.ID)
+			}
+			var buf bytes.Buffer
+			rep.Print(&buf)
+			if !strings.Contains(buf.String(), rep.ID) {
+				t.Fatalf("report print missing id: %q", buf.String())
+			}
+			var csv bytes.Buffer
+			rep.CSV(&csv)
+			lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+			if len(lines) != len(rep.Rows)+1 {
+				t.Fatalf("CSV has %d lines for %d rows", len(lines), len(rep.Rows))
+			}
+			t.Logf("\n%s", buf.String())
+		})
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"", "small", "medium", "paper"} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Fatalf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is the regenerated form of one paper figure: named rows of values
+// over named columns, plus free-form notes (abort rates, memory
+// footprints). Print renders a text table; CSV renders machine-readable
+// output for plotting.
+type Report struct {
+	ID      string
+	Title   string
+	Unit    string // e.g. "Mops/s"
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one series of a Report.
+type Row struct {
+	Name   string
+	Values []float64
+}
+
+// AddRow appends a series.
+func (r *Report) AddRow(name string, values ...float64) {
+	r.Rows = append(r.Rows, Row{Name: name, Values: values})
+}
+
+// AddNote appends a free-form annotation line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s", r.ID, r.Title)
+	if r.Unit != "" {
+		fmt.Fprintf(w, " [%s]", r.Unit)
+	}
+	fmt.Fprintln(w)
+
+	nameW := 4
+	for _, row := range r.Rows {
+		if len(row.Name) > nameW {
+			nameW = len(row.Name)
+		}
+	}
+	colW := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		colW[i] = len(c)
+		if colW[i] < 8 {
+			colW[i] = 8
+		}
+	}
+	fmt.Fprintf(w, "%-*s", nameW+2, "")
+	for i, c := range r.Columns {
+		fmt.Fprintf(w, " %*s", colW[i], c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-*s", nameW+2, row.Name)
+		for i, v := range row.Values {
+			width := 8
+			if i < len(colW) {
+				width = colW[i]
+			}
+			fmt.Fprintf(w, " %*.*f", width, precisionFor(v), v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func precisionFor(v float64) int {
+	switch {
+	case v >= 100:
+		return 1
+	case v >= 1:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// CSV renders the report as comma-separated values, one header row then one
+// row per series.
+func (r *Report) CSV(w io.Writer) {
+	fmt.Fprintf(w, "scheme,%s\n", strings.Join(r.Columns, ","))
+	for _, row := range r.Rows {
+		cells := make([]string, 0, len(row.Values)+1)
+		cells = append(cells, row.Name)
+		for _, v := range row.Values {
+			cells = append(cells, fmt.Sprintf("%g", v))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Scale sets the experiment sizes. The paper's tables hold 2^27 slots and
+// take minutes per run; the default scale keeps every experiment's shape at
+// a size that runs in seconds.
+type Scale struct {
+	// Slots is the default cuckoo table size in slots.
+	Slots uint64
+	// Fig2Keys is the insert count for the single-writer Figure 2 runs.
+	Fig2Keys uint64
+	// Threads is the thread axis for the scaling figures.
+	Threads []int
+	// MaxThreads is the widest machine size exercised (Fig. 7).
+	MaxThreads []int
+	// LookupOps is the per-thread op count for lookup-only runs.
+	LookupOps uint64
+	// Seed seeds every workload.
+	Seed uint64
+}
+
+// SmallScale runs every figure in a few seconds (CI-sized).
+func SmallScale() Scale {
+	return Scale{
+		Slots:      1 << 16,
+		Fig2Keys:   1 << 14,
+		Threads:    []int{1, 2, 4, 8},
+		MaxThreads: []int{1, 2, 4, 8, 16},
+		LookupOps:  1 << 17,
+		Seed:       42,
+	}
+}
+
+// MediumScale approximates the paper's shapes more closely (tens of
+// seconds).
+func MediumScale() Scale {
+	return Scale{
+		Slots:      1 << 21,
+		Fig2Keys:   1 << 19,
+		Threads:    []int{1, 2, 4, 8},
+		MaxThreads: []int{1, 2, 4, 8, 16},
+		LookupOps:  1 << 21,
+		Seed:       42,
+	}
+}
+
+// PaperScale matches the paper's table sizes (needs ~4 GB and minutes per
+// figure; the HTM-emulated schemes are smaller because the software arena
+// would not fit).
+func PaperScale() Scale {
+	return Scale{
+		Slots:      1 << 27,
+		Fig2Keys:   1 << 24,
+		Threads:    []int{1, 2, 4, 8},
+		MaxThreads: []int{1, 2, 4, 8, 16},
+		LookupOps:  1 << 24,
+		Seed:       42,
+	}
+}
+
+// ScaleByName returns a preset by name: "small", "medium" or "paper".
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "", "small":
+		return SmallScale(), nil
+	case "medium":
+		return MediumScale(), nil
+	case "paper":
+		return PaperScale(), nil
+	}
+	return Scale{}, fmt.Errorf("bench: unknown scale %q (want small, medium or paper)", name)
+}

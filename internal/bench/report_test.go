@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReportPrintAlignment(t *testing.T) {
+	r := &Report{
+		ID:      "x",
+		Title:   "test report",
+		Unit:    "Mops/s",
+		Columns: []string{"a", "longcolumn"},
+	}
+	r.AddRow("short", 1.5, 200.25)
+	r.AddRow("a-much-longer-name", 0.001, 3)
+	r.AddNote("note %d", 42)
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: test report [Mops/s]", "longcolumn", "a-much-longer-name", "note: note 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("print output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 2 rows + note + trailing blank handled by TrimRight.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	r := &Report{ID: "y", Columns: []string{"c1", "c2"}}
+	r.AddRow("row", 1, 2.5)
+	var buf bytes.Buffer
+	r.CSV(&buf)
+	want := "scheme,c1,c2\nrow,1,2.5\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSortRowsByValue(t *testing.T) {
+	r := &Report{}
+	r.AddRow("b", 2)
+	r.AddRow("c", 3)
+	r.AddRow("a", 1)
+	r.SortRowsByValue()
+	if r.Rows[0].Name != "c" || r.Rows[2].Name != "a" {
+		t.Fatalf("sort order: %v", r.Rows)
+	}
+}
+
+func TestWindowKey(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		want   string
+	}{
+		{0, 0.95, "0.00-0.95"},
+		{0.75, 0.90, "0.75-0.90"},
+		{0.9, 0.95, "0.90-0.95"},
+		{0.3, 0.4, "0.30-0.40"},
+	}
+	for _, c := range cases {
+		if got := windowKey(c.lo, c.hi); got != c.want {
+			t.Fatalf("windowKey(%v,%v) = %q want %q", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestByIDCoversAll(t *testing.T) {
+	for _, e := range Experiments() {
+		got, ok := ByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Fatalf("ByID(%q) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestLockWrappedSerializes(t *testing.T) {
+	s := LockWrapped("locked dense", Dense())
+	tab := s.New(1<<10, 1, 4, 7)
+	// Concurrent access through the wrapper must be safe for the
+	// single-threaded inner table.
+	done := make(chan bool, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			base := uint64(w+1) << 32
+			for i := uint64(0); i < 500; i++ {
+				if err := tab.Insert(base|i, i); err != nil {
+					done <- false
+					return
+				}
+			}
+			done <- true
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		if !<-done {
+			t.Fatal("insert failed")
+		}
+	}
+	if tab.Len() != 2000 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if _, ok := tab.Lookup(uint64(1)<<32 | 3); !ok {
+		t.Fatal("lookup through wrapper failed")
+	}
+	if !tab.Delete(uint64(1)<<32 | 3) {
+		t.Fatal("delete through wrapper failed")
+	}
+}

@@ -1,0 +1,5 @@
+package chained
+
+import "cuckoohash/internal/htm"
+
+func defaultCfg() htm.Config { return htm.DefaultConfig() }

@@ -1,0 +1,26 @@
+package chained
+
+import "sync/atomic"
+
+// shardedCounter avoids a shared size word on the insert path (principle
+// P1); shards key off the bucket index.
+type shardedCounter struct {
+	shards [64]paddedInt64
+}
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+func (c *shardedCounter) add(bucket uint64, delta int64) {
+	c.shards[bucket&63].v.Add(delta)
+}
+
+func (c *shardedCounter) total() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}

@@ -1,0 +1,40 @@
+package chained
+
+import "testing"
+
+// FuzzMapOps interprets fuzz input as an op script against the unsync map
+// with a Go map oracle, exercising collision chains, overwrites, unlinking
+// from chain heads/middles/tails, and resizing.
+func FuzzMapOps(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		o := Options{Buckets: 4, Sync: false, GrowAt: 2.0}
+		m := MustNew(o)
+		oracle := map[uint64]uint64{}
+		for i := 0; i+1 < len(script); i += 2 {
+			op, kb := script[i], script[i+1]
+			k := uint64(kb)
+			v := uint64(i)
+			switch op % 3 {
+			case 0:
+				m.Put(k, v)
+				oracle[k] = v
+			case 1:
+				_, exists := oracle[k]
+				if m.Delete(k) != exists {
+					t.Fatalf("Delete(%d) disagreed", k)
+				}
+				delete(oracle, k)
+			default:
+				got, ok := m.Get(k)
+				want, exists := oracle[k]
+				if ok != exists || (ok && got != want) {
+					t.Fatalf("Get(%d) = %d,%v oracle %d,%v", k, got, ok, want, exists)
+				}
+			}
+		}
+		if m.Len() != uint64(len(oracle)) {
+			t.Fatalf("Len = %d oracle %d", m.Len(), len(oracle))
+		}
+	})
+}

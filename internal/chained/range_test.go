@@ -1,0 +1,73 @@
+package chained
+
+import "testing"
+
+func TestRangeVisitsAll(t *testing.T) {
+	m := MustNew(Defaults(64, false))
+	want := map[uint64]uint64{}
+	for k := uint64(1); k <= 500; k++ {
+		m.Put(k, k*9)
+		want[k] = k * 9
+	}
+	got := map[uint64]uint64{}
+	m.Range(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%d] = %d want %d", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(_, _ uint64) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	if _, err := New(Options{Buckets: 3}); err == nil {
+		t.Fatal("non-pow2 buckets accepted")
+	}
+	if _, err := New(Options{Buckets: 8, Sync: true, Stripes: 3}); err == nil {
+		t.Fatal("non-pow2 stripes accepted")
+	}
+	if _, err := NewTxMap(3, 10, 0, 0, false, defaultCfg()); err == nil {
+		t.Fatal("TxMap non-pow2 buckets accepted")
+	}
+	if _, err := NewTxMap(8, 0, 0, 0, false, defaultCfg()); err == nil {
+		t.Fatal("TxMap zero capacity accepted")
+	}
+}
+
+func TestTxMapArenaExhaustion(t *testing.T) {
+	m := MustNewTxMap(8, 4, 1, 0, false, defaultCfg())
+	var err error
+	for k := uint64(1); k <= 10; k++ {
+		if err = m.Put(0, k, k); err != nil {
+			break
+		}
+	}
+	if err != ErrArenaFull {
+		t.Fatalf("err = %v, want ErrArenaFull", err)
+	}
+	// Existing entries still readable.
+	if v, ok := m.Get(1); !ok || v != 1 {
+		t.Fatal("entry lost after arena exhaustion")
+	}
+	// Overwrites still work (no allocation needed).
+	if err := m.Put(0, 1, 99); err != nil {
+		t.Fatalf("overwrite after exhaustion: %v", err)
+	}
+	if v, _ := m.Get(1); v != 99 {
+		t.Fatal("overwrite lost")
+	}
+}

@@ -1,0 +1,194 @@
+package chained
+
+import (
+	"errors"
+
+	"cuckoohash/internal/hashfn"
+	"cuckoohash/internal/htm"
+)
+
+// ErrArenaFull reports node-arena exhaustion in a TxMap.
+var ErrArenaFull = errors.New("chained: node arena exhausted")
+
+// TxMap is the chained hash table under a coarse lock with (emulated) TSX
+// lock elision: the std::unordered_map-with-TSX configuration of Figure 2.
+//
+// Nodes come from a bump allocator inside the transactional arena. In the
+// default mode the allocation cursor is one shared word, so *every* pair of
+// concurrent inserts conflicts on it — the dynamic-memory-allocation abort
+// problem §5 observed with chained hashing and Masstree. With
+// PerThreadChunks enabled, each thread refills a private cursor from the
+// shared one in batches (the paper's suggested pre-allocation fix,
+// principle P3), eliminating almost all allocator conflicts; the ablation
+// benchmark compares the two.
+type TxMap struct {
+	nb       uint64
+	seed     uint64
+	policy   htm.Policy
+	region   *htm.Region
+	capacity uint64
+	chunked  bool
+	size     shardedCounter
+}
+
+// Arena layout (word addresses):
+//
+//	0:                       shared allocation cursor (node address)
+//	8, 16, ... 8*threads:    per-thread cursors: [cur, limit] pairs, one line each
+//	headBase .. +nb:         chain heads (0 = nil)
+//	nodeBase ..:             node records: key, val, next
+const (
+	txMaxThreads = 64
+	chunkNodes   = 64
+	nodeWords    = 3
+)
+
+// NewTxMap creates a transactional chained map with room for capacity
+// entries.
+func NewTxMap(buckets, capacity uint64, seed uint64, policy htm.Policy, perThreadChunks bool, cfg htm.Config) (*TxMap, error) {
+	if buckets < 2 || buckets&(buckets-1) != 0 || capacity == 0 {
+		return nil, ErrBadOptions
+	}
+	headerWords := uint64(8 * (txMaxThreads + 1))
+	words := headerWords + buckets + capacity*nodeWords
+	m := &TxMap{
+		nb:       buckets,
+		seed:     seed,
+		policy:   policy,
+		region:   htm.NewRegion(int(words), cfg),
+		capacity: capacity,
+		chunked:  perThreadChunks,
+	}
+	// The first node address; 0 stays reserved as the nil sentinel.
+	m.region.Words()[0] = uint64(m.nodeBase())
+	return m, nil
+}
+
+// MustNewTxMap panics on configuration errors.
+func MustNewTxMap(buckets, capacity uint64, seed uint64, policy htm.Policy, perThreadChunks bool, cfg htm.Config) *TxMap {
+	m, err := NewTxMap(buckets, capacity, seed, policy, perThreadChunks, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *TxMap) headBase() uint32 { return 8 * (txMaxThreads + 1) }
+func (m *TxMap) nodeBase() uint32 { return m.headBase() + uint32(m.nb) }
+func (m *TxMap) arenaEnd() uint32 {
+	return m.nodeBase() + uint32(m.capacity)*nodeWords
+}
+
+// Region exposes transaction statistics.
+func (m *TxMap) Region() *htm.Region { return m.region }
+
+// Len returns the entry count.
+func (m *TxMap) Len() uint64 { return uint64(m.size.total()) }
+
+func (m *TxMap) headAddr(key uint64) uint32 {
+	return m.headBase() + uint32(hashfn.Uint64(key, m.seed)&(m.nb-1))
+}
+
+// alloc reserves one node inside tx, from the shared cursor or the thread's
+// chunk.
+func (m *TxMap) alloc(tx *htm.Txn, thread int) (uint32, error) {
+	if !m.chunked {
+		cur := tx.Load(0)
+		if uint32(cur)+nodeWords > m.arenaEnd() {
+			return 0, ErrArenaFull
+		}
+		tx.Store(0, cur+nodeWords)
+		return uint32(cur), nil
+	}
+	base := uint32(8 * (thread%txMaxThreads + 1))
+	cur := tx.Load(base)
+	limit := tx.Load(base + 1)
+	if cur >= limit {
+		// Refill the private chunk from the shared cursor; this is the
+		// only time the shared line enters the transaction's write set.
+		shared := tx.Load(0)
+		if uint32(shared)+nodeWords > m.arenaEnd() {
+			return 0, ErrArenaFull
+		}
+		take := uint64(chunkNodes * nodeWords)
+		if uint64(m.arenaEnd())-shared < take {
+			take = uint64(m.arenaEnd()) - shared
+		}
+		tx.Store(0, shared+take)
+		cur = shared
+		limit = shared + take
+		tx.Store(base+1, limit)
+	}
+	tx.Store(base, cur+nodeWords)
+	return uint32(cur), nil
+}
+
+// Put inserts or overwrites key. thread identifies the calling goroutine
+// for per-thread allocation (ignored in shared-cursor mode).
+func (m *TxMap) Put(thread int, key, val uint64) error {
+	h := m.headAddr(key)
+	err := m.region.RunElided(m.policy, func(tx *htm.Txn) error {
+		steps := m.capacity
+		for n := uint32(tx.Load(h)); m.validNode(n); n = uint32(tx.Load(n + 2)) {
+			if tx.Load(n) == key {
+				tx.Store(n+1, val)
+				return errUpdatedInPlace
+			}
+			// A zombie transaction (stale read set, doomed to abort at
+			// commit) can observe a cyclic or garbage list; bound the walk
+			// so it reaches commit and aborts instead of spinning.
+			if steps--; steps == 0 {
+				break
+			}
+		}
+		n, err := m.alloc(tx, thread)
+		if err != nil {
+			return err
+		}
+		tx.Store(n, key)
+		tx.Store(n+1, val)
+		tx.Store(n+2, tx.Load(h))
+		tx.Store(h, uint64(n))
+		return nil
+	})
+	switch err {
+	case nil:
+		m.size.add(uint64(h), 1)
+		return nil
+	case errUpdatedInPlace:
+		return nil
+	default:
+		return err
+	}
+}
+
+var errUpdatedInPlace = errors.New("chained: updated in place")
+
+// Get returns the value for key.
+func (m *TxMap) Get(key uint64) (uint64, bool) {
+	h := m.headAddr(key)
+	var val uint64
+	found := false
+	_ = m.region.RunElided(m.policy, func(tx *htm.Txn) error {
+		found = false
+		steps := m.capacity
+		for n := uint32(tx.Load(h)); m.validNode(n); n = uint32(tx.Load(n + 2)) {
+			if tx.Load(n) == key {
+				val = tx.Load(n + 1)
+				found = true
+				return nil
+			}
+			if steps--; steps == 0 {
+				break
+			}
+		}
+		return nil
+	})
+	return val, found
+}
+
+// validNode reports whether n is a plausible in-arena node address; zombie
+// transactions may read garbage pointers that must not be dereferenced.
+func (m *TxMap) validNode(n uint32) bool {
+	return n >= m.nodeBase() && n+nodeWords <= m.arenaEnd()
+}

@@ -1,0 +1,74 @@
+package core
+
+import "cuckoohash/internal/hashfn"
+
+// batchWindow is how far ahead LookupBatch touches candidate buckets before
+// scanning them. Deep enough to overlap a DRAM miss, shallow enough to stay
+// in the L1.
+const batchWindow = 8
+
+// LookupBatch performs n = len(keys) lookups, writing the first value word
+// of each found key to vals[i] and presence to found[i]. vals and found
+// must be at least len(keys) long.
+//
+// The batch form exists for the same reason as the BFS prefetch (§4.3.2):
+// lookups into a DRAM-resident table are dependent-miss bound, and because
+// the bucket schedule is known in advance the misses can be overlapped. The
+// implementation touches both candidate buckets of key i+batchWindow before
+// scanning key i, converting serial misses into pipelined ones.
+func (t *Table) LookupBatch(keys []uint64, vals []uint64, found []bool) {
+	if len(vals) < len(keys) || len(found) < len(keys) {
+		panic("cuckoo: LookupBatch output slices shorter than keys")
+	}
+	var hashes [batchWindow]uint64
+
+	arr := t.arr.Load()
+	n := len(keys)
+	for i := 0; i < n; i++ {
+		// Keys at index >= batchWindow were hashed when they were
+		// prefetched; the first batchWindow keys are hashed inline. Read
+		// the cached hash before the prefetch below reuses its slot
+		// (i and i+batchWindow share a slot in the ring).
+		var h uint64
+		if i >= batchWindow {
+			h = hashes[i%batchWindow]
+		} else {
+			h = t.hash(keys[i])
+		}
+		// Prefetch the bucket pair batchWindow ahead.
+		if j := i + batchWindow; j < n {
+			hj := t.hash(keys[j])
+			hashes[j%batchWindow] = hj
+			b1, b2 := hashfn.TwoBuckets(hj, arr.buckets)
+			prefetchBucket(arr, b1, t.assoc)
+			prefetchBucket(arr, b2, t.assoc)
+		}
+		vals[i], found[i] = t.lookupHashed(keys[i], h)
+	}
+}
+
+// lookupHashed is Lookup with the hash precomputed.
+func (t *Table) lookupHashed(key, h uint64) (uint64, bool) {
+	var dst [1]uint64
+	for spins := 0; ; spins++ {
+		arr := t.arr.Load()
+		b1, b2 := hashfn.TwoBuckets(h, arr.buckets)
+		l1 := t.stripe.IndexFor(b1)
+		l2 := t.stripe.IndexFor(b2)
+		v1, ok1 := t.stripe.Snapshot(l1)
+		v2, ok2 := t.stripe.Snapshot(l2)
+		if ok1 && ok2 {
+			f := t.scanBucket(arr, b1, key, dst[:])
+			if !f {
+				f = t.scanBucket(arr, b2, key, dst[:])
+			}
+			if t.stripe.Validate(l1, v1) && t.stripe.Validate(l2, v2) && t.arr.Load() == arr {
+				return dst[0], f
+			}
+		}
+		if spins >= 64 {
+			yield()
+			spins = 0
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import "cuckoohash/internal/hashfn"
+
+// GrowIfFull grows the table only if it is still nearly full, so that
+// several writers reacting to the same ErrFull trigger exactly one
+// doubling instead of one each (the loser of the race sees the halved
+// load factor and skips). It reports whether a grow happened.
+func (t *Table) GrowIfFull() (bool, error) {
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	if t.LoadFactor() <= 0.85 {
+		return false, nil
+	}
+	return true, t.growLocked()
+}
+
+// Grow doubles the table's bucket count and rehashes every item. The paper
+// leaves expansion as a scheduled offline process ("the hash table is
+// considered too full ... and an expansion process is scheduled", §4.1);
+// this implementation performs it online by taking every stripe lock, which
+// excludes all writers and forces all optimistic readers to retry across
+// the swap. Concurrent operations block for the duration.
+func (t *Table) Grow() error {
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	return t.growLocked()
+}
+
+// growLocked is Grow with growMu already held.
+func (t *Table) growLocked() error {
+	old := t.arr.Load()
+	newBuckets := old.buckets * 2
+	for {
+		next := t.newArrays(newBuckets)
+		if t.opts.Locking == LockGlobal {
+			t.global.Lock()
+		}
+		t.stripe.LockAll()
+		ok := t.rehashInto(old, next)
+		if ok {
+			t.arr.Store(next)
+		}
+		t.stripe.UnlockAll()
+		if t.opts.Locking == LockGlobal {
+			t.global.Unlock()
+		}
+		if ok {
+			return nil
+		}
+		// Pathological hash clustering: double again. With a sound hash
+		// this never recurses more than once.
+		newBuckets *= 2
+	}
+}
+
+// rehashInto replays every occupied slot of old into next. The caller holds
+// every stripe lock, so placement can run lock-free and unvalidated.
+func (t *Table) rehashInto(old, next *arrays) bool {
+	sc := t.scratch.Get().(*searchScratch)
+	defer t.scratch.Put(sc)
+	val := make([]uint64, t.vw)
+	for b := uint64(0); b < old.buckets; b++ {
+		occ := old.loadOcc(b)
+		for s := 0; occ != 0; s, occ = s+1, occ>>1 {
+			if occ&1 == 0 {
+				continue
+			}
+			i := old.slotIdx(b, s, t.assoc)
+			old.copyValOut(i, t.vw, val)
+			if !t.placeDirect(next, sc, old.loadKey(i), val) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// placeDirect inserts into arr assuming exclusive access (expansion or
+// single-threaded bulk load): no locks, no path validation.
+func (t *Table) placeDirect(arr *arrays, sc *searchScratch, key uint64, val []uint64) bool {
+	b1, b2 := hashfn.TwoBuckets(t.hash(key), arr.buckets)
+	if s, ok := freeSlot(arr.loadOcc(b1), int(t.assoc)); ok {
+		t.placeAt(arr, b1, s, key, val)
+		return true
+	}
+	if s, ok := freeSlot(arr.loadOcc(b2), int(t.assoc)); ok {
+		t.placeAt(arr, b2, s, key, val)
+		return true
+	}
+	path, st := t.search(arr, sc, b1, b2)
+	if st != searchFound {
+		// Exclusive access: searchStale is impossible, so this means full.
+		return false
+	}
+	for i := len(path) - 2; i >= 0; i-- {
+		src, dst := path[i], path[i+1]
+		arr.moveSlot(arr.slotIdx(src.bucket, src.slot, t.assoc), arr.slotIdx(dst.bucket, dst.slot, t.assoc), t.vw)
+		arr.setOcc(dst.bucket, dst.slot)
+		arr.clearOcc(src.bucket, src.slot)
+	}
+	t.placeAt(arr, path[0].bucket, path[0].slot, key, val)
+	return true
+}
+
+// placeAt writes a slot without touching the size counter (rehash preserves
+// the count).
+func (t *Table) placeAt(arr *arrays, b uint64, s int, key uint64, val []uint64) {
+	i := arr.slotIdx(b, s, t.assoc)
+	arr.storeKey(i, key)
+	arr.storeVal(i, t.vw, val)
+	arr.setOcc(b, s)
+}
+
+// Range calls fn for every key/value pair until fn returns false. It takes
+// every stripe lock for the duration, so it observes a consistent snapshot
+// but blocks all writers; readers continue (and retry) across it. The value
+// slice passed to fn is reused between calls.
+func (t *Table) Range(fn func(key uint64, val []uint64) bool) {
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	if t.opts.Locking == LockGlobal {
+		t.global.Lock()
+		defer t.global.Unlock()
+	}
+	t.stripe.LockAll()
+	defer t.stripe.UnlockAll()
+
+	arr := t.arr.Load()
+	val := make([]uint64, t.vw)
+	for b := uint64(0); b < arr.buckets; b++ {
+		occ := arr.loadOcc(b)
+		for s := 0; occ != 0; s, occ = s+1, occ>>1 {
+			if occ&1 == 0 {
+				continue
+			}
+			i := arr.slotIdx(b, s, t.assoc)
+			arr.copyValOut(i, t.vw, val)
+			if !fn(arr.loadKey(i), val) {
+				return
+			}
+		}
+	}
+}
+
+// Clear removes every entry while retaining capacity, holding every stripe
+// lock for the duration.
+func (t *Table) Clear() {
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	if t.opts.Locking == LockGlobal {
+		t.global.Lock()
+		defer t.global.Unlock()
+	}
+	t.stripe.LockAll()
+	defer t.stripe.UnlockAll()
+	arr := t.arr.Load()
+	for b := uint64(0); b < arr.buckets; b++ {
+		arr.occ[b].Store(0)
+	}
+	for i := range t.size.shards {
+		t.size.shards[i].v.Store(0)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	base := Defaults(1 << 10)
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+		errSub string
+	}{
+		{"zero buckets", func(o *Options) { o.Buckets = 0 }, "Buckets"},
+		{"non-pow2 buckets", func(o *Options) { o.Buckets = 100 }, "Buckets"},
+		{"assoc 0", func(o *Options) { o.Assoc = 0 }, "Assoc"},
+		{"assoc 33", func(o *Options) { o.Assoc = 33 }, "Assoc"},
+		{"value words 0", func(o *Options) { o.ValueWords = 0 }, "ValueWords"},
+		{"stripes 0", func(o *Options) { o.Stripes = 0 }, "Stripes"},
+		{"stripes non-pow2", func(o *Options) { o.Stripes = 100 }, "Stripes"},
+		{"tiny search budget", func(o *Options) { o.MaxSearchSlots = 1 }, "MaxSearchSlots"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := base
+			c.mutate(&o)
+			_, err := NewTable(o)
+			if err == nil || !strings.Contains(err.Error(), c.errSub) {
+				t.Fatalf("err = %v, want mention of %s", err, c.errSub)
+			}
+			_, err = NewTxTable(o, 0, defaultHTMConfigForTest())
+			if err == nil {
+				t.Fatal("TxTable accepted invalid options")
+			}
+		})
+	}
+}
+
+func TestMustNewTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewTable did not panic on bad options")
+		}
+	}()
+	MustNewTable(Options{})
+}
+
+func TestDefaultsShape(t *testing.T) {
+	for _, slots := range []uint64{1, 100, 1 << 10, 1<<20 + 1} {
+		o := Defaults(slots)
+		if err := o.validate(); err != nil {
+			t.Fatalf("Defaults(%d) invalid: %v", slots, err)
+		}
+		if o.Buckets*uint64(o.Assoc) < slots {
+			t.Fatalf("Defaults(%d) provisions only %d slots", slots, o.Buckets*uint64(o.Assoc))
+		}
+	}
+}
+
+func TestMaxBFSPathLenTable(t *testing.T) {
+	// The values the paper quotes: B=4, M=2000 -> 5; and our defaults
+	// B=8, M=2000 -> 4.
+	cases := []struct{ b, m, want int }{
+		{4, 2000, 5},
+		{8, 2000, 4},
+		{16, 2000, 3},
+		{2, 2000, 9},
+		{1, 10, 5}, // degenerate: chain of m/2
+	}
+	for _, c := range cases {
+		if got := MaxBFSPathLen(c.b, c.m); got != c.want {
+			t.Errorf("MaxBFSPathLen(%d,%d) = %d, want %d", c.b, c.m, got, c.want)
+		}
+	}
+}

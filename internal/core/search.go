@@ -1,0 +1,252 @@
+package core
+
+import (
+	"cuckoohash/internal/hashfn"
+)
+
+// pathEntry is one hop of a cuckoo path. For i < len(path)-1, the key
+// expected at (path[i].bucket, path[i].slot) will be displaced into
+// (path[i+1].bucket, path[i+1].slot). The final entry names the empty slot
+// discovered by the search, and path[0] is the slot that ends up free for
+// the new key (in one of its two candidate buckets).
+type pathEntry struct {
+	bucket uint64
+	slot   int
+	key    uint64 // key observed at (bucket, slot) during search; 0 for the terminal hole
+}
+
+// bfsNode is one frontier entry of the breadth-first search over the cuckoo
+// graph. Following libcuckoo's b_slot, the node does not store its parent
+// chain or the keys along it: the whole root-to-node slot sequence is packed
+// into pathcode (base-B digits, root id in the most significant position)
+// and decoded only for the single node that finds an empty slot. This keeps
+// frontier entries at 16 bytes, which matters because BFS enqueues B
+// children per full bucket it examines — with fat nodes the queue traffic
+// would cost as much as the displacements BFS saves (§4.3.2).
+type bfsNode struct {
+	bucket   uint64
+	pathcode uint32
+	depth    int8
+}
+
+// decodePath extracts the root id (0 for b1, 1 for b2) and the slot chosen
+// at each of depth levels, earliest hop first.
+func (n bfsNode) decodePath(assoc uint64, slots []int) (root uint32) {
+	code := n.pathcode
+	for i := int(n.depth) - 1; i >= 0; i-- {
+		slots[i] = int(code % uint32(assoc))
+		code /= uint32(assoc)
+	}
+	return code
+}
+
+// searchScratch holds the per-insert search state. It is pooled: BFS over a
+// 2000-slot budget needs a frontier of up to ~M nodes, far too large to
+// allocate per operation.
+type searchScratch struct {
+	nodes []bfsNode
+	path  []pathEntry
+	slots []int  // decoded slot sequence, maxPath entries
+	rng   uint64 // xorshift64 state for DFS victim selection
+}
+
+func newSearchScratch(maxSlots, assoc int) *searchScratch {
+	maxPath := MaxBFSPathLen(assoc, maxSlots) + 2
+	// DFS keeps two walks in the same buffer: half each, plus terminators.
+	if dfsMax := 2*(maxSlots/(2*assoc)) + 4; dfsMax > maxPath {
+		maxPath = dfsMax
+	}
+	return &searchScratch{
+		nodes: make([]bfsNode, 0, maxSlots+2),
+		path:  make([]pathEntry, 0, maxPath),
+		slots: make([]int, maxPath),
+		rng:   0x853C49E6748FEA9B,
+	}
+}
+
+func (sc *searchScratch) nextRand() uint64 {
+	x := sc.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	sc.rng = x
+	return x
+}
+
+// searchStatus is the outcome of a path search.
+type searchStatus int
+
+const (
+	// searchFound: a path to an empty slot was discovered.
+	searchFound searchStatus = iota
+	// searchFull: the budget was exhausted without finding an empty slot;
+	// the table is effectively full.
+	searchFull
+	// searchStale: a concurrent writer invalidated the observation before
+	// the path could be reconstructed; the caller should restart (it is a
+	// path invalidation that happened during search rather than execution).
+	searchStale
+)
+
+// search discovers a cuckoo path from buckets b1/b2 to an empty slot with
+// no locks held. The returned slice is backed by sc and valid until the
+// scratch is reused.
+func (t *Table) search(arr *arrays, sc *searchScratch, b1, b2 uint64) ([]pathEntry, searchStatus) {
+	t.stats.searches.add(b1, 1)
+	if t.opts.Search == SearchDFS {
+		return t.searchDFS(arr, sc, b1, b2)
+	}
+	return t.searchBFS(arr, sc, b1, b2)
+}
+
+// searchBFS is the paper's breadth-first search (§4.3.2): every slot of the
+// frontier bucket extends its own candidate path, so the first empty slot
+// found is at minimum displacement depth, bounded by Eq. 2.
+//
+// All bucket reads here are unlocked and optimistic; a stale observation
+// simply produces a path that fails validation during execution (§4.3.1).
+func (t *Table) searchBFS(arr *arrays, sc *searchScratch, b1, b2 uint64) ([]pathEntry, searchStatus) {
+	nodes := sc.nodes[:0]
+	nodes = append(nodes,
+		bfsNode{bucket: b1, pathcode: 0},
+		bfsNode{bucket: b2, pathcode: 1},
+	)
+	assoc := int(t.assoc)
+	budget := t.opts.MaxSearchSlots
+	slotsExamined := 0
+
+	for qi := 0; qi < len(nodes) && slotsExamined < budget; qi++ {
+		if t.opts.Prefetch && qi+1 < len(nodes) {
+			// Emulated prefetch: touch the next frontier bucket so its
+			// lines are warm when we examine it (see DESIGN.md §2).
+			prefetchBucket(arr, nodes[qi+1].bucket, t.assoc)
+		}
+		n := nodes[qi]
+		occ := arr.loadOcc(n.bucket)
+		slotsExamined += assoc
+		if s, ok := freeSlot(occ, assoc); ok {
+			sc.nodes = nodes
+			if path, ok := t.buildPath(arr, sc, n, b1, b2, s); ok {
+				return path, searchFound
+			}
+			return nil, searchStale
+		}
+		// Bucket full: each of its keys extends a candidate path to its
+		// alternate bucket.
+		if len(nodes)+assoc > cap(nodes) {
+			continue
+		}
+		base := n.bucket * t.assoc
+		childCode := n.pathcode * uint32(assoc)
+		childDepth := n.depth + 1
+		for s := 0; s < assoc; s++ {
+			k := arr.loadKey(base + uint64(s))
+			alt := hashfn.AltBucket(t.hash(k), arr.buckets, n.bucket)
+			nodes = append(nodes, bfsNode{
+				bucket:   alt,
+				pathcode: childCode + uint32(s),
+				depth:    childDepth,
+			})
+		}
+	}
+	sc.nodes = nodes
+	return nil, searchFull
+}
+
+// buildPath reconstructs the cuckoo path for the node that found free slot
+// s by decoding its pathcode and re-walking the bucket chain from the root,
+// re-reading the key at each hop. The table may have changed since the node
+// was enqueued; a divergent walk just yields a path that fails validation
+// during execution, exactly like any other stale observation.
+func (t *Table) buildPath(arr *arrays, sc *searchScratch, n bfsNode, b1, b2 uint64, s int) ([]pathEntry, bool) {
+	root := n.decodePath(t.assoc, sc.slots)
+	bucket := b1
+	if root == 1 {
+		bucket = b2
+	}
+	path := sc.path[:0]
+	for i := 0; i < int(n.depth); i++ {
+		slot := sc.slots[i]
+		k := arr.loadKey(bucket*t.assoc + uint64(slot))
+		path = append(path, pathEntry{bucket: bucket, slot: slot, key: k})
+		bucket = hashfn.AltBucket(t.hash(k), arr.buckets, bucket)
+	}
+	// The walked chain must end at the bucket whose free slot we found; if
+	// a concurrent writer moved a key along the chain it may not. Report
+	// failure so the caller restarts the search rather than executing a
+	// path into the wrong bucket.
+	if bucket != n.bucket {
+		sc.path = path
+		return nil, false
+	}
+	path = append(path, pathEntry{bucket: bucket, slot: s})
+	sc.path = path
+	return path, true
+}
+
+// searchDFS is the MemC3-style two-way random-walk search: two candidate
+// paths (one per candidate bucket) are extended alternately by kicking a
+// random victim, completing when either reaches a bucket with an empty
+// slot. It is retained as the factor-analysis baseline (§4.3.2, Fig. 5).
+func (t *Table) searchDFS(arr *arrays, sc *searchScratch, b1, b2 uint64) ([]pathEntry, searchStatus) {
+	assoc := int(t.assoc)
+	budget := t.opts.MaxSearchSlots
+	maxLen := budget / (2 * assoc)
+	if maxLen < 1 {
+		maxLen = 1
+	}
+
+	// Two independent walks; entries stored interleaved in two halves of
+	// the scratch path buffer would complicate things, so keep two small
+	// local slices backed by the scratch array split in half.
+	buf := sc.path[:0]
+	if cap(buf) < 2*maxLen+2 {
+		buf = make([]pathEntry, 0, 2*maxLen+2)
+	}
+	pathA := buf[0 : 0 : maxLen+1]                     // first half
+	pathB := buf[maxLen+1 : maxLen+1 : 2*maxLen+2][:0] // second half
+	curA, curB := b1, b2
+	slotsExamined := 0
+
+	for slotsExamined < budget {
+		if len(pathA) > maxLen && len(pathB) > maxLen {
+			return nil, searchFull
+		}
+		for w := 0; w < 2; w++ {
+			cur := curA
+			path := &pathA
+			if w == 1 {
+				cur = curB
+				path = &pathB
+			}
+			if len(*path) > maxLen {
+				continue
+			}
+			occ := arr.loadOcc(cur)
+			slotsExamined += assoc
+			if s, ok := freeSlot(occ, assoc); ok {
+				*path = append(*path, pathEntry{bucket: cur, slot: s})
+				return *path, searchFound
+			}
+			// Kick a random victim to its alternate bucket.
+			s := int(sc.nextRand() % uint64(assoc))
+			k := arr.loadKey(cur*t.assoc + uint64(s))
+			*path = append(*path, pathEntry{bucket: cur, slot: s, key: k})
+			next := hashfn.AltBucket(t.hash(k), arr.buckets, cur)
+			if w == 0 {
+				curA = next
+			} else {
+				curB = next
+			}
+		}
+	}
+	return nil, searchFull
+}
+
+// prefetchBucket warms the cache lines of bucket b. Go has no portable
+// prefetch intrinsic; an early read has the same overlap effect for the BFS
+// schedule (the value is deliberately discarded).
+func prefetchBucket(arr *arrays, b uint64, assoc uint64) {
+	_ = arr.loadKey(b * assoc)
+	_ = arr.loadOcc(b)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+func runtimeGosched() { runtime.Gosched() }
+
+// shardedCounter is a write-mostly counter sharded across padded cache
+// lines so that concurrent writers on different buckets never contend
+// (principle P1). Shard selection keys off the bucket index, which is
+// already in hand at every call site.
+type shardedCounter struct {
+	shards [64]paddedInt64
+}
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+func (c *shardedCounter) add(bucket uint64, delta int64) {
+	c.shards[bucket&63].v.Add(delta)
+}
+
+func (c *shardedCounter) total() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+func (c *shardedCounter) reset() {
+	for i := range c.shards {
+		c.shards[i].v.Store(0)
+	}
+}
+
+// tableStats aggregates the operational counters the evaluation inspects.
+type tableStats struct {
+	searches      shardedCounter // path searches started
+	displacements shardedCounter // successful item displacements
+	restarts      shardedCounter // inserts restarted due to invalid paths (Eq. 1)
+	maxPathLen    atomicMax      // longest cuckoo path discovered (Eq. 2)
+}
+
+// atomicMax is a monotonic maximum; updated once per successful path
+// search, so a plain CAS loop is cheap enough.
+type atomicMax struct {
+	v atomic.Uint64
+}
+
+func (m *atomicMax) observe(x uint64) {
+	for {
+		cur := m.v.Load()
+		if x <= cur || m.v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// Stats is a snapshot of a table's operational counters.
+type Stats struct {
+	// Searches is the number of cuckoo-path searches performed (slow-path
+	// inserts).
+	Searches uint64
+	// Displacements is the number of item moves executed along cuckoo
+	// paths.
+	Displacements uint64
+	// PathRestarts counts inserts whose discovered path was invalidated by
+	// a concurrent writer before execution completed; Eq. 1 predicts how
+	// rare this is.
+	PathRestarts uint64
+	// MaxPathLen is the longest cuckoo path (in displacements) any search
+	// discovered; Eq. 2 bounds it for BFS.
+	MaxPathLen uint64
+}
+
+// Stats returns a snapshot of the table's counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Searches:      uint64(t.stats.searches.total()),
+		Displacements: uint64(t.stats.displacements.total()),
+		PathRestarts:  uint64(t.stats.restarts.total()),
+		MaxPathLen:    t.stats.maxPathLen.v.Load(),
+	}
+}
+
+// ResetStats zeroes the table's counters (not its contents).
+func (t *Table) ResetStats() {
+	t.stats.searches.reset()
+	t.stats.displacements.reset()
+	t.stats.restarts.reset()
+	t.stats.maxPathLen.v.Store(0)
+}

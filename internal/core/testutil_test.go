@@ -1,0 +1,9 @@
+package core
+
+import "cuckoohash/internal/htm"
+
+// defaultHTMConfigForTest keeps htm.DefaultConfig out of individual test
+// call sites so capacity-limit tweaks stay in one place.
+func defaultHTMConfigForTest() htm.Config {
+	return htm.DefaultConfig()
+}

@@ -1,0 +1,153 @@
+// Package hashfn provides the hash functions used by the cuckoo hash tables.
+//
+// The package implements xxHash64 (for byte-string keys) and the splitmix64 /
+// Stafford "mix13" finalizers (for fixed 64-bit integer keys), plus the
+// derivation of the two candidate bucket indices that cuckoo hashing needs.
+// Everything here is pure computation with no allocation, so that hashing
+// never shows up as GC pressure in the table fast paths.
+package hashfn
+
+import "math/bits"
+
+// xxHash64 prime constants, from the xxHash specification.
+const (
+	prime64x1 = 0x9E3779B185EBCA87
+	prime64x2 = 0xC2B2AE3D27D4EB4F
+	prime64x3 = 0x165667B19E3779F9
+	prime64x4 = 0x85EBCA77C2B2AE63
+	prime64x5 = 0x27D4EB2F165667C5
+)
+
+// XXHash64 returns the 64-bit xxHash of b with the given seed.
+func XXHash64(b []byte, seed uint64) uint64 {
+	n := len(b)
+	var h uint64
+
+	if n >= 32 {
+		v1 := seed + prime64x1 + prime64x2
+		v2 := seed + prime64x2
+		v3 := seed
+		v4 := seed - prime64x1
+		for len(b) >= 32 {
+			v1 = round64(v1, le64(b))
+			v2 = round64(v2, le64(b[8:]))
+			v3 = round64(v3, le64(b[16:]))
+			v4 = round64(v4, le64(b[24:]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound64(h, v1)
+		h = mergeRound64(h, v2)
+		h = mergeRound64(h, v3)
+		h = mergeRound64(h, v4)
+	} else {
+		h = seed + prime64x5
+	}
+
+	h += uint64(n)
+
+	for len(b) >= 8 {
+		h ^= round64(0, le64(b))
+		h = bits.RotateLeft64(h, 27)*prime64x1 + prime64x4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(le32(b)) * prime64x1
+		h = bits.RotateLeft64(h, 23)*prime64x2 + prime64x3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime64x5
+		h = bits.RotateLeft64(h, 11) * prime64x1
+	}
+
+	h ^= h >> 33
+	h *= prime64x2
+	h ^= h >> 29
+	h *= prime64x3
+	h ^= h >> 32
+	return h
+}
+
+func round64(acc, input uint64) uint64 {
+	acc += input * prime64x2
+	acc = bits.RotateLeft64(acc, 31)
+	return acc * prime64x1
+}
+
+func mergeRound64(acc, val uint64) uint64 {
+	val = round64(0, val)
+	acc ^= val
+	return acc*prime64x1 + prime64x4
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// SplitMix64 advances the splitmix64 sequence from x and returns the next
+// output. It doubles as a strong 64-bit finalizer: SplitMix64(k) is a
+// bijective scramble of k suitable for hashing fixed-width integer keys.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Mix13 is David Stafford's "mix13" variant of the murmur3 finalizer, a
+// bijection on 64-bit values with excellent avalanche behaviour. It is the
+// default integer-key hash for the cuckoo tables.
+func Mix13(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Uint64 hashes a fixed 64-bit key with a seed. The seed is folded in before
+// finalization so that distinct tables see independent hash functions.
+func Uint64(key, seed uint64) uint64 {
+	return Mix13(key ^ (seed * prime64x1))
+}
+
+// TwoBuckets derives the two candidate bucket indices for a key from its
+// 64-bit hash. numBuckets must be a power of two.
+//
+// The first index uses the low half of the hash. The second is derived by
+// remixing the high half; the two halves of a well-mixed 64-bit hash are
+// effectively independent, so this matches the "two hash functions" of the
+// paper (§4.1) with a single hash computation. The derivation guarantees
+// b1 != b2 whenever numBuckets > 1 by flipping the lowest bit if the remix
+// collides, so every key always has two distinct buckets to live in.
+func TwoBuckets(hash uint64, numBuckets uint64) (b1, b2 uint64) {
+	mask := numBuckets - 1
+	b1 = hash & mask
+	b2 = (hash >> 32) * prime64x2 >> 32 & mask // remix the high half
+	if b2 == b1 {
+		b2 = (b2 ^ 1) & mask
+	}
+	return b1, b2
+}
+
+// AltBucket returns the other candidate bucket for a key given one of its
+// two buckets. It recomputes both candidates from the hash; callers use it
+// during cuckoo displacement when only the currently-occupied bucket is
+// known.
+func AltBucket(hash uint64, numBuckets, bucket uint64) uint64 {
+	b1, b2 := TwoBuckets(hash, numBuckets)
+	if bucket == b1 {
+		return b2
+	}
+	return b1
+}

@@ -1,0 +1,151 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+
+	"cuckoohash/internal/workload"
+)
+
+// TestBankTransfers is the classic STM stress test: concurrent transfers
+// between accounts must conserve the total balance under every policy, and
+// concurrent read-only audits must always observe the conserved total.
+func TestBankTransfers(t *testing.T) {
+	const accounts = 32
+	const initial = 1000
+	for _, p := range []Policy{PolicyGlibc, PolicyTuned} {
+		t.Run(p.String(), func(t *testing.T) {
+			// One account per line so transfers conflict only pairwise.
+			r := newTestRegion(accounts * 8)
+			for i := 0; i < accounts; i++ {
+				r.Words()[i*8] = initial
+			}
+
+			const transferors = 4
+			const transfersEach = 5000
+			var wg sync.WaitGroup
+			for g := 0; g < transferors; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rnd := workload.NewRand(uint64(g) + 1)
+					for n := 0; n < transfersEach; n++ {
+						from := uint32(rnd.Intn(accounts)) * 8
+						to := uint32(rnd.Intn(accounts)) * 8
+						if from == to {
+							continue
+						}
+						amount := rnd.Intn(10) + 1
+						err := r.RunElided(p, func(tx *Txn) error {
+							bal := tx.Load(from)
+							if bal < amount {
+								return nil // insufficient funds; still commits (reads only)
+							}
+							tx.Store(from, bal-amount)
+							tx.Store(to, tx.Load(to)+amount)
+							return nil
+						})
+						if err != nil {
+							t.Errorf("transfer: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			// Auditors run concurrently and must always see conservation.
+			stop := make(chan struct{})
+			var audit sync.WaitGroup
+			audit.Add(1)
+			go func() {
+				defer audit.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var total uint64
+					err := r.RunElided(p, func(tx *Txn) error {
+						total = 0
+						for i := uint32(0); i < accounts; i++ {
+							total += tx.Load(i * 8)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Errorf("audit: %v", err)
+						return
+					}
+					if total != accounts*initial {
+						t.Errorf("audit saw total %d, want %d", total, accounts*initial)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			audit.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+			var total uint64
+			for i := 0; i < accounts; i++ {
+				total += r.Words()[i*8]
+			}
+			if total != accounts*initial {
+				t.Fatalf("final total %d, want %d", total, accounts*initial)
+			}
+		})
+	}
+}
+
+// TestTxnReuseAcrossRuns verifies pooled transactions reset cleanly: a
+// capacity abort must not poison the next activation of the same Txn.
+func TestTxnReuseAcrossRuns(t *testing.T) {
+	r := NewRegion(1024, Config{ReadLines: 4, WriteLines: 2})
+	// Exceed capacity (aborts)...
+	_, committed, code := r.Run(func(tx *Txn) error {
+		for i := uint32(0); i < 8; i++ {
+			tx.Store(i*8, 1)
+		}
+		return nil
+	})
+	if committed || code&AbortCapacity == 0 {
+		t.Fatalf("want capacity abort, got %v/%v", committed, code)
+	}
+	// ...then a small transaction from the pool must succeed.
+	for i := 0; i < 10; i++ {
+		err, committed, _ := r.Run(func(tx *Txn) error {
+			tx.Store(0, tx.Load(0)+1)
+			return nil
+		})
+		if err != nil || !committed {
+			t.Fatalf("iteration %d: %v/%v", i, err, committed)
+		}
+	}
+	if r.Words()[0] != 10 {
+		t.Fatalf("mem[0] = %d", r.Words()[0])
+	}
+}
+
+// TestFootprintAccounting verifies the per-commit read/write line totals.
+func TestFootprintAccounting(t *testing.T) {
+	r := newTestRegion(1024)
+	_, committed, _ := r.Run(func(tx *Txn) error {
+		tx.Load(0)       // line 0 read
+		tx.Load(64)      // line 8 read
+		tx.Store(128, 1) // line 16 write (not previously read)
+		return nil
+	})
+	if !committed {
+		t.Fatal("commit failed")
+	}
+	s := r.Stats()
+	if s.ReadLines != 2 || s.WriteLines != 1 {
+		t.Fatalf("footprint = %d read / %d write lines, want 2/1", s.ReadLines, s.WriteLines)
+	}
+	rd, wr := s.AvgFootprint()
+	if rd != 2 || wr != 1 {
+		t.Fatalf("AvgFootprint = %v/%v", rd, wr)
+	}
+}

@@ -1,0 +1,146 @@
+package htm
+
+// Policy selects a lock-elision retry strategy (Appendix A of the paper).
+type Policy int
+
+const (
+	// PolicyNone never speculates: every execution takes the fallback lock.
+	// This is the "global pthread lock" configuration of §2.3.
+	PolicyNone Policy = iota
+	// PolicyGlibc models the released glibc TSX lock elision: retry a small
+	// number of times, but only while the abort status has the retry bit
+	// set; any abort without it (capacity, explicit lock-busy) takes the
+	// fallback lock immediately. The paper observes this "takes the fallback
+	// lock too frequently", serializing all concurrent transactions.
+	PolicyGlibc
+	// PolicyTuned models the paper's TSX* wrapper (Figure 11): retry more
+	// aggressively, tolerate a bounded number of no-retry-bit aborts, and
+	// when the fallback lock is busy, wait for it to become free before
+	// re-speculating instead of giving up.
+	PolicyTuned
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "lock"
+	case PolicyGlibc:
+		return "tsx-glibc"
+	case PolicyTuned:
+		return "tsx*"
+	default:
+		return "unknown"
+	}
+}
+
+// Retry limits. glibc's elision uses 3 retries gated on the retry bit; the
+// TSX* wrapper of Figure 11 uses a larger transactional-retry budget plus a
+// separate small budget for aborts whose status claims a retry is hopeless
+// (the paper found such transactions often succeed anyway).
+const (
+	glibcMaxRetry  = 3
+	tunedMaxXbegin = 8
+	tunedMaxAbort  = 4
+)
+
+// RunElided executes fn under lock elision with the given policy: first
+// speculatively as transactions subscribed to the region's fallback lock,
+// then, if the policy gives up, serialized under the fallback lock itself.
+// The returned error is fn's logical result (e.g. ErrFull from a table
+// insert); concurrency control never surfaces as an error.
+func (r *Region) RunElided(policy Policy, fn func(tx *Txn) error) error {
+	switch policy {
+	case PolicyNone:
+		return r.RunFallback(fn)
+	case PolicyGlibc:
+		return r.runGlibc(fn)
+	case PolicyTuned:
+		return r.runTuned(fn)
+	default:
+		panic("htm: unknown elision policy")
+	}
+}
+
+// elidedBody wraps fn with the fallback-lock subscription that makes
+// speculation and the fallback path mutually exclusive.
+func elidedBody(fn func(tx *Txn) error) func(tx *Txn) error {
+	return func(tx *Txn) error {
+		tx.SubscribeFallback()
+		return fn(tx)
+	}
+}
+
+func (r *Region) runGlibc(fn func(tx *Txn) error) error {
+	tx := r.txPool.Get().(*Txn)
+	defer r.txPool.Put(tx)
+	body := elidedBody(fn)
+	for attempt := 0; attempt < glibcMaxRetry; attempt++ {
+		err, committed, code := r.runOnce(tx, body)
+		if committed {
+			return err
+		}
+		if code&AbortRetry == 0 {
+			// No retry hint: glibc falls back immediately.
+			break
+		}
+	}
+	return r.runFallbackPooled(tx, fn)
+}
+
+func (r *Region) runTuned(fn func(tx *Txn) error) error {
+	tx := r.txPool.Get().(*Txn)
+	defer r.txPool.Put(tx)
+	body := elidedBody(fn)
+	abortRetry := 0
+	for xbeginRetry := 0; xbeginRetry < tunedMaxXbegin; xbeginRetry++ {
+		// Re-speculating while the fallback lock is held always aborts;
+		// wait for the holder to finish first (the "aggressive elision"
+		// part of TSX*).
+		for spins := 0; r.FallbackLocked(); spins++ {
+			if spins >= 64 {
+				yield()
+				spins = 0
+			}
+		}
+		err, committed, code := r.runOnce(tx, body)
+		if committed {
+			return err
+		}
+		if code&AbortRetry == 0 && code&AbortLockBusy == 0 {
+			// The status says a retry cannot succeed. The paper found this
+			// is often wrong, so TSX* tolerates a few such aborts before
+			// giving up.
+			if abortRetry >= tunedMaxAbort {
+				break
+			}
+			abortRetry++
+		}
+	}
+	return r.runFallbackPooled(tx, fn)
+}
+
+// RunFallback executes fn directly under the region's fallback lock,
+// aborting all in-flight transactions that subscribed to it.
+func (r *Region) RunFallback(fn func(tx *Txn) error) error {
+	tx := r.txPool.Get().(*Txn)
+	defer r.txPool.Put(tx)
+	return r.runFallbackPooled(tx, fn)
+}
+
+func (r *Region) runFallbackPooled(tx *Txn, fn func(tx *Txn) error) error {
+	r.lockFallback()
+	defer r.unlockFallback()
+	// Quiesce: every speculative transaction that started before we took
+	// the lock will fail its commit validation (the fallback word moved) or
+	// abort at its next access; wait for them to finish rolling back before
+	// writing memory directly, since their undo logs restore old values.
+	for spins := 0; r.active.Load() != 0; spins++ {
+		if spins >= 64 {
+			yield()
+			spins = 0
+		}
+	}
+	r.counters[tx.id&63].fallbacks.Add(1)
+	tx.begin(true)
+	return fn(tx)
+}

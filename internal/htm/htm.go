@@ -1,0 +1,107 @@
+// Package htm is a software emulation of Intel's Restricted Transactional
+// Memory (RTM/TSX), the hardware feature the paper evaluates in §2.3, §5 and
+// Appendix A. Real RTM is unavailable from Go (and from most machines), so
+// this package reproduces its *behavioural model* in software:
+//
+//   - A Region owns a flat word-addressed memory arena. Data structures that
+//     want transactional access allocate their state inside the arena and
+//     access it through a Txn.
+//   - Transactions track read- and write-sets at 64-byte "cache line"
+//     granularity, exactly the conflict-detection granularity of Haswell's
+//     L1-based implementation.
+//   - Writes are performed in place under per-line versioned locks with an
+//     undo log (eager versioning). A conflicting access aborts one of the
+//     transactions rather than waiting.
+//   - Capacity is limited: transactions whose read- or write-set exceeds the
+//     configured line budget abort with AbortCapacity and will never succeed
+//     on retry, mirroring the L1-capacity aborts of real hardware ("current
+//     implementations can track only 16KB of data", §5).
+//   - Aborts surface status bits modelled on the RTM EAX abort codes, and the
+//     lock-elision wrappers (RunElided) implement both the released glibc
+//     retry policy and the paper's tuned "TSX*" policy from Appendix A.
+//
+// What carries over from real hardware: the relative dynamics — short
+// transactions with small footprints commit concurrently; long transactions
+// conflict and fall back to the serializing lock; the fallback lock aborts
+// every in-flight transaction that subscribed to it; a retry policy tuned
+// for short transactions beats the generic one. What does not carry over:
+// absolute per-transaction overhead (software instrumentation is much more
+// expensive than hardware speculation). The benchmark harness therefore
+// compares shapes and ratios, not absolute Mops (see DESIGN.md §2).
+package htm
+
+import "fmt"
+
+// AbortCode is a bitmask of abort causes, modelled on the RTM EAX abort
+// status bits (Intel SDM Vol. 1 §16.3.5).
+type AbortCode uint32
+
+const (
+	// AbortExplicit is set when the transaction executed XABORT (the table
+	// code requested an abort, e.g. because the elision wrapper found the
+	// fallback lock busy).
+	AbortExplicit AbortCode = 1 << 0
+	// AbortRetry is set when the transaction may succeed on a retry. The
+	// hardware leaves it clear for capacity overflows; conflicts usually set
+	// it.
+	AbortRetry AbortCode = 1 << 1
+	// AbortConflict is set when another logical processor conflicted with a
+	// line in the transaction's read- or write-set.
+	AbortConflict AbortCode = 1 << 2
+	// AbortCapacity is set when the transaction's footprint exceeded the
+	// line budget of the emulated L1.
+	AbortCapacity AbortCode = 1 << 3
+	// AbortLockBusy is the explicit-abort argument used by the elision
+	// wrappers when the fallback lock is held at transaction start. It
+	// occupies the XABORT-argument byte in real implementations; here it is
+	// folded into the code for observability.
+	AbortLockBusy AbortCode = 1 << 8
+)
+
+func (c AbortCode) String() string {
+	if c == 0 {
+		return "none"
+	}
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += "|"
+		}
+		s += name
+	}
+	if c&AbortExplicit != 0 {
+		add("explicit")
+	}
+	if c&AbortRetry != 0 {
+		add("retry")
+	}
+	if c&AbortConflict != 0 {
+		add("conflict")
+	}
+	if c&AbortCapacity != 0 {
+		add("capacity")
+	}
+	if c&AbortLockBusy != 0 {
+		add("lock-busy")
+	}
+	return s
+}
+
+// txAbort is the panic payload used to unwind a speculative transaction.
+// Using panic/recover keeps the instrumented data-structure code free of
+// per-access error plumbing; the unwind cost is paid only on the abort path,
+// which is the slow path by construction.
+type txAbort struct {
+	code AbortCode
+}
+
+func (a txAbort) String() string {
+	return fmt.Sprintf("transaction abort: %s", a.code)
+}
+
+// wordsPerLine is the emulated cache-line size in 8-byte words. 8 words ==
+// 64 bytes, the line size of every x86 part the paper considers.
+const wordsPerLine = 8
+
+// lineShift converts a word address to a line index.
+const lineShift = 3

@@ -1,0 +1,259 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+)
+
+func newTestRegion(words int) *Region {
+	return NewRegion(words, DefaultConfig())
+}
+
+func TestSingleTransactionCommit(t *testing.T) {
+	r := newTestRegion(64)
+	err, committed, code := r.Run(func(tx *Txn) error {
+		tx.Store(0, 42)
+		tx.Store(63, 7)
+		return nil
+	})
+	if err != nil || !committed || code != 0 {
+		t.Fatalf("Run = %v,%v,%v", err, committed, code)
+	}
+	if r.Words()[0] != 42 || r.Words()[63] != 7 {
+		t.Fatalf("memory = %v,%v", r.Words()[0], r.Words()[63])
+	}
+	if s := r.Stats(); s.Commits != 1 || s.Aborts != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestExplicitAbortRollsBack(t *testing.T) {
+	r := newTestRegion(64)
+	r.Words()[5] = 99
+	_, committed, code := r.Run(func(tx *Txn) error {
+		tx.Store(5, 1)
+		tx.Abort()
+		return nil
+	})
+	if committed {
+		t.Fatal("aborted transaction reported committed")
+	}
+	if code&AbortExplicit == 0 {
+		t.Fatalf("code = %v, want explicit", code)
+	}
+	if r.Words()[5] != 99 {
+		t.Fatalf("rollback failed: mem[5] = %d", r.Words()[5])
+	}
+	if s := r.Stats(); s.ExplicitAborts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCapacityAbort(t *testing.T) {
+	cfg := Config{ReadLines: 4, WriteLines: 2}
+	r := NewRegion(1024, cfg)
+
+	_, committed, code := r.Run(func(tx *Txn) error {
+		for i := uint32(0); i < 3; i++ {
+			tx.Store(i*8, 1) // three distinct lines > WriteLines
+		}
+		return nil
+	})
+	if committed || code&AbortCapacity == 0 {
+		t.Fatalf("want capacity abort, got committed=%v code=%v", committed, code)
+	}
+	// All three stores must be rolled back (the first two succeeded).
+	for i := uint32(0); i < 3; i++ {
+		if r.Words()[i*8] != 0 {
+			t.Fatalf("mem[%d] = %d after capacity abort", i*8, r.Words()[i*8])
+		}
+	}
+
+	_, committed, code = r.Run(func(tx *Txn) error {
+		for i := uint32(0); i < 5; i++ {
+			tx.Load(i * 8) // five distinct lines > ReadLines
+		}
+		return nil
+	})
+	if committed || code&AbortCapacity == 0 {
+		t.Fatalf("want read capacity abort, got committed=%v code=%v", committed, code)
+	}
+}
+
+func TestLogicalErrorCommits(t *testing.T) {
+	r := newTestRegion(64)
+	sentinel := errorStr("exists")
+	err, committed, _ := r.Run(func(tx *Txn) error {
+		tx.Store(0, 1)
+		return sentinel
+	})
+	if err != sentinel || !committed {
+		t.Fatalf("Run = %v,%v; want sentinel,true", err, committed)
+	}
+	if r.Words()[0] != 1 {
+		t.Fatal("write of logically-failed transaction lost")
+	}
+}
+
+type errorStr string
+
+func (e errorStr) Error() string { return string(e) }
+
+func TestConflictingIncrements(t *testing.T) {
+	// All threads increment the same word under the tuned elision policy;
+	// the result must be exact despite conflicts forcing retries/fallbacks.
+	r := newTestRegion(64)
+	const threads = 8
+	const perThread = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < perThread; n++ {
+				err := r.RunElided(PolicyTuned, func(tx *Txn) error {
+					tx.Store(0, tx.Load(0)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("RunElided: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got := r.Words()[0]; got != threads*perThread {
+		t.Fatalf("counter = %d, want %d", got, threads*perThread)
+	}
+	s := r.Stats()
+	if s.Commits == 0 {
+		t.Fatal("no speculative commits at all")
+	}
+	t.Logf("stats: %+v abort-rate=%.2f", s, s.AbortRate())
+}
+
+func TestDisjointWritersScale(t *testing.T) {
+	// Threads writing disjoint lines should (almost) never conflict.
+	r := newTestRegion(64 * 8)
+	const threads = 8
+	const perThread = 5000
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			addr := uint32(i * 64) // one line per thread, widely separated
+			for n := 0; n < perThread; n++ {
+				err := r.RunElided(PolicyTuned, func(tx *Txn) error {
+					tx.Store(addr, tx.Load(addr)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("RunElided: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 0; i < threads; i++ {
+		if got := r.Words()[i*64]; got != perThread {
+			t.Fatalf("thread %d counter = %d, want %d", i, got, perThread)
+		}
+	}
+	s := r.Stats()
+	if s.AbortRate() > 0.10 {
+		t.Fatalf("disjoint writers abort rate %.3f, want < 0.10 (stats %+v)", s.AbortRate(), s)
+	}
+}
+
+func TestEachPolicyIsCorrect(t *testing.T) {
+	for _, p := range []Policy{PolicyNone, PolicyGlibc, PolicyTuned} {
+		t.Run(p.String(), func(t *testing.T) {
+			r := newTestRegion(64)
+			const threads = 4
+			const perThread = 1000
+			var wg sync.WaitGroup
+			for i := 0; i < threads; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for n := 0; n < perThread; n++ {
+						_ = r.RunElided(p, func(tx *Txn) error {
+							tx.Store(8, tx.Load(8)+1)
+							return nil
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			if got := r.Words()[8]; got != threads*perThread {
+				t.Fatalf("counter = %d, want %d", got, threads*perThread)
+			}
+			if p == PolicyNone {
+				if s := r.Stats(); s.Fallbacks != threads*perThread {
+					t.Fatalf("PolicyNone fallbacks = %d, want %d", s.Fallbacks, threads*perThread)
+				}
+			}
+		})
+	}
+}
+
+func TestReadOnlySnapshotConsistency(t *testing.T) {
+	// A writer keeps two words in an invariant (a+b == 0 mod 2^64) across
+	// two different lines; readers must never observe a committed violation.
+	r := newTestRegion(128)
+	stop := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		var x uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			x++
+			v := x
+			_ = r.RunElided(PolicyTuned, func(tx *Txn) error {
+				tx.Store(0, v)
+				tx.Store(64, -v)
+				return nil
+			})
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for n := 0; n < 20000; n++ {
+				var a, b uint64
+				err := r.RunElided(PolicyTuned, func(tx *Txn) error {
+					a = tx.Load(0)
+					b = tx.Load(64)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("read txn: %v", err)
+					return
+				}
+				if a+b != 0 {
+					t.Errorf("invariant violated: a=%d b=%d", a, b)
+					return
+				}
+			}
+		}()
+	}
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+}

@@ -1,0 +1,258 @@
+package memc3
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"cuckoohash/internal/htm"
+	"cuckoohash/internal/workload"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tab := MustNew(Defaults(1 << 10))
+	for k := uint64(1); k <= 400; k++ {
+		if err := tab.Insert(k, k+7); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	for k := uint64(1); k <= 400; k++ {
+		if v, ok := tab.Lookup(k); !ok || v != k+7 {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := tab.Lookup(4040); ok {
+		t.Fatal("found absent key")
+	}
+	if err := tab.Insert(1, 0); !errors.Is(err, ErrExists) {
+		t.Fatalf("dup insert: %v", err)
+	}
+	if !tab.Delete(1) || tab.Delete(1) {
+		t.Fatal("delete semantics")
+	}
+	if tab.Len() != 399 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+// TestFillOccupancy: MemC3's 4-way table reaches ~95% before ErrFull.
+func TestFillOccupancy(t *testing.T) {
+	tab := MustNew(Defaults(1 << 14))
+	gen := workload.NewSequentialKeys(1)
+	var n uint64
+	for {
+		if err := tab.Insert(gen.NextKey(), 0); err != nil {
+			break
+		}
+		n++
+	}
+	if lf := float64(n) / float64(tab.Cap()); lf < 0.90 {
+		t.Fatalf("4-way table full at %.3f, want >= 0.90", lf)
+	}
+}
+
+// TestSingleWriterManyReaders exercises the optimistic read protocol while
+// the single writer churns: readers must always see their stable keys.
+func TestSingleWriterManyReaders(t *testing.T) {
+	tab := MustNew(Defaults(1 << 14))
+	// Stable prefix the readers verify.
+	for k := uint64(1); k <= 1000; k++ {
+		if err := tab.Insert(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		gen := workload.NewSequentialKeys(1 << 20)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := tab.Insert(gen.NextKey(), 9); err != nil {
+				return // table filled; stop writing
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			rnd := workload.NewRand(uint64(r))
+			for i := 0; i < 50000; i++ {
+				k := rnd.Intn(1000) + 1
+				if v, ok := tab.Lookup(k); !ok || v != k*3 {
+					t.Errorf("Lookup(%d) = %d,%v want %d,true", k, v, ok, k*3)
+					return
+				}
+			}
+		}(r)
+	}
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+}
+
+// TestWritersSerialize verifies multiple goroutines may call Insert (they
+// serialize internally) without corruption.
+func TestWritersSerialize(t *testing.T) {
+	tab := MustNew(Defaults(1 << 14))
+	const threads = 4
+	const per = 2000
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			base := uint64(th+1) << 32
+			for i := uint64(0); i < per; i++ {
+				if err := tab.Insert(base|i, i); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if tab.Len() != threads*per {
+		t.Fatalf("Len = %d, want %d", tab.Len(), threads*per)
+	}
+	for th := 0; th < threads; th++ {
+		base := uint64(th+1) << 32
+		for i := uint64(0); i < per; i++ {
+			if v, ok := tab.Lookup(base | i); !ok || v != i {
+				t.Fatalf("Lookup(%d) = %d,%v", base|i, v, ok)
+			}
+		}
+	}
+}
+
+func TestTxTableBasic(t *testing.T) {
+	for _, p := range []htm.Policy{htm.PolicyNone, htm.PolicyGlibc, htm.PolicyTuned} {
+		t.Run(p.String(), func(t *testing.T) {
+			tab := MustNewTxTable(Defaults(1<<10), p, htm.DefaultConfig())
+			for k := uint64(1); k <= 300; k++ {
+				if err := tab.Insert(k, k); err != nil {
+					t.Fatalf("Insert(%d): %v", k, err)
+				}
+			}
+			for k := uint64(1); k <= 300; k++ {
+				if v, ok := tab.Lookup(k); !ok || v != k {
+					t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+				}
+			}
+			if err := tab.Insert(5, 0); !errors.Is(err, ErrExists) {
+				t.Fatalf("dup: %v", err)
+			}
+			if !tab.Delete(5) || tab.Delete(5) {
+				t.Fatal("delete semantics")
+			}
+			if tab.Len() != 299 {
+				t.Fatalf("Len = %d", tab.Len())
+			}
+		})
+	}
+}
+
+func TestTxTableConcurrentWriters(t *testing.T) {
+	tab := MustNewTxTable(Defaults(1<<14), htm.PolicyTuned, htm.DefaultConfig())
+	const threads = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			base := uint64(th+1) << 32
+			for i := uint64(0); i < per; i++ {
+				if err := tab.Insert(base|i, i); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if tab.Len() != threads*per {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for th := 0; th < threads; th++ {
+		base := uint64(th+1) << 32
+		for i := uint64(0); i < per; i++ {
+			if v, ok := tab.Lookup(base | i); !ok || v != i {
+				t.Fatalf("Lookup(%d) = %d,%v", base|i, v, ok)
+			}
+		}
+	}
+	s := tab.Region().Stats()
+	t.Logf("stats: %+v abort-rate=%.3f", s, s.AbortRate())
+}
+
+// TestTxTableHighOccupancyAborts reproduces the §2.3 observation: the
+// unoptimized cuckoo insert (search inside the transaction) at high
+// occupancy aborts heavily under concurrent writers.
+func TestTxTableHighOccupancyAborts(t *testing.T) {
+	tab := MustNewTxTable(Defaults(1<<13), htm.PolicyGlibc, htm.DefaultConfig())
+	// Fill to 80% single-threaded.
+	gen := workload.NewSequentialKeys(1)
+	target := uint64(float64(tab.Cap()) * 0.80)
+	for i := uint64(0); i < target; i++ {
+		if err := tab.Insert(gen.NextKey(), 0); err != nil {
+			t.Fatalf("fill: %v", err)
+		}
+	}
+	tab.Region().ResetStats()
+	// Now hammer with 8 concurrent writers.
+	var wg sync.WaitGroup
+	for th := 0; th < 8; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			g := workload.NewUniformKeys(7, th)
+			for i := 0; i < 200; i++ {
+				err := tab.Insert(g.NextKey(), 1)
+				if err != nil && !errors.Is(err, ErrFull) {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	s := tab.Region().Stats()
+	if s.Aborts == 0 && s.Fallbacks == 0 && runtime.GOMAXPROCS(0) > 1 {
+		t.Fatalf("expected aborts or fallbacks under contention, got %+v", s)
+	}
+	t.Logf("unoptimized cuckoo under 8 writers: %+v abort-rate=%.3f", s, s.AbortRate())
+}
+
+func TestDisableSizeCounter(t *testing.T) {
+	tab := MustNew(Defaults(1 << 10))
+	tab.DisableSizeCounter()
+	if err := tab.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != -1 {
+		t.Fatalf("Len with disabled counter = %d, want -1", tab.Len())
+	}
+	if tab.LoadFactor() != 0 {
+		t.Fatalf("LoadFactor with disabled counter = %v", tab.LoadFactor())
+	}
+	if v, ok := tab.Lookup(1); !ok || v != 1 {
+		t.Fatal("lookup after disabled-counter insert failed")
+	}
+}

@@ -1,0 +1,264 @@
+package memc3
+
+import (
+	"cuckoohash/internal/hashfn"
+	"cuckoohash/internal/htm"
+)
+
+// TxTable is the MemC3 cuckoo table under a coarse lock with (emulated) TSX
+// lock elision, the configuration measured in Figure 2 and the "+TSX-glibc"
+// / "+TSX*" columns of the upper Figure 5b chart.
+//
+// Crucially — and this is what dooms it — the whole of Algorithm 1 runs
+// inside one transaction: duplicate check, the DFS path search (which at
+// high occupancy reads hundreds of buckets into the transaction's read set)
+// and every displacement write. Long transactions conflict with everything
+// and overflow the emulated L1 capacity, so the abort rate explodes and the
+// fallback lock serializes the writers, reproducing §2.3's observation that
+// lock elision alone cannot rescue an unoptimized data structure.
+type TxTable struct {
+	nb     uint64
+	assoc  uint64
+	vw     uint64
+	seed   uint64
+	budget int
+	stride uint64
+	policy htm.Policy
+	region *htm.Region
+	size   paddedSize
+}
+
+type paddedSize struct {
+	shards [64]paddedI64
+}
+
+type paddedI64 struct {
+	v atomicI64
+	_ [120]byte
+}
+
+// NewTxTable creates the transactional MemC3 table.
+func NewTxTable(o Options, policy htm.Policy, cfg htm.Config) (*TxTable, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	assoc := uint64(o.Assoc)
+	vw := uint64(o.ValueWords)
+	stride := (1 + assoc + assoc*vw + 7) / 8 * 8
+	words := o.Buckets * stride
+	t := &TxTable{
+		nb:     o.Buckets,
+		assoc:  assoc,
+		vw:     vw,
+		seed:   o.Seed,
+		budget: o.MaxSearchSlots,
+		stride: stride,
+		policy: policy,
+		region: htm.NewRegion(int(words), cfg),
+	}
+	return t, nil
+}
+
+// MustNewTxTable panics on configuration errors.
+func MustNewTxTable(o Options, policy htm.Policy, cfg htm.Config) *TxTable {
+	t, err := NewTxTable(o, policy, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Region exposes the transaction statistics.
+func (t *TxTable) Region() *htm.Region { return t.region }
+
+// Cap returns the slot count.
+func (t *TxTable) Cap() uint64 { return t.nb * t.assoc }
+
+// Len returns the key count.
+func (t *TxTable) Len() uint64 {
+	var n int64
+	for i := range t.size.shards {
+		n += t.size.shards[i].v.Load()
+	}
+	return uint64(n)
+}
+
+// LoadFactor returns Len/Cap.
+func (t *TxTable) LoadFactor() float64 { return float64(t.Len()) / float64(t.Cap()) }
+
+func (t *TxTable) hash(key uint64) uint64 { return hashfn.Uint64(key, t.seed) }
+
+func (t *TxTable) occAddr(b uint64) uint32 { return uint32(b * t.stride) }
+func (t *TxTable) keyAddr(b uint64, s int) uint32 {
+	return uint32(b*t.stride + 1 + uint64(s))
+}
+func (t *TxTable) valAddr(b uint64, s int, w uint64) uint32 {
+	return uint32(b*t.stride + 1 + t.assoc + uint64(s)*t.vw + w)
+}
+
+// Lookup reads key in one read-only transaction.
+func (t *TxTable) Lookup(key uint64) (uint64, bool) {
+	b1, b2 := hashfn.TwoBuckets(t.hash(key), t.nb)
+	var val uint64
+	found := false
+	_ = t.region.RunElided(t.policy, func(tx *htm.Txn) error {
+		found = false
+		for _, b := range [2]uint64{b1, b2} {
+			occ := tx.Load(t.occAddr(b))
+			for s := 0; s < int(t.assoc); s++ {
+				if occ&(1<<uint(s)) != 0 && tx.Load(t.keyAddr(b, s)) == key {
+					val = tx.Load(t.valAddr(b, s, 0))
+					found = true
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	return val, found
+}
+
+// Insert runs the entire Algorithm 1 in a single elided transaction.
+func (t *TxTable) Insert(key, val uint64) error {
+	h := t.hash(key)
+	b1, b2 := hashfn.TwoBuckets(h, t.nb)
+	err := t.region.RunElided(t.policy, func(tx *htm.Txn) error {
+		// Duplicate check.
+		for _, b := range [2]uint64{b1, b2} {
+			occ := tx.Load(t.occAddr(b))
+			for s := 0; s < int(t.assoc); s++ {
+				if occ&(1<<uint(s)) != 0 && tx.Load(t.keyAddr(b, s)) == key {
+					return ErrExists
+				}
+			}
+		}
+		// Direct placement.
+		for _, b := range [2]uint64{b1, b2} {
+			occ := tx.Load(t.occAddr(b))
+			if s, ok := freeBit(occ, int(t.assoc)); ok {
+				t.txPlace(tx, b, s, key, val, occ)
+				return nil
+			}
+		}
+		// DFS search *inside* the transaction (the unoptimized design).
+		path, ok := t.txSearch(tx, h, b1, b2)
+		if !ok {
+			return ErrFull
+		}
+		for i := len(path) - 2; i >= 0; i-- {
+			t.txDisplace(tx, path[i], path[i+1])
+		}
+		occ := tx.Load(t.occAddr(path[0].bucket))
+		t.txPlace(tx, path[0].bucket, path[0].slot, key, val, occ)
+		return nil
+	})
+	if err == nil {
+		t.size.shards[b1&63].v.Add(1)
+	}
+	return err
+}
+
+// Delete removes key in one transaction.
+func (t *TxTable) Delete(key uint64) bool {
+	b1, b2 := hashfn.TwoBuckets(t.hash(key), t.nb)
+	deleted := false
+	_ = t.region.RunElided(t.policy, func(tx *htm.Txn) error {
+		deleted = false
+		for _, b := range [2]uint64{b1, b2} {
+			occ := tx.Load(t.occAddr(b))
+			for s := 0; s < int(t.assoc); s++ {
+				if occ&(1<<uint(s)) != 0 && tx.Load(t.keyAddr(b, s)) == key {
+					tx.Store(t.occAddr(b), occ&^(1<<uint(s)))
+					deleted = true
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if deleted {
+		t.size.shards[b1&63].v.Add(-1)
+	}
+	return deleted
+}
+
+func (t *TxTable) txPlace(tx *htm.Txn, b uint64, s int, key, val uint64, occ uint64) {
+	tx.Store(t.keyAddr(b, s), key)
+	tx.Store(t.valAddr(b, s, 0), val)
+	for w := uint64(1); w < t.vw; w++ {
+		tx.Store(t.valAddr(b, s, w), 0)
+	}
+	tx.Store(t.occAddr(b), occ|1<<uint(s))
+}
+
+func (t *TxTable) txDisplace(tx *htm.Txn, src, dst entry) {
+	sOcc := tx.Load(t.occAddr(src.bucket))
+	dOcc := tx.Load(t.occAddr(dst.bucket))
+	tx.Store(t.keyAddr(dst.bucket, dst.slot), tx.Load(t.keyAddr(src.bucket, src.slot)))
+	for w := uint64(0); w < t.vw; w++ {
+		tx.Store(t.valAddr(dst.bucket, dst.slot, w), tx.Load(t.valAddr(src.bucket, src.slot, w)))
+	}
+	tx.Store(t.occAddr(dst.bucket), dOcc|1<<uint(dst.slot))
+	if src.bucket == dst.bucket {
+		sOcc = tx.Load(t.occAddr(src.bucket))
+	}
+	tx.Store(t.occAddr(src.bucket), sOcc&^(1<<uint(src.slot)))
+}
+
+// txSearch is the two-way DFS with every bucket read tracked by the
+// transaction. Randomness derives deterministically from the key's hash so
+// no shared generator state exists.
+func (t *TxTable) txSearch(tx *htm.Txn, h, b1, b2 uint64) ([]entry, bool) {
+	assoc := int(t.assoc)
+	maxLen := t.budget / (2 * assoc)
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	pathA := make([]entry, 0, maxLen+1)
+	pathB := make([]entry, 0, maxLen+1)
+	curA, curB := b1, b2
+	rng := h | 1
+	examined := 0
+	for examined < t.budget {
+		if len(pathA) > maxLen && len(pathB) > maxLen {
+			return nil, false
+		}
+		for w := 0; w < 2; w++ {
+			cur, path := curA, &pathA
+			if w == 1 {
+				cur, path = curB, &pathB
+			}
+			if len(*path) > maxLen {
+				continue
+			}
+			examined += assoc
+			occ := tx.Load(t.occAddr(cur))
+			if s, ok := freeBit(occ, assoc); ok {
+				*path = append(*path, entry{bucket: cur, slot: s})
+				return *path, true
+			}
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			s := int(rng % uint64(assoc))
+			k := tx.Load(t.keyAddr(cur, s))
+			*path = append(*path, entry{bucket: cur, slot: s})
+			next := hashfn.AltBucket(t.hash(k), t.nb, cur)
+			if w == 0 {
+				curA = next
+			} else {
+				curB = next
+			}
+		}
+	}
+	return nil, false
+}
+
+func freeBit(occ uint64, assoc int) (int, bool) {
+	for s := 0; s < assoc; s++ {
+		if occ&(1<<uint(s)) == 0 {
+			return s, true
+		}
+	}
+	return 0, false
+}

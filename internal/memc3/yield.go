@@ -1,0 +1,10 @@
+package memc3
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+func spinYield() { runtime.Gosched() }
+
+type atomicI64 = atomic.Int64

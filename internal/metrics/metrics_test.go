@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOpCounter(t *testing.T) {
+	c := NewOpCounter(4)
+	var wg sync.WaitGroup
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(th, 2)
+			}
+		}(th)
+	}
+	wg.Wait()
+	if got := c.Total(); got != 8000 {
+		t.Fatalf("Total = %d", got)
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(2_000_000, time.Second); got != 2.0 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(100, 0); got != 0 {
+		t.Fatalf("Throughput with zero duration = %v", got)
+	}
+}
+
+func TestIntervalRecorder(t *testing.T) {
+	r := NewIntervalRecorder([]float64{0.5, 0.9})
+	r.Start()
+	if r.Due(0.4) {
+		t.Fatal("Due(0.4) before 0.5")
+	}
+	if !r.Due(0.5) {
+		t.Fatal("not Due(0.5)")
+	}
+	r.Observe(0.5, 100)
+	time.Sleep(2 * time.Millisecond)
+	r.Observe(0.9, 300)
+
+	v, err := r.Window(0, 0.5)
+	if err != nil || v <= 0 {
+		t.Fatalf("Window(0,0.5) = %v, %v", v, err)
+	}
+	v2, err := r.Window(0.5, 0.9)
+	if err != nil || v2 <= 0 {
+		t.Fatalf("Window(0.5,0.9) = %v, %v", v2, err)
+	}
+	if _, err := r.Window(0.5, 0.7); err == nil {
+		t.Fatal("unknown threshold accepted")
+	}
+}
+
+func TestIntervalRecorderSkipsInOneObserve(t *testing.T) {
+	// One Observe crossing several thresholds records them all.
+	r := NewIntervalRecorder([]float64{0.3, 0.6, 0.9})
+	r.Start()
+	r.Observe(0.95, 500)
+	for _, th := range []float64{0.3, 0.6, 0.9} {
+		if _, err := r.Window(0, th); err != nil {
+			t.Fatalf("threshold %v not recorded: %v", th, err)
+		}
+	}
+}
+
+func TestIntervalRecorderBadThresholds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending thresholds accepted")
+		}
+	}()
+	NewIntervalRecorder([]float64{0.5, 0.5})
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 4, 8, 1024, 1024, 1 << 30} {
+		h.Record(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() <= 0 {
+		t.Fatal("Mean <= 0")
+	}
+	if q := h.Quantile(0.5); q == 0 || q > 1<<11 {
+		t.Fatalf("median bound = %d", q)
+	}
+	if q := h.Quantile(1.0); q < 1<<30 {
+		t.Fatalf("p100 bound = %d", q)
+	}
+
+	var other Histogram
+	other.Record(16)
+	h.Merge(&other)
+	if h.Count() != 8 {
+		t.Fatalf("after merge Count = %d", h.Count())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram stats nonzero")
+	}
+}

@@ -1,0 +1,27 @@
+package openaddr
+
+import "sync/atomic"
+
+// shardedCounter keeps entry counts off the transactional fast path
+// (principle P1: the paper removed dense_hash_map's global counters before
+// measuring it under elision).
+type shardedCounter struct {
+	shards [64]paddedInt64
+}
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+func (c *shardedCounter) add(h uint64, delta int64) {
+	c.shards[h&63].v.Add(delta)
+}
+
+func (c *shardedCounter) total() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}

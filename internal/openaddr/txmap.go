@@ -1,0 +1,136 @@
+package openaddr
+
+import (
+	"cuckoohash/internal/hashfn"
+	"cuckoohash/internal/htm"
+)
+
+// TxMap is the quadratic-probing table under a coarse lock with (emulated)
+// TSX lock elision — the dense_hash_map-with-TSX configuration of Figure 2.
+// The table is fixed-capacity (a transactional resize would be a guaranteed
+// capacity abort, just as dense_hash_map's realloc was a guaranteed
+// serialization point).
+//
+// Arena layout: [state words][keys][vals], one word per slot each. Long
+// probe chains near the 0.5 load ceiling drag many lines into the read set,
+// which is what makes this design collapse under concurrent elided writers.
+type TxMap struct {
+	seed   uint64
+	mask   uint64
+	policy htm.Policy
+	region *htm.Region
+	size   shardedCounter
+}
+
+// NewTxMap creates a transactional open-addressing table with at least
+// capacity slots.
+func NewTxMap(capacity uint64, seed uint64, policy htm.Policy, cfg htm.Config) *TxMap {
+	size := uint64(16)
+	for size < capacity {
+		size <<= 1
+	}
+	return &TxMap{
+		seed:   seed,
+		mask:   size - 1,
+		policy: policy,
+		region: htm.NewRegion(int(3*size), cfg),
+	}
+}
+
+// Region exposes transaction statistics.
+func (m *TxMap) Region() *htm.Region { return m.region }
+
+// Len returns the live entry count.
+func (m *TxMap) Len() uint64 { return uint64(m.size.total()) }
+
+// Cap returns the slot count.
+func (m *TxMap) Cap() uint64 { return m.mask + 1 }
+
+func (m *TxMap) stateAddr(i uint64) uint32 { return uint32(i) }
+func (m *TxMap) keyAddr(i uint64) uint32   { return uint32(m.mask + 1 + i) }
+func (m *TxMap) valAddr(i uint64) uint32   { return uint32(2*(m.mask+1) + i) }
+
+// Get returns the value for key.
+func (m *TxMap) Get(key uint64) (uint64, bool) {
+	h := hashfn.Uint64(key, m.seed)
+	var val uint64
+	found := false
+	_ = m.region.RunElided(m.policy, func(tx *htm.Txn) error {
+		found = false
+		i := h & m.mask
+		for probe := uint64(1); probe <= m.mask+1; probe++ {
+			switch tx.Load(m.stateAddr(i)) {
+			case slotEmpty:
+				return nil
+			case slotFull:
+				if tx.Load(m.keyAddr(i)) == key {
+					val = tx.Load(m.valAddr(i))
+					found = true
+					return nil
+				}
+			}
+			i = (i + probe) & m.mask
+		}
+		return nil
+	})
+	return val, found
+}
+
+// Put inserts or overwrites key; ErrFull when no slot is reachable.
+func (m *TxMap) Put(key, val uint64) error {
+	h := hashfn.Uint64(key, m.seed)
+	inserted := false
+	err := m.region.RunElided(m.policy, func(tx *htm.Txn) error {
+		inserted = false
+		i := h & m.mask
+		for probe := uint64(1); probe <= m.mask+1; probe++ {
+			switch tx.Load(m.stateAddr(i)) {
+			case slotEmpty, slotDeleted:
+				tx.Store(m.keyAddr(i), key)
+				tx.Store(m.valAddr(i), val)
+				tx.Store(m.stateAddr(i), slotFull)
+				inserted = true
+				return nil
+			case slotFull:
+				if tx.Load(m.keyAddr(i)) == key {
+					tx.Store(m.valAddr(i), val)
+					return nil
+				}
+			}
+			i = (i + probe) & m.mask
+		}
+		return ErrFull
+	})
+	if err == nil && inserted {
+		m.size.add(h, 1)
+	}
+	return err
+}
+
+// Delete removes key, leaving a tombstone.
+func (m *TxMap) Delete(key uint64) bool {
+	h := hashfn.Uint64(key, m.seed)
+	deleted := false
+	_ = m.region.RunElided(m.policy, func(tx *htm.Txn) error {
+		deleted = false
+		i := h & m.mask
+		for probe := uint64(1); probe <= m.mask+1; probe++ {
+			switch tx.Load(m.stateAddr(i)) {
+			case slotEmpty:
+				return nil
+			case slotFull:
+				if tx.Load(m.keyAddr(i)) == key {
+					tx.Store(m.stateAddr(i), slotDeleted)
+					deleted = true
+					return nil
+				}
+			}
+			i = (i + probe) & m.mask
+		}
+		return nil
+	})
+	if deleted {
+		m.size.add(h, -1)
+	}
+	return deleted
+}

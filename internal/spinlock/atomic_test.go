@@ -1,0 +1,6 @@
+package spinlock
+
+import "sync/atomic"
+
+func storeU64(p *uint64, v uint64) { atomic.StoreUint64(p, v) }
+func loadU64(p *uint64) uint64     { return atomic.LoadUint64(p) }

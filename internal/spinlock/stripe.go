@@ -1,0 +1,144 @@
+package spinlock
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// lockBit is the high-order bit of a stripe word. Following §4.4 of the
+// paper, each stripe is a single word that serves simultaneously as the
+// optimistic-read version counter (low 63 bits) and as a spinlock (the
+// high-order bit).
+const lockBit = uint64(1) << 63
+
+// versionMask extracts the version counter from a stripe word.
+const versionMask = lockBit - 1
+
+// Stripe is a power-of-two-sized array of combined version/lock words used
+// for lock striping over hash-table buckets. Bucket b maps to stripe
+// b & (len-1); by keeping a reasonably sized table (1K–8K entries) locking
+// is both fine-grained and low-overhead (§4.2).
+//
+// Writer protocol: Lock sets the lock bit; Unlock clears it and increments
+// the version. Readers use Snapshot/Validate as an optimistic seqlock: a
+// lookup reads the versions of both candidate buckets' stripes, reads the
+// buckets, then validates that neither version moved (and that no writer
+// held the stripe at either point).
+type Stripe struct {
+	words []atomic.Uint64
+	mask  uint64
+}
+
+// NewStripe creates a stripe table with n words. n must be a power of two.
+func NewStripe(n int) *Stripe {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("spinlock: stripe size must be a positive power of two")
+	}
+	return &Stripe{words: make([]atomic.Uint64, n), mask: uint64(n - 1)}
+}
+
+// Len returns the number of stripes.
+func (s *Stripe) Len() int { return len(s.words) }
+
+// IndexFor maps a bucket index to its stripe index.
+func (s *Stripe) IndexFor(bucket uint64) uint64 { return bucket & s.mask }
+
+// Lock acquires stripe i, spinning until the lock bit is free.
+func (s *Stripe) Lock(i uint64) {
+	w := &s.words[i]
+	for spins := 0; ; spins++ {
+		v := w.Load()
+		if v&lockBit == 0 && w.CompareAndSwap(v, v|lockBit) {
+			return
+		}
+		if spins >= spinBudget {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// TryLock attempts to acquire stripe i without spinning.
+func (s *Stripe) TryLock(i uint64) bool {
+	w := &s.words[i]
+	v := w.Load()
+	return v&lockBit == 0 && w.CompareAndSwap(v, v|lockBit)
+}
+
+// Unlock releases stripe i, bumping its version so that any optimistic
+// reader that overlapped the critical section fails validation. It must be
+// called only by the stripe's holder.
+func (s *Stripe) Unlock(i uint64) {
+	w := &s.words[i]
+	v := w.Load()
+	// Clear the lock bit and advance the version, wrapping within the
+	// 63-bit version space.
+	w.Store((v + 1) & versionMask)
+}
+
+// LockPair acquires stripes i and j in ascending index order, the paper's
+// deadlock-avoidance rule for the per-displacement bucket pairs (§4.4).
+// If both buckets share a stripe only one lock is taken.
+func (s *Stripe) LockPair(i, j uint64) {
+	if i == j {
+		s.Lock(i)
+		return
+	}
+	if j < i {
+		i, j = j, i
+	}
+	s.Lock(i)
+	s.Lock(j)
+}
+
+// UnlockPair releases the stripes acquired by LockPair.
+func (s *Stripe) UnlockPair(i, j uint64) {
+	if i == j {
+		s.Unlock(i)
+		return
+	}
+	s.Unlock(i)
+	s.Unlock(j)
+}
+
+// Snapshot returns the version of stripe i for an optimistic read. ok is
+// false when a writer currently holds the stripe, in which case the caller
+// should retry rather than read data that is being modified.
+func (s *Stripe) Snapshot(i uint64) (version uint64, ok bool) {
+	v := s.words[i].Load()
+	return v & versionMask, v&lockBit == 0
+}
+
+// Validate reports whether stripe i is still unlocked at the version
+// observed by a previous Snapshot; if not, the optimistic read raced with a
+// writer and must be retried.
+func (s *Stripe) Validate(i uint64, version uint64) bool {
+	return s.words[i].Load() == version
+}
+
+// Version returns the current version counter of stripe i, ignoring the
+// lock bit. It is intended for tests and statistics.
+func (s *Stripe) Version(i uint64) uint64 {
+	return s.words[i].Load() & versionMask
+}
+
+// Locked reports whether stripe i is currently held.
+func (s *Stripe) Locked(i uint64) bool {
+	return s.words[i].Load()&lockBit != 0
+}
+
+// LockAll acquires every stripe in ascending order. It is the pessimistic
+// full-table lock the paper mentions for writers that encounter excessive
+// insert aborts, and is used by table expansion.
+func (s *Stripe) LockAll() {
+	for i := range s.words {
+		s.Lock(uint64(i))
+	}
+}
+
+// UnlockAll releases every stripe.
+func (s *Stripe) UnlockAll() {
+	for i := range s.words {
+		s.Unlock(uint64(i))
+	}
+}

@@ -1,0 +1,5 @@
+package workload
+
+import "math"
+
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
