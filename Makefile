@@ -1,0 +1,39 @@
+# Developer entry points. `make check` is the gate every change must
+# pass; CI (.github/workflows/ci.yml) runs the same target.
+
+GO ?= go
+
+.PHONY: check build vet test race bench loadgen-smoke
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The figure harness at CI scale, with a JSON trajectory artifact.
+bench:
+	$(GO) run ./cmd/cuckoobench -exp all -scale small -json BENCH_small.json
+
+# End-to-end smoke of the cache daemon: serve, load-generate, drain.
+# The binary is run directly (not via `go run`, which does not forward a
+# kill-sent SIGINT to its child, so the drain would never trigger).
+loadgen-smoke:
+	$(GO) build -o ./cuckood.smoke ./cmd/cuckood
+	./cuckood.smoke -listen 127.0.0.1:11377 & \
+	CUCKOOD_PID=$$!; \
+	sleep 1; \
+	./cuckood.smoke -loadgen -addr 127.0.0.1:11377 \
+	    -conns 4 -ops 20000 -batch 16 -dist zipf; \
+	STATUS=$$?; \
+	kill -INT $$CUCKOOD_PID; wait $$CUCKOOD_PID || STATUS=$$?; \
+	rm -f ./cuckood.smoke; \
+	exit $$STATUS

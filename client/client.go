@@ -1,0 +1,421 @@
+// Package client is a Go client for the cuckood cache protocol
+// (docs/PROTOCOL.md). Conn is a single pipelined connection: Queue* calls
+// buffer requests and Flush sends them in one write and reads all the
+// responses back, amortizing syscalls exactly as the server's batch loop
+// does on its side. Pool keeps a set of Conns for concurrent callers and
+// offers one-shot convenience methods.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned when using a closed Conn or Pool.
+var ErrClosed = errors.New("client: closed")
+
+// ServerError is an ERR response from the daemon.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
+
+// Reply is the response to one queued request.
+type Reply struct {
+	// Found is true for GET/TTL hits and DEL of a present key, and for
+	// every successful SET.
+	Found bool
+	// Value is the GET value (hits only).
+	Value string
+	// TTL is the remaining lifetime for TTL hits; -1 means no expiry.
+	TTL time.Duration
+	// Err is a per-request server error (*ServerError); transport errors
+	// are returned by Flush itself instead.
+	Err error
+}
+
+// Conn is one pipelined protocol connection. It is not safe for
+// concurrent use; use a Pool to share connections between goroutines.
+type Conn struct {
+	nc      net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	pending []opCode
+	replies []Reply
+	closed  bool
+}
+
+type opCode uint8
+
+const (
+	opGet opCode = iota
+	opSet
+	opDel
+	opTTL
+)
+
+// Dial connects to a cuckood server.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{
+		nc: nc,
+		r:  bufio.NewReaderSize(nc, 64<<10),
+		w:  bufio.NewWriterSize(nc, 64<<10),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.nc.Close()
+}
+
+func validKey(key string) error {
+	if key == "" || len(key) > 250 || strings.ContainsAny(key, " \r\n") {
+		return fmt.Errorf("client: invalid key %q", key)
+	}
+	return nil
+}
+
+// QueueGet buffers a GET request.
+func (c *Conn) QueueGet(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	c.w.WriteString("GET ")
+	c.w.WriteString(key)
+	c.w.WriteByte('\n')
+	c.pending = append(c.pending, opGet)
+	return nil
+}
+
+// QueueSet buffers a SET (ttl == 0) or SETEX request. The value must not
+// contain newlines; ttl is rounded up to a whole millisecond.
+func (c *Conn) QueueSet(key, val string, ttl time.Duration) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if strings.ContainsAny(val, "\r\n") {
+		return fmt.Errorf("client: value for %q contains newline", key)
+	}
+	if ttl <= 0 {
+		c.w.WriteString("SET ")
+		c.w.WriteString(key)
+	} else {
+		ms := (ttl + time.Millisecond - 1) / time.Millisecond
+		c.w.WriteString("SETEX ")
+		c.w.WriteString(key)
+		c.w.WriteByte(' ')
+		c.w.WriteString(strconv.FormatInt(int64(ms), 10))
+	}
+	c.w.WriteByte(' ')
+	c.w.WriteString(val)
+	c.w.WriteByte('\n')
+	c.pending = append(c.pending, opSet)
+	return nil
+}
+
+// QueueDel buffers a DEL request.
+func (c *Conn) QueueDel(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	c.w.WriteString("DEL ")
+	c.w.WriteString(key)
+	c.w.WriteByte('\n')
+	c.pending = append(c.pending, opDel)
+	return nil
+}
+
+// QueueTTL buffers a TTL query.
+func (c *Conn) QueueTTL(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	c.w.WriteString("TTL ")
+	c.w.WriteString(key)
+	c.w.WriteByte('\n')
+	c.pending = append(c.pending, opTTL)
+	return nil
+}
+
+// Pending returns the number of queued, unflushed requests.
+func (c *Conn) Pending() int { return len(c.pending) }
+
+// Flush sends every queued request in one write and reads their replies
+// in order. The returned slice is reused by the next Flush. A non-nil
+// error is a transport failure; per-request failures are Reply.Err.
+func (c *Conn) Flush() ([]Reply, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if len(c.pending) == 0 {
+		return nil, nil
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	c.replies = c.replies[:0]
+	for _, op := range c.pending {
+		rep, err := c.readReply(op)
+		if err != nil {
+			c.pending = c.pending[:0]
+			return nil, err
+		}
+		c.replies = append(c.replies, rep)
+	}
+	c.pending = c.pending[:0]
+	return c.replies, nil
+}
+
+func (c *Conn) readReply(op opCode) (Reply, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return Reply{}, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	switch {
+	case line == "OK":
+		return Reply{Found: true}, nil
+	case line == "MISS":
+		return Reply{}, nil
+	case strings.HasPrefix(line, "VALUE "):
+		return Reply{Found: true, Value: line[len("VALUE "):]}, nil
+	case strings.HasPrefix(line, "TTL "):
+		ms, perr := strconv.ParseInt(line[len("TTL "):], 10, 64)
+		if perr != nil {
+			return Reply{}, fmt.Errorf("client: malformed reply %q", line)
+		}
+		if ms < 0 {
+			return Reply{Found: true, TTL: -1}, nil
+		}
+		return Reply{Found: true, TTL: time.Duration(ms) * time.Millisecond}, nil
+	case strings.HasPrefix(line, "ERR "):
+		return Reply{Err: &ServerError{Msg: line[len("ERR "):]}}, nil
+	}
+	return Reply{}, fmt.Errorf("client: unexpected reply %q for op %d", line, op)
+}
+
+// one flushes a single queued request and returns its reply.
+func (c *Conn) one() (Reply, error) {
+	reps, err := c.Flush()
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(reps) != 1 {
+		return Reply{}, fmt.Errorf("client: expected 1 reply, got %d", len(reps))
+	}
+	return reps[0], nil
+}
+
+// Get fetches key.
+func (c *Conn) Get(key string) (string, bool, error) {
+	if err := c.QueueGet(key); err != nil {
+		return "", false, err
+	}
+	rep, err := c.one()
+	if err != nil {
+		return "", false, err
+	}
+	return rep.Value, rep.Found, rep.Err
+}
+
+// Set stores key=val with an optional TTL (0 = no expiry).
+func (c *Conn) Set(key, val string, ttl time.Duration) error {
+	if err := c.QueueSet(key, val, ttl); err != nil {
+		return err
+	}
+	rep, err := c.one()
+	if err != nil {
+		return err
+	}
+	return rep.Err
+}
+
+// Del removes key, reporting whether it was present.
+func (c *Conn) Del(key string) (bool, error) {
+	if err := c.QueueDel(key); err != nil {
+		return false, err
+	}
+	rep, err := c.one()
+	if err != nil {
+		return false, err
+	}
+	return rep.Found, rep.Err
+}
+
+// TTL returns key's remaining lifetime (-1 if persistent).
+func (c *Conn) TTL(key string) (time.Duration, bool, error) {
+	if err := c.QueueTTL(key); err != nil {
+		return 0, false, err
+	}
+	rep, err := c.one()
+	if err != nil {
+		return 0, false, err
+	}
+	return rep.TTL, rep.Found, rep.Err
+}
+
+// Stats fetches the server's STATS map.
+func (c *Conn) Stats() (map[string]string, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if len(c.pending) > 0 {
+		return nil, errors.New("client: Stats with requests still queued")
+	}
+	if _, err := c.w.WriteString("STATS\n"); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			return out, nil
+		}
+		name, val, ok := strings.Cut(strings.TrimPrefix(line, "STAT "), " ")
+		if !ok || !strings.HasPrefix(line, "STAT ") {
+			return nil, fmt.Errorf("client: malformed STATS line %q", line)
+		}
+		out[name] = val
+	}
+}
+
+// Pool is a fixed-size pool of Conns safe for concurrent use. Get blocks
+// when every connection is checked out, bounding the daemon's connection
+// load to Size regardless of caller concurrency.
+type Pool struct {
+	addr string
+	mu   sync.Mutex
+	free []*Conn
+	sem  chan struct{}
+	done bool
+}
+
+// NewPool creates a pool of up to size lazily dialed connections.
+func NewPool(addr string, size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{addr: addr, sem: make(chan struct{}, size)}
+}
+
+// Get checks a connection out of the pool, dialing if none is idle.
+func (p *Pool) Get() (*Conn, error) {
+	p.sem <- struct{}{}
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		<-p.sem
+		return nil, ErrClosed
+	}
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := Dial(p.addr)
+	if err != nil {
+		<-p.sem
+		return nil, err
+	}
+	return c, nil
+}
+
+// Put returns a connection to the pool. A Conn with queued-but-unflushed
+// requests or a transport error should be Closed and discarded instead;
+// Discard does both.
+func (p *Pool) Put(c *Conn) {
+	p.mu.Lock()
+	if p.done || c.closed || len(c.pending) > 0 {
+		p.mu.Unlock()
+		c.Close()
+		<-p.sem
+		return
+	}
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+	<-p.sem
+}
+
+// Discard closes a checked-out connection without pooling it.
+func (p *Pool) Discard(c *Conn) {
+	c.Close()
+	<-p.sem
+}
+
+// Close closes all idle connections; checked-out ones close on Put.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.done = true
+	free := p.free
+	p.free = nil
+	p.mu.Unlock()
+	for _, c := range free {
+		c.Close()
+	}
+}
+
+// Set is a pooled one-shot SET.
+func (p *Pool) Set(key, val string, ttl time.Duration) error {
+	c, err := p.Get()
+	if err != nil {
+		return err
+	}
+	err = c.Set(key, val, ttl)
+	p.release(c, err)
+	return err
+}
+
+// Get1 is a pooled one-shot GET (named to avoid clashing with pool
+// checkout).
+func (p *Pool) Get1(key string) (string, bool, error) {
+	c, err := p.Get()
+	if err != nil {
+		return "", false, err
+	}
+	v, ok, err := c.Get(key)
+	p.release(c, err)
+	return v, ok, err
+}
+
+// Del is a pooled one-shot DEL.
+func (p *Pool) Del(key string) (bool, error) {
+	c, err := p.Get()
+	if err != nil {
+		return false, err
+	}
+	ok, err := c.Del(key)
+	p.release(c, err)
+	return ok, err
+}
+
+// release puts c back unless err was a transport failure.
+func (p *Pool) release(c *Conn, err error) {
+	var se *ServerError
+	if err == nil || errors.As(err, &se) {
+		p.Put(c)
+		return
+	}
+	p.Discard(c)
+}

@@ -25,9 +25,10 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id (see -list: fig1..fig10b, eq1, eq2, naive, memory, latency, zipf, churn) or \"all\"")
-		scale   = flag.String("scale", "small", "workload scale: small, medium or paper")
-		csvPath = flag.String("csv", "", "also write results as CSV to this file")
+		expID    = flag.String("exp", "", "experiment id (see -list: fig1..fig10b, eq1, eq2, naive, memory, latency, zipf, churn) or \"all\"")
+		scale    = flag.String("scale", "small", "workload scale: small, medium or paper")
+		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
+		jsonPath = flag.String("json", "", "also write machine-readable results (host, scale, all reports) as JSON to this file")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		repeat  = flag.Int("repeat", 1, "run each experiment N times and report per-cell medians (for noisy hosts)")
 	)
@@ -75,6 +76,7 @@ func main() {
 
 	fmt.Printf("# %d logical CPUs, GOMAXPROCS=%d, scale=%s\n\n",
 		runtime.NumCPU(), runtime.GOMAXPROCS(0), *scale)
+	var done []*bench.Report
 	for _, e := range exps {
 		start := time.Now()
 		rep := runMedian(e, sc, *repeat)
@@ -85,6 +87,20 @@ func main() {
 			rep.CSV(csvFile)
 			fmt.Fprintln(csvFile)
 		}
+		done = append(done, rep)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cuckoobench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f, done, *scale, sc, *repeat); err != nil {
+			fmt.Fprintln(os.Stderr, "cuckoobench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %s\n", *jsonPath)
 	}
 }
 

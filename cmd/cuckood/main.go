@@ -1,0 +1,117 @@
+// Command cuckood runs the cuckoo-table network cache daemon, or — with
+// -loadgen — a load generator against a running daemon.
+//
+// Serve:
+//
+//	cuckood -listen 127.0.0.1:11300 -shards 8 -slots 65536 -sweep 1s
+//
+// The daemon speaks the text protocol in docs/PROTOCOL.md and drains
+// gracefully on SIGINT/SIGTERM: in-flight request batches complete and
+// every connection is closed cleanly.
+//
+// Load-generate:
+//
+//	cuckood -loadgen -addr 127.0.0.1:11300 -conns 8 -ops 100000 \
+//	        -batch 16 -dist zipf -theta 0.99 -set 0.1 -keys 1048576
+//
+// The generator opens one pipelined connection per -conns goroutine and
+// reports throughput plus p50/p99/p999 batch round-trip latency.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cuckoohash/internal/loadgen"
+	"cuckoohash/server"
+)
+
+func main() {
+	var (
+		// Server mode.
+		listen = flag.String("listen", "127.0.0.1:11300", "listen address (server mode)")
+		shards = flag.Int("shards", 8, "cache shards (rounded up to a power of two)")
+		slots  = flag.Uint64("slots", 1<<16, "slot capacity per shard (bounded; evicts when full)")
+		sweep  = flag.Duration("sweep", time.Second, "TTL sweep interval (<0 disables)")
+		drain  = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+
+		// Loadgen mode.
+		lg      = flag.Bool("loadgen", false, "run the load generator instead of the server")
+		addr    = flag.String("addr", "127.0.0.1:11300", "server address (loadgen mode)")
+		conns   = flag.Int("conns", 8, "concurrent client connections")
+		ops     = flag.Int("ops", 100000, "operations per connection")
+		batch   = flag.Int("batch", 16, "pipeline depth (1 = no pipelining)")
+		dist    = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		theta   = flag.Float64("theta", 0.99, "zipf skew (0,1)")
+		setFrac = flag.Float64("set", 0.1, "fraction of SET operations")
+		keys    = flag.Uint64("keys", 1<<20, "key universe size")
+		valSize = flag.Int("valsize", 32, "value size in bytes")
+		ttl     = flag.Duration("ttl", 0, "TTL attached to every SET (0 = none)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	if *lg {
+		runLoadgen(loadgen.Config{
+			Addr: *addr, Conns: *conns, OpsPerConn: *ops, Batch: *batch,
+			Dist: *dist, Theta: *theta, SetFrac: *setFrac, Keys: *keys,
+			ValueSize: *valSize, TTL: *ttl, Seed: *seed,
+		})
+		return
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:          *listen,
+		Shards:        *shards,
+		SlotsPerShard: *slots,
+		SweepInterval: *sweep,
+	})
+	if err != nil {
+		log.Fatal("cuckood: ", err)
+	}
+	if err := srv.Listen(); err != nil {
+		log.Fatal("cuckood: ", err)
+	}
+	log.Printf("cuckood listening on %s (%d shards, %d slots, %d total capacity)",
+		srv.Addr(), *shards, *slots, srv.Cache().Cap())
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("cuckood: draining (up to %v)...", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("cuckood: drain timed out: %v", err)
+			return
+		}
+		log.Print("cuckood: drained cleanly")
+	}()
+
+	if err := srv.Serve(); err != server.ErrServerClosed {
+		log.Fatal("cuckood: ", err)
+	}
+	// Serve returns as soon as the listener closes; wait for the drain to
+	// finish so in-flight connections are not cut off by process exit.
+	<-drained
+}
+
+func runLoadgen(cfg loadgen.Config) {
+	res, err := loadgen.Run(cfg)
+	if res != nil {
+		res.Print(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuckood -loadgen:", err)
+		os.Exit(1)
+	}
+}

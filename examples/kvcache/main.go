@@ -1,105 +1,28 @@
-// Kvcache is a memcached-like in-memory key-value cache server built on the
-// generic cuckoo table — the application class that motivates the paper
-// (MemC3 is a memcached replacement; §1 cites kernel and user-level caches).
+// Kvcache demonstrates the cuckood cache service: the production server
+// and client packages this example used to hand-roll (the application
+// class that motivates the paper — MemC3 is a memcached replacement).
 //
-// It speaks a tiny text protocol over TCP:
+// Run as a server with -listen, or with no flags for a self-contained
+// demo: it starts a daemon on a loopback port, drives it with concurrent
+// pipelined clients, prints the server's STATS, and drains gracefully.
 //
-//	SET <key> <value>\n  -> OK\n
-//	GET <key>\n          -> VALUE <value>\n or MISS\n
-//	DEL <key>\n          -> OK\n or MISS\n
-//	STATS\n              -> STATS <entries> <hits> <misses>\n
-//
-// Run as a server with -listen, or run with no flags for a self-contained
-// demo: it starts the server on a loopback port and drives it with
-// concurrent clients.
+// The wire protocol (SET/SETEX/GET/DEL/TTL/STATS over TCP text lines) is
+// documented in docs/PROTOCOL.md; cmd/cuckood is the full daemon with a
+// load-generator mode.
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net"
-	"strings"
+	"sort"
 	"sync"
-	"sync/atomic"
+	"time"
 
-	"cuckoohash/generic"
+	"cuckoohash/client"
+	"cuckoohash/server"
 )
-
-type cache struct {
-	t      *generic.Table[string, string]
-	hits   atomic.Uint64
-	misses atomic.Uint64
-}
-
-func newCache() *cache {
-	return &cache{t: generic.MustNew[string, string](generic.Config{InitialCapacity: 1 << 16})}
-}
-
-func (c *cache) handle(conn net.Conn) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		parts := strings.SplitN(sc.Text(), " ", 3)
-		switch strings.ToUpper(parts[0]) {
-		case "SET":
-			if len(parts) != 3 {
-				fmt.Fprintln(w, "ERR usage: SET key value")
-				break
-			}
-			if err := c.t.Upsert(parts[1], parts[2]); err != nil {
-				fmt.Fprintln(w, "ERR", err)
-				break
-			}
-			fmt.Fprintln(w, "OK")
-		case "GET":
-			if len(parts) != 2 {
-				fmt.Fprintln(w, "ERR usage: GET key")
-				break
-			}
-			if v, ok := c.t.Get(parts[1]); ok {
-				c.hits.Add(1)
-				fmt.Fprintln(w, "VALUE", v)
-			} else {
-				c.misses.Add(1)
-				fmt.Fprintln(w, "MISS")
-			}
-		case "DEL":
-			if len(parts) != 2 {
-				fmt.Fprintln(w, "ERR usage: DEL key")
-				break
-			}
-			if c.t.Delete(parts[1]) {
-				fmt.Fprintln(w, "OK")
-			} else {
-				fmt.Fprintln(w, "MISS")
-			}
-		case "STATS":
-			fmt.Fprintln(w, "STATS", c.t.Len(), c.hits.Load(), c.misses.Load())
-		case "QUIT":
-			w.Flush()
-			return
-		default:
-			fmt.Fprintln(w, "ERR unknown command")
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-	}
-}
-
-func serve(ln net.Listener, c *cache) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go c.handle(conn)
-	}
-}
 
 func main() {
 	listen := flag.String("listen", "", "address to serve on (empty: run the self-driving demo)")
@@ -107,52 +30,100 @@ func main() {
 	opsPer := flag.Int("ops", 20000, "demo operations per client")
 	flag.Parse()
 
-	c := newCache()
 	if *listen != "" {
-		ln, err := net.Listen("tcp", *listen)
+		srv, err := server.New(server.Config{Addr: *listen})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Println("kvcache listening on", ln.Addr())
-		serve(ln, c)
-		return
+		if err := srv.Listen(); err != nil {
+			log.Fatal(err)
+		}
+		log.Println("kvcache listening on", srv.Addr())
+		log.Fatal(srv.Serve())
 	}
 
-	// Demo mode: loopback server plus concurrent clients.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// Demo mode: loopback daemon plus concurrent pipelined clients.
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0", Shards: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	go serve(ln, c)
-	log.Println("demo server on", ln.Addr())
+	if err := srv.Listen(); err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve()
+	log.Println("demo server on", srv.Addr())
 
 	var wg sync.WaitGroup
 	for cl := 0; cl < *clients; cl++ {
 		wg.Add(1)
 		go func(cl int) {
 			defer wg.Done()
-			conn, err := net.Dial("tcp", ln.Addr().String())
-			if err != nil {
-				log.Fatalf("dial: %v", err)
-			}
-			defer conn.Close()
-			r := bufio.NewReader(conn)
-			w := bufio.NewWriter(conn)
-			for i := 0; i < *opsPer; i++ {
-				key := fmt.Sprintf("user:%d:%d", cl, i%1000)
-				if i%3 == 0 {
-					fmt.Fprintf(w, "SET %s session-%d\n", key, i)
-				} else {
-					fmt.Fprintf(w, "GET %s\n", key)
-				}
-				w.Flush()
-				if _, err := r.ReadString('\n'); err != nil {
-					log.Fatalf("client %d: %v", cl, err)
-				}
+			if err := runClient(srv.Addr().String(), cl, *opsPer); err != nil {
+				log.Fatalf("client %d: %v", cl, err)
 			}
 		}(cl)
 	}
 	wg.Wait()
-	fmt.Printf("demo done: %d entries, %d hits, %d misses\n",
-		c.t.Len(), c.hits.Load(), c.misses.Load())
+
+	printStats(srv.Addr().String())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal("drain: ", err)
+	}
+	fmt.Println("demo done: server drained cleanly")
+}
+
+// runClient issues a 1:2 SET:GET mix over one pipelined connection.
+func runClient(addr string, cl, ops int) error {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	const depth = 16
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("user:%d:%d", cl, i%1000)
+		if i%3 == 0 {
+			err = c.QueueSet(key, fmt.Sprintf("session-%d", i), 0)
+		} else {
+			err = c.QueueGet(key)
+		}
+		if err != nil {
+			return err
+		}
+		if c.Pending() == depth || i == ops-1 {
+			reps, err := c.Flush()
+			if err != nil {
+				return err
+			}
+			for _, rep := range reps {
+				if rep.Err != nil {
+					return rep.Err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func printStats(addr string) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	stats, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-16s %s\n", name, stats[name])
+	}
 }

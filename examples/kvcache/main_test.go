@@ -1,120 +1,42 @@
 package main
 
 import (
-	"bufio"
-	"fmt"
-	"net"
-	"strings"
-	"sync"
 	"testing"
+
+	"cuckoohash/client"
+	"cuckoohash/server"
 )
 
-func startTestServer(t *testing.T) (addr string, c *cache) {
-	t.Helper()
-	c = newCache()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// The protocol and concurrency behavior are tested in server/ and
+// client/; this exercises the example's own demo path.
+func TestDemoClientLoop(t *testing.T) {
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0", Shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { ln.Close() })
-	go serve(ln, c)
-	return ln.Addr().String(), c
-}
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
 
-type client struct {
-	conn net.Conn
-	r    *bufio.Reader
-}
-
-func dial(t *testing.T, addr string) *client {
-	t.Helper()
-	conn, err := net.Dial("tcp", addr)
+	if err := runClient(srv.Addr().String(), 0, 3000); err != nil {
+		t.Fatal(err)
+	}
+	// i%3==0 of 3000 ops are SETs over 1000 distinct keys.
+	if got := srv.Cache().Len(); got != 1000 {
+		t.Fatalf("cache holds %d entries, want 1000", got)
+	}
+	c, err := client.Dial(srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { conn.Close() })
-	return &client{conn: conn, r: bufio.NewReader(conn)}
-}
-
-func (c *client) roundTrip(t *testing.T, req string) string {
-	t.Helper()
-	if _, err := fmt.Fprintln(c.conn, req); err != nil {
-		t.Fatal(err)
-	}
-	line, err := c.r.ReadString('\n')
+	defer c.Close()
+	stats, err := c.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	return strings.TrimSpace(line)
-}
-
-func TestProtocol(t *testing.T) {
-	addr, _ := startTestServer(t)
-	cl := dial(t, addr)
-
-	if got := cl.roundTrip(t, "GET missing"); got != "MISS" {
-		t.Fatalf("GET missing = %q", got)
-	}
-	if got := cl.roundTrip(t, "SET k1 hello"); got != "OK" {
-		t.Fatalf("SET = %q", got)
-	}
-	if got := cl.roundTrip(t, "GET k1"); got != "VALUE hello" {
-		t.Fatalf("GET = %q", got)
-	}
-	if got := cl.roundTrip(t, "SET k1 world"); got != "OK" {
-		t.Fatalf("SET overwrite = %q", got)
-	}
-	if got := cl.roundTrip(t, "GET k1"); got != "VALUE world" {
-		t.Fatalf("GET after overwrite = %q", got)
-	}
-	if got := cl.roundTrip(t, "DEL k1"); got != "OK" {
-		t.Fatalf("DEL = %q", got)
-	}
-	if got := cl.roundTrip(t, "DEL k1"); got != "MISS" {
-		t.Fatalf("DEL again = %q", got)
-	}
-	if got := cl.roundTrip(t, "STATS"); !strings.HasPrefix(got, "STATS 0 ") {
-		t.Fatalf("STATS = %q", got)
-	}
-	if got := cl.roundTrip(t, "BOGUS"); !strings.HasPrefix(got, "ERR") {
-		t.Fatalf("BOGUS = %q", got)
-	}
-	if got := cl.roundTrip(t, "SET justkey"); !strings.HasPrefix(got, "ERR") {
-		t.Fatalf("short SET = %q", got)
-	}
-}
-
-func TestConcurrentClients(t *testing.T) {
-	addr, c := startTestServer(t)
-	const clients = 8
-	const keysPer = 200
-	var wg sync.WaitGroup
-	for i := 0; i < clients; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			cl := dial(t, addr)
-			for k := 0; k < keysPer; k++ {
-				key := fmt.Sprintf("c%d-k%d", i, k)
-				if got := cl.roundTrip(t, "SET "+key+" v"+key); got != "OK" {
-					t.Errorf("SET %s = %q", key, got)
-					return
-				}
-			}
-			for k := 0; k < keysPer; k++ {
-				key := fmt.Sprintf("c%d-k%d", i, k)
-				if got := cl.roundTrip(t, "GET "+key); got != "VALUE v"+key {
-					t.Errorf("GET %s = %q", key, got)
-					return
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-	if t.Failed() {
-		t.FailNow()
-	}
-	if got := c.t.Len(); got != clients*keysPer {
-		t.Fatalf("cache holds %d entries, want %d", got, clients*keysPer)
+	if stats["sets"] != "1000" {
+		t.Fatalf("sets = %s, want 1000", stats["sets"])
 	}
 }

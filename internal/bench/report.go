@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"time"
 )
 
 // Report is the regenerated form of one paper figure: named rows of values
@@ -11,18 +14,18 @@ import (
 // footprints). Print renders a text table; CSV renders machine-readable
 // output for plotting.
 type Report struct {
-	ID      string
-	Title   string
-	Unit    string // e.g. "Mops/s"
-	Columns []string
-	Rows    []Row
-	Notes   []string
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Unit    string   `json:"unit,omitempty"` // e.g. "Mops/s"
+	Columns []string `json:"columns"`
+	Rows    []Row    `json:"rows"`
+	Notes   []string `json:"notes,omitempty"`
 }
 
 // Row is one series of a Report.
 type Row struct {
-	Name   string
-	Values []float64
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
 }
 
 // AddRow appends a series.
@@ -87,6 +90,43 @@ func precisionFor(v float64) int {
 	default:
 		return 4
 	}
+}
+
+// JSONDoc is the machine-readable form of a cuckoobench run: host and
+// scale metadata plus every report (rows carry the op mix or scheme, the
+// columns carry the thread counts or load factors, values carry the
+// throughput or latency quantiles). Future runs can diff a BENCH_*.json
+// trajectory without re-parsing text tables.
+type JSONDoc struct {
+	// Timestamp is RFC 3339 UTC at write time.
+	Timestamp string `json:"timestamp"`
+	// CPUs and GoMaxProcs describe the host the numbers came from.
+	CPUs       int `json:"cpus"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Scale is the workload preset name (small/medium/paper).
+	Scale string `json:"scale"`
+	// Threads is the scale's thread axis, for trajectory tooling that
+	// wants it without parsing column headers.
+	Threads []int `json:"threads"`
+	// Repeat is how many runs each cell is a median of (1 = single run).
+	Repeat  int       `json:"repeat"`
+	Reports []*Report `json:"reports"`
+}
+
+// WriteJSON writes the reports with run metadata as indented JSON.
+func WriteJSON(w io.Writer, reports []*Report, scaleName string, sc Scale, repeat int) error {
+	doc := JSONDoc{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      scaleName,
+		Threads:    sc.Threads,
+		Repeat:     repeat,
+		Reports:    reports,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // CSV renders the report as comma-separated values, one header row then one

@@ -1,0 +1,255 @@
+// Package loadgen drives a cuckood server over real TCP connections with
+// the same key distributions the in-process benchmarks use
+// (internal/workload): uniform or Zipfian keys, a configurable SET
+// fraction, and per-goroutine pipelined connections. It reports
+// throughput and latency quantiles, giving the repository a service-level
+// analogue of the paper's §6 evaluation.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"cuckoohash/client"
+	"cuckoohash/internal/metrics"
+	"cuckoohash/internal/workload"
+)
+
+// Config parameterizes a load-generation run.
+type Config struct {
+	// Addr is the server address.
+	Addr string
+	// Conns is the number of concurrent client goroutines, one pipelined
+	// connection each (default 4).
+	Conns int
+	// OpsPerConn is how many operations each goroutine issues
+	// (default 50000).
+	OpsPerConn int
+	// Batch is the pipeline depth: requests per flush (default 16;
+	// 1 disables pipelining).
+	Batch int
+	// SetFrac is the fraction of SET operations; the rest are GETs
+	// (default 0.1, the paper's 10%-insert mix).
+	SetFrac float64
+	// Keys is the key-universe size (default 1<<20).
+	Keys uint64
+	// Dist is "uniform" or "zipf" (default "uniform").
+	Dist string
+	// Theta is the Zipf skew in (0,1) (default 0.99, YCSB's default).
+	Theta float64
+	// ValueSize is the SET payload length in bytes (default 32).
+	ValueSize int
+	// TTL, when positive, is attached to every SET.
+	TTL time.Duration
+	// Seed makes key streams reproducible (default 1).
+	Seed uint64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Conns == 0 {
+		c.Conns = 4
+	}
+	if c.OpsPerConn == 0 {
+		c.OpsPerConn = 50000
+	}
+	if c.Batch < 1 {
+		c.Batch = 16
+	}
+	if c.SetFrac == 0 {
+		c.SetFrac = 0.1
+	}
+	if c.Keys == 0 {
+		c.Keys = 1 << 20
+	}
+	if c.Dist == "" {
+		c.Dist = "uniform"
+	}
+	if c.Dist != "uniform" && c.Dist != "zipf" {
+		return fmt.Errorf("loadgen: unknown distribution %q (want uniform or zipf)", c.Dist)
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.99
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Result is the aggregate outcome of a run. Latency quantiles are over
+// batch round-trip times: with Batch=1 that is per-request latency; with
+// deeper pipelines it is the latency a pipelined client actually
+// experiences per flush.
+type Result struct {
+	Config   Config
+	Ops      uint64
+	Duration time.Duration
+	Hits     uint64
+	Misses   uint64
+	Errors   uint64 // per-request server errors (e.g. cache full)
+	Lat      metrics.Histogram
+}
+
+// Throughput returns overall requests/s.
+func (r *Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Duration.Seconds()
+}
+
+// Print renders a human-readable summary.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %d conns x %d ops, batch=%d, dist=%s, %.0f%% SET, %d keys\n",
+		r.Config.Conns, r.Config.OpsPerConn, r.Config.Batch, r.Config.Dist,
+		r.Config.SetFrac*100, r.Config.Keys)
+	fmt.Fprintf(w, "  %d ops in %v = %.2f Kreq/s (%.3f Mreq/s)\n",
+		r.Ops, r.Duration.Round(time.Millisecond), r.Throughput()/1e3, r.Throughput()/1e6)
+	fmt.Fprintf(w, "  hits=%d misses=%d errors=%d hit_ratio=%.3f\n",
+		r.Hits, r.Misses, r.Errors, ratio(r.Hits, r.Hits+r.Misses))
+	fmt.Fprintf(w, "  batch RTT: p50=%v p99=%v p999=%v mean=%v\n",
+		time.Duration(r.Lat.Quantile(0.50)),
+		time.Duration(r.Lat.Quantile(0.99)),
+		time.Duration(r.Lat.Quantile(0.999)),
+		time.Duration(r.Lat.Mean()))
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// connStats is one goroutine's tally, merged after the run.
+type connStats struct {
+	ops, hits, misses, errors uint64
+	lat                       metrics.Histogram
+	err                       error
+}
+
+// Run executes the configured load against the server and blocks until
+// every goroutine finishes. A transport error aborts that goroutine and
+// is returned (first one wins); completed work is still tallied.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	stats := make([]connStats, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runConn(cfg, i, &stats[i])
+		}(i)
+	}
+	wg.Wait()
+	res := &Result{Config: cfg, Duration: time.Since(start)}
+	var firstErr error
+	for i := range stats {
+		s := &stats[i]
+		res.Ops += s.ops
+		res.Hits += s.hits
+		res.Misses += s.misses
+		res.Errors += s.errors
+		res.Lat.Merge(&s.lat)
+		if s.err != nil && firstErr == nil {
+			firstErr = s.err
+		}
+	}
+	return res, firstErr
+}
+
+// runConn issues one goroutine's share of the load over one connection.
+func runConn(cfg Config, id int, st *connStats) {
+	conn, err := client.Dial(cfg.Addr)
+	if err != nil {
+		st.err = err
+		return
+	}
+	defer conn.Close()
+
+	seed := cfg.Seed ^ uint64(id)*0x9E3779B97F4A7C15
+	var keys workload.KeyGen
+	if cfg.Dist == "zipf" {
+		keys = workload.NewZipfKeys(seed, cfg.Keys, cfg.Theta)
+	} else {
+		keys = uniformUniverse{rnd: workload.NewRand(seed), n: cfg.Keys}
+	}
+	opRnd := workload.NewRand(seed + 1)
+	val := make([]byte, cfg.ValueSize)
+	for i := range val {
+		val[i] = 'a' + byte((id+i)%26)
+	}
+	value := string(val)
+
+	keyBuf := make([]byte, 0, 24)
+	isSet := make([]bool, cfg.Batch)
+	for sent := 0; sent < cfg.OpsPerConn; {
+		batch := cfg.Batch
+		if rem := cfg.OpsPerConn - sent; batch > rem {
+			batch = rem
+		}
+		for b := 0; b < batch; b++ {
+			isSet[b] = opRnd.Float64() < cfg.SetFrac
+			var k uint64
+			if isSet[b] {
+				k = keys.NextKey()
+			} else {
+				k = keys.ExistingKey()
+			}
+			keyBuf = strconv.AppendUint(keyBuf[:0], k, 16)
+			key := "k" + string(keyBuf)
+			if isSet[b] {
+				err = conn.QueueSet(key, value, cfg.TTL)
+			} else {
+				err = conn.QueueGet(key)
+			}
+			if err != nil {
+				st.err = err
+				return
+			}
+		}
+		t0 := time.Now()
+		reps, err := conn.Flush()
+		if err != nil {
+			st.err = err
+			return
+		}
+		st.lat.Record(uint64(time.Since(t0)))
+		sent += len(reps)
+		st.ops += uint64(len(reps))
+		for b, rep := range reps {
+			switch {
+			case rep.Err != nil:
+				st.errors++
+			case isSet[b]:
+				// Successful SETs count toward ops only; hit ratio is
+				// a GET-side statistic.
+			case rep.Found:
+				st.hits++
+			default:
+				st.misses++
+			}
+		}
+	}
+}
+
+// uniformUniverse draws uniform keys from a fixed universe [0, n), unlike
+// workload.UniformKeys which generates fresh per-thread keys; a cache
+// workload wants repeated keys so GETs can hit.
+type uniformUniverse struct {
+	rnd *workload.Rand
+	n   uint64
+}
+
+func (u uniformUniverse) NextKey() uint64     { return u.rnd.Intn(u.n) }
+func (u uniformUniverse) ExistingKey() uint64 { return u.rnd.Intn(u.n) }

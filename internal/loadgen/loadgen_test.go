@@ -1,0 +1,105 @@
+package loadgen_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cuckoohash/internal/loadgen"
+	"cuckoohash/server"
+)
+
+func startServer(t *testing.T) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Shards:        4,
+		SlotsPerShard: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRunUniformAndZipf(t *testing.T) {
+	s := startServer(t)
+	for _, dist := range []string{"uniform", "zipf"} {
+		t.Run(dist, func(t *testing.T) {
+			res, err := loadgen.Run(loadgen.Config{
+				Addr:       s.Addr().String(),
+				Conns:      4,
+				OpsPerConn: 2000,
+				Batch:      16,
+				SetFrac:    0.5,
+				Keys:       1 << 10,
+				Dist:       dist,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := res.Ops, uint64(4*2000); got != want {
+				t.Fatalf("Ops = %d, want %d", got, want)
+			}
+			if res.Errors != 0 {
+				t.Fatalf("%d request errors", res.Errors)
+			}
+			// Half the ops are GETs over a tiny hot keyspace; after the
+			// first few batches nearly all must hit.
+			if res.Hits == 0 {
+				t.Fatal("no GET hits against a 1K-key universe")
+			}
+			if res.Throughput() <= 0 {
+				t.Fatal("non-positive throughput")
+			}
+			if res.Lat.Count() == 0 || res.Lat.Quantile(0.99) == 0 {
+				t.Fatal("no latency samples recorded")
+			}
+			var sb strings.Builder
+			res.Print(&sb)
+			for _, want := range []string{"p50=", "p99=", "p999=", "hit_ratio="} {
+				if !strings.Contains(sb.String(), want) {
+					t.Errorf("Print output missing %q:\n%s", want, sb.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := loadgen.Run(loadgen.Config{Dist: "pareto"}); err == nil {
+		t.Fatal("bad distribution accepted")
+	}
+}
+
+func TestRunTTLWorkload(t *testing.T) {
+	s := startServer(t)
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:       s.Addr().String(),
+		Conns:      2,
+		OpsPerConn: 500,
+		Batch:      8,
+		SetFrac:    1.0,
+		Keys:       1 << 8,
+		TTL:        30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors", res.Errors)
+	}
+	// All SETs carried a TTL; the sweeper must empty the cache.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Cache().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d TTL'd entries never expired", s.Cache().Len())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

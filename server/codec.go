@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strconv"
+	"time"
+)
+
+// The wire protocol (docs/PROTOCOL.md) is memcached-style text lines. One
+// request per line, one response line per request (STATS responds with
+// multiple lines terminated by END), so a client can write any number of
+// requests before reading — responses come back in order.
+
+// maxKeyLen matches memcached's key limit.
+const maxKeyLen = 250
+
+type opCode uint8
+
+const (
+	opGet opCode = iota
+	opSet
+	opSetEx
+	opDel
+	opTTL
+	opStats
+	opQuit
+)
+
+// request is one parsed protocol line. key and val alias the connection's
+// read buffer and are only valid until the next read; handlers that store
+// them must copy (conn.go does, via string conversions).
+type request struct {
+	op  opCode
+	key []byte
+	ttl time.Duration
+	val []byte
+}
+
+var (
+	errEmpty      = errors.New("empty command")
+	errUnknownCmd = errors.New("unknown command")
+	errBadArgs    = errors.New("wrong number of arguments")
+	errKeyTooLong = errors.New("key exceeds 250 bytes")
+	errBadTTL     = errors.New("ttl must be a positive integer (milliseconds)")
+)
+
+// nextToken splits the first space-separated token off line.
+func nextToken(line []byte) (tok, rest []byte) {
+	if i := bytes.IndexByte(line, ' '); i >= 0 {
+		return line[:i], line[i+1:]
+	}
+	return line, nil
+}
+
+// parseRequest parses one protocol line (already stripped of \r\n).
+func parseRequest(line []byte) (request, error) {
+	cmd, rest := nextToken(line)
+	if len(cmd) == 0 {
+		return request{}, errEmpty
+	}
+	switch {
+	case asciiEqualFold(cmd, "GET"):
+		return parseKeyOnly(opGet, rest)
+	case asciiEqualFold(cmd, "DEL"):
+		return parseKeyOnly(opDel, rest)
+	case asciiEqualFold(cmd, "TTL"):
+		return parseKeyOnly(opTTL, rest)
+	case asciiEqualFold(cmd, "SET"):
+		key, val := nextToken(rest)
+		if len(key) == 0 || val == nil {
+			return request{}, errBadArgs
+		}
+		if len(key) > maxKeyLen {
+			return request{}, errKeyTooLong
+		}
+		return request{op: opSet, key: key, val: val}, nil
+	case asciiEqualFold(cmd, "SETEX"):
+		key, rest2 := nextToken(rest)
+		ttlTok, val := nextToken(rest2)
+		if len(key) == 0 || len(ttlTok) == 0 || val == nil {
+			return request{}, errBadArgs
+		}
+		if len(key) > maxKeyLen {
+			return request{}, errKeyTooLong
+		}
+		ms, err := strconv.ParseUint(string(ttlTok), 10, 32)
+		if err != nil || ms == 0 {
+			return request{}, errBadTTL
+		}
+		return request{op: opSetEx, key: key, ttl: time.Duration(ms) * time.Millisecond, val: val}, nil
+	case asciiEqualFold(cmd, "STATS"):
+		if len(rest) != 0 {
+			return request{}, errBadArgs
+		}
+		return request{op: opStats}, nil
+	case asciiEqualFold(cmd, "QUIT"):
+		return request{op: opQuit}, nil
+	}
+	return request{}, errUnknownCmd
+}
+
+func parseKeyOnly(op opCode, rest []byte) (request, error) {
+	key, extra := nextToken(rest)
+	if len(key) == 0 || extra != nil {
+		return request{}, errBadArgs
+	}
+	if len(key) > maxKeyLen {
+		return request{}, errKeyTooLong
+	}
+	return request{op: op, key: key}, nil
+}
+
+// asciiEqualFold reports whether b equals the upper-case ASCII literal s
+// case-insensitively, without allocating.
+func asciiEqualFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Response writers. Each writes into the connection's buffered writer;
+// nothing reaches the socket until the batch flush.
+
+func writeOK(w *bufio.Writer) {
+	w.WriteString("OK\n")
+}
+
+func writeMiss(w *bufio.Writer) {
+	w.WriteString("MISS\n")
+}
+
+func writeValue(w *bufio.Writer, val string) {
+	w.WriteString("VALUE ")
+	w.WriteString(val)
+	w.WriteByte('\n')
+}
+
+func writeTTL(w *bufio.Writer, d time.Duration, persistent bool) {
+	w.WriteString("TTL ")
+	if persistent {
+		w.WriteString("-1")
+	} else {
+		ms := d.Milliseconds()
+		if ms < 1 {
+			ms = 1 // live but sub-millisecond: never report 0 for a hit
+		}
+		w.WriteString(strconv.FormatInt(ms, 10))
+	}
+	w.WriteByte('\n')
+}
+
+func writeErr(w *bufio.Writer, err error) {
+	w.WriteString("ERR ")
+	w.WriteString(err.Error())
+	w.WriteByte('\n')
+}
+
+func writeStats(w *bufio.Writer, lines []Stat) {
+	for _, s := range lines {
+		w.WriteString("STAT ")
+		w.WriteString(s.Name)
+		w.WriteByte(' ')
+		w.WriteString(s.Value)
+		w.WriteByte('\n')
+	}
+	w.WriteString("END\n")
+}

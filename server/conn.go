@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"time"
+)
+
+const (
+	connReadBuf  = 64 << 10
+	connWriteBuf = 64 << 10
+)
+
+// errLineTooLong is reported when a request exceeds the read buffer; the
+// connection is closed because resynchronizing mid-line is not possible.
+var errLineTooLong = errors.New("request line too long")
+
+// handleConn runs one connection's request loop. The loop is the
+// server-side analogue of the paper's batching principle (§4.3.2 amortizes
+// per-operation overhead across a batch): it blocks for the first request,
+// then keeps parsing requests for as long as the read buffer has complete
+// lines, and flushes the write buffer once per such batch. A client that
+// pipelines N requests costs one read syscall, one write syscall, and one
+// latency-sample clock pair — not N of each.
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.forgetConn(nc)
+	s.cache.stats.connsTotal.Add(1)
+	s.cache.stats.connsActive.Add(1)
+	defer s.cache.stats.connsActive.Add(-1)
+
+	r := bufio.NewReaderSize(nc, connReadBuf)
+	w := bufio.NewWriterSize(nc, connWriteBuf)
+	var reqCount uint64
+
+	for {
+		// Blocking read for the head of the next batch.
+		line, err := readLine(r)
+		if err != nil {
+			// A shutdown wakes blocked readers via a past read deadline;
+			// flush whatever a slow client has not consumed and drop out.
+			w.Flush()
+			return
+		}
+		quit := s.serveBatchHead(line, r, w, &reqCount)
+		if w.Flush() != nil || quit {
+			return
+		}
+		if s.draining.Load() {
+			// Drain: the batch in flight was completed and flushed; now
+			// close instead of blocking on a read that will never come.
+			return
+		}
+	}
+}
+
+// serveBatchHead processes line and then every further request already
+// buffered, returning true if the client asked to quit.
+func (s *Server) serveBatchHead(line []byte, r *bufio.Reader, w *bufio.Writer, reqCount *uint64) bool {
+	for {
+		sample := *reqCount&latencySampleMask == 0
+		*reqCount++
+		var start time.Time
+		if sample {
+			start = time.Now()
+		}
+		quit := s.serveRequest(line, w)
+		if sample {
+			s.cache.stats.recordLatency(uint64(time.Since(start)))
+		}
+		if quit {
+			return true
+		}
+		if r.Buffered() == 0 {
+			return false
+		}
+		var err error
+		line, err = readLine(r)
+		if err != nil {
+			return true
+		}
+	}
+}
+
+// serveRequest executes one parsed request, writing its response into w.
+func (s *Server) serveRequest(line []byte, w *bufio.Writer) (quit bool) {
+	req, err := parseRequest(line)
+	if err != nil {
+		writeErr(w, err)
+		return false
+	}
+	switch req.op {
+	case opGet:
+		if v, ok := s.cache.Get(string(req.key)); ok {
+			writeValue(w, v)
+		} else {
+			writeMiss(w)
+		}
+	case opSet, opSetEx:
+		if err := s.cache.Set(string(req.key), string(req.val), req.ttl); err != nil {
+			writeErr(w, err)
+		} else {
+			writeOK(w)
+		}
+	case opDel:
+		if s.cache.Delete(string(req.key)) {
+			writeOK(w)
+		} else {
+			writeMiss(w)
+		}
+	case opTTL:
+		if d, ok := s.cache.TTL(string(req.key)); ok {
+			writeTTL(w, d, d == 0)
+		} else {
+			writeMiss(w)
+		}
+	case opStats:
+		writeStats(w, s.cache.Snapshot(s.cache.stats))
+	case opQuit:
+		return true
+	}
+	return false
+}
+
+// readLine returns the next \n-terminated line with the terminator (and a
+// preceding \r, if any) stripped. The line aliases the reader's buffer.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err != nil {
+		if errors.Is(err, bufio.ErrBufferFull) {
+			return nil, errLineTooLong
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}

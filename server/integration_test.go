@@ -1,0 +1,213 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cuckoohash/client"
+	"cuckoohash/server"
+)
+
+// TestIntegrationMixedWorkload drives a loopback daemon with the pooled
+// pipelined client from 8 goroutines running a SET/GET/DEL/TTL-expiry
+// mix, then cross-checks the server's counters against what the clients
+// observed and verifies the graceful drain leaves no connection reset.
+func TestIntegrationMixedWorkload(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Shards:        4,
+		SlotsPerShard: 1 << 12,
+		SweepInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	const (
+		workers = 8
+		keysPer = 300
+	)
+	pool := client.NewPool(srv.Addr().String(), workers)
+	defer pool.Close()
+
+	var wantHits, wantMisses atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := runWorker(pool, w, keysPer, &wantHits, &wantMisses); err != nil {
+				errs <- fmt.Errorf("worker %d: %w", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Server-side counters must agree exactly with the clients' view.
+	c, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(c)
+	if got, want := stats["hits"], fmt.Sprint(wantHits.Load()); got != want {
+		t.Errorf("server hits = %s, clients observed %s", got, want)
+	}
+	if got, want := stats["misses"], fmt.Sprint(wantMisses.Load()); got != want {
+		t.Errorf("server misses = %s, clients observed %s", got, want)
+	}
+	if stats["expired"] == "0" {
+		t.Error("no entries expired despite TTL traffic")
+	}
+
+	// Graceful drain: every connection is idle, so Shutdown must finish
+	// within the deadline and close each with FIN, not RST. A passive
+	// read on an idle raw connection observes exactly that: io.EOF for a
+	// clean close, ECONNRESET for an abortive one.
+	idle, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	// One round-trip ensures the server has accepted and is tracking the
+	// connection before the drain starts.
+	if _, err := idle.Write([]byte("GET warmup\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if _, err := idle.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown did not drain: %v", err)
+	}
+	if err := <-serveErr; err != server.ErrServerClosed {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+	idle.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := idle.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("post-drain read: got %v, want io.EOF", err)
+	}
+	if nc, err := net.Dial("tcp", srv.Addr().String()); err == nil {
+		nc.Close()
+		t.Error("server still accepting after drain")
+	}
+}
+
+// runWorker performs this goroutine's operation mix, tallying the GET
+// hits and misses it expects the server to have counted.
+func runWorker(pool *client.Pool, w, keysPer int, hits, misses *atomic.Uint64) error {
+	c, err := pool.Get()
+	if err != nil {
+		return err
+	}
+	defer pool.Put(c)
+
+	key := func(k int) string { return fmt.Sprintf("w%d-k%d", w, k) }
+
+	// Phase 1: pipelined SETs; every 10th key gets a short TTL.
+	for k := 0; k < keysPer; k++ {
+		ttl := time.Duration(0)
+		if k%10 == 0 {
+			ttl = 30 * time.Millisecond
+		}
+		if err := c.QueueSet(key(k), fmt.Sprintf("v%d", k), ttl); err != nil {
+			return err
+		}
+		if c.Pending() == 32 || k == keysPer-1 {
+			reps, err := c.Flush()
+			if err != nil {
+				return err
+			}
+			for _, rep := range reps {
+				if rep.Err != nil {
+					return rep.Err
+				}
+			}
+		}
+	}
+
+	// Phase 2: pipelined GETs of every persistent key — all hits.
+	for k := 0; k < keysPer; k++ {
+		if k%10 == 0 {
+			continue
+		}
+		if err := c.QueueGet(key(k)); err != nil {
+			return err
+		}
+	}
+	reps, err := c.Flush()
+	if err != nil {
+		return err
+	}
+	for i, rep := range reps {
+		if rep.Err != nil || !rep.Found {
+			return fmt.Errorf("GET %d: found=%v err=%v", i, rep.Found, rep.Err)
+		}
+	}
+	hits.Add(uint64(len(reps)))
+
+	// Phase 3: wait out the TTLs, then every TTL'd key must be a miss
+	// (whether the sweeper or lazy expiry gets it first).
+	time.Sleep(60 * time.Millisecond)
+	for k := 0; k < keysPer; k += 10 {
+		v, ok, err := c.Get(key(k))
+		if err != nil {
+			return err
+		}
+		if ok {
+			return fmt.Errorf("key %s survived its TTL (value %q)", key(k), v)
+		}
+		misses.Add(1)
+	}
+
+	// Phase 4: DELs — present keys report found, re-DELs report miss
+	// (DEL is not a GET, so the hit/miss counters are unaffected).
+	for k := 1; k < keysPer; k += 50 {
+		found, err := c.Del(key(k))
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("DEL %s: not found", key(k))
+		}
+		found, err = c.Del(key(k))
+		if err != nil {
+			return err
+		}
+		if found {
+			return fmt.Errorf("second DEL %s: reported found", key(k))
+		}
+		if _, ok, err := c.Get(key(k)); err != nil {
+			return err
+		} else if ok {
+			return fmt.Errorf("GET %s after DEL: still present", key(k))
+		}
+		misses.Add(1)
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:11211").
+	Addr string
+	// Shards is the number of independent cuckoo tables the cache is
+	// split into (rounded up to a power of two; default 8).
+	Shards int
+	// SlotsPerShard is each shard's fixed slot capacity (default 1<<16).
+	// The cache is bounded: past this it evicts rather than grows.
+	SlotsPerShard uint64
+	// SweepInterval is how often the TTL sweeper scans for expired
+	// entries (default 1s; negative disables the sweeper — expiry then
+	// happens only lazily on access).
+	SweepInterval time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:11211"
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.SlotsPerShard == 0 {
+		c.SlotsPerShard = 1 << 16
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = time.Second
+	}
+}
+
+// Server is the cuckood daemon: a listener plus the sharded cache.
+type Server struct {
+	cfg   Config
+	cache *Cache
+
+	ln        net.Listener
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup // live connection handlers
+	draining  atomic.Bool
+	sweepStop chan struct{}
+}
+
+// New creates a Server; call Listen then Serve (or ListenAndServe).
+func New(cfg Config) (*Server, error) {
+	cfg.setDefaults()
+	cache, err := NewCache(cfg.Shards, cfg.SlotsPerShard)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:       cfg,
+		cache:     cache,
+		conns:     make(map[net.Conn]struct{}),
+		sweepStop: make(chan struct{}),
+	}, nil
+}
+
+// Cache exposes the underlying store, e.g. for in-process use or tests.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Listen binds the configured address and starts the TTL sweeper.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.SweepInterval > 0 {
+		go s.cache.sweeper(s.cfg.SweepInterval, s.sweepStop)
+	}
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Listen).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until Shutdown or Close; it returns
+// ErrServerClosed on a clean stop.
+func (s *Server) Serve() error {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if !s.trackConn(nc) {
+			nc.Close()
+			return ErrServerClosed
+		}
+		go s.handleConn(nc)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// trackConn registers a live connection, refusing it when draining.
+func (s *Server) trackConn(nc net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.conns[nc] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+// forgetConn closes and deregisters a connection.
+func (s *Server) forgetConn(nc net.Conn) {
+	nc.Close()
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// Shutdown drains the server: it stops accepting, lets every connection
+// finish (and flush) the batch it is processing, wakes connections that
+// are idle in a blocking read, and waits for all handlers to exit. Each
+// connection is closed by its own handler after its final flush, so a
+// well-behaved client sees complete responses followed by EOF — never a
+// reset. If ctx expires first, remaining connections are closed hard and
+// the context error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining.Load()
+	s.draining.Store(true)
+	if first {
+		close(s.sweepStop)
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Wake handlers blocked in Read; they observe draining and exit
+	// cleanly. Handlers mid-batch ignore this until their next read.
+	for nc := range s.conns {
+		nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for nc := range s.conns {
+			nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts down without a drain deadline grace: equivalent to
+// Shutdown with an already-expired context, minus the error.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}

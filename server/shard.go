@@ -1,0 +1,274 @@
+// Package server implements cuckood, a memcached-style network cache
+// daemon backed by the generic concurrent cuckoo table. It is the service
+// layer the paper's evaluation assumes (§6 measures the table inside
+// MemC3, a memcached replacement): a text protocol over TCP with
+// pipelining, a cache sharded N ways by key hash so lock stripes and Grow
+// operations stay independent, TTL support with lazy expiry plus a
+// background sweeper, bounded-memory admission (FIFO eviction on a full
+// shard instead of failing the connection), and per-shard statistics.
+//
+// The wire protocol is documented in docs/PROTOCOL.md.
+package server
+
+import (
+	"errors"
+	"hash/maphash"
+	"math/bits"
+	"sync"
+	"time"
+
+	"cuckoohash/generic"
+)
+
+// ErrServerFull is reported to a client when a SET cannot find room even
+// after evicting; the connection itself stays up.
+var ErrServerFull = errors.New("server: cache full")
+
+// maxEvictTries bounds how many victims one SET may evict before giving
+// up. Each eviction frees at least one slot, so a handful of tries is
+// enough unless the cuckoo search keeps failing on pathological keys.
+const maxEvictTries = 8
+
+// entry is the stored value plus its absolute expiry time.
+type entry struct {
+	val      string
+	expireAt int64 // unix nanoseconds; 0 = never expires
+}
+
+func (e entry) expired(now int64) bool {
+	return e.expireAt != 0 && now >= e.expireAt
+}
+
+// Cache is the sharded store behind the daemon. Keys are hashed to one of
+// N independent cuckoo tables, so a Grow or stripe-lock convoy in one
+// shard never stalls traffic to the others. All methods are safe for
+// concurrent use.
+type Cache struct {
+	seed   maphash.Seed
+	shards []*shard
+	mask   uint64
+	stats  *stats
+}
+
+// shard is one cuckoo table plus a FIFO ring of inserted keys used as the
+// eviction order when the table fills.
+type shard struct {
+	table *generic.Table[string, entry]
+
+	mu   sync.Mutex // guards the ring only; the table locks itself
+	ring []string
+	head uint64 // next victim
+	tail uint64 // next free slot; tail-head = live ring entries
+}
+
+// NewCache creates a cache with the given shard count (rounded up to a
+// power of two, min 1) and per-shard slot capacity. Total capacity is
+// bounded: when a shard fills, SET evicts in approximate insertion order.
+func NewCache(shards int, slotsPerShard uint64) (*Cache, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards&(shards-1) != 0 {
+		shards = 1 << bits.Len(uint(shards))
+	}
+	if slotsPerShard == 0 {
+		slotsPerShard = 1 << 16
+	}
+	c := &Cache{
+		seed:   maphash.MakeSeed(),
+		shards: make([]*shard, shards),
+		mask:   uint64(shards - 1),
+		stats:  newStats(shards),
+	}
+	for i := range c.shards {
+		t, err := generic.New[string, entry](generic.Config{
+			InitialCapacity: slotsPerShard,
+			DisableAutoGrow: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.shards[i] = &shard{
+			table: t,
+			ring:  make([]string, t.Cap()),
+		}
+	}
+	return c, nil
+}
+
+// shardFor maps a key to its shard index.
+func (c *Cache) shardFor(key string) int {
+	return int(maphash.String(c.seed, key) & c.mask)
+}
+
+// Len returns the number of stored entries (including not-yet-expired
+// ones awaiting the sweeper).
+func (c *Cache) Len() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		n += s.table.Len()
+	}
+	return n
+}
+
+// Cap returns the total slot capacity across shards.
+func (c *Cache) Cap() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		n += s.table.Cap()
+	}
+	return n
+}
+
+// Stats exposes the cache's counters.
+func (c *Cache) Stats() *stats { return c.stats }
+
+// Set stores key=val with the given TTL (0 = no expiry). When the shard
+// is full it evicts entries in approximate insertion order; if even that
+// fails it returns ErrServerFull.
+func (c *Cache) Set(key, val string, ttl time.Duration) error {
+	var expireAt int64
+	if ttl > 0 {
+		expireAt = time.Now().Add(ttl).UnixNano()
+	}
+	si := c.shardFor(key)
+	s := c.shards[si]
+	e := entry{val: val, expireAt: expireAt}
+	err := s.set(key, e, func() { c.stats.evictions.Add(si, 1) })
+	if err == nil {
+		c.stats.sets.Add(si, 1)
+	}
+	return err
+}
+
+func (s *shard) set(key string, e entry, onEvict func()) error {
+	for tries := 0; ; tries++ {
+		err := s.table.Insert(key, e)
+		switch err {
+		case nil:
+			s.pushRing(key)
+			return nil
+		case generic.ErrExists:
+			// Overwrite in place; no new slot is consumed, so the ring
+			// keeps its existing record for this key.
+			return s.table.Upsert(key, e)
+		}
+		// ErrFull: free room and retry. Escalate — evicting one entry
+		// frees a slot *somewhere*, but not necessarily one reachable
+		// from this key's two candidate buckets, so each retry evicts
+		// one more victim than the last to open up the cuckoo graph.
+		if tries >= maxEvictTries {
+			return ErrServerFull
+		}
+		for n := 0; n <= tries; n++ {
+			if !s.evictOne(onEvict) {
+				return ErrServerFull
+			}
+		}
+	}
+}
+
+// pushRing records an inserted key as a future eviction victim. The ring
+// has exactly table-capacity slots; if it wraps (possible because deleted
+// keys leave stale records behind) the oldest record is dropped, which
+// only makes eviction order more approximate, never incorrect.
+func (s *shard) pushRing(key string) {
+	s.mu.Lock()
+	if s.tail-s.head == uint64(len(s.ring)) {
+		s.head++
+	}
+	s.ring[s.tail%uint64(len(s.ring))] = key
+	s.tail++
+	s.mu.Unlock()
+}
+
+// evictOne deletes the oldest ring entry that is still present, reporting
+// whether a slot was freed. Stale records (keys already deleted or
+// re-inserted elsewhere in the ring) are skipped for free.
+func (s *shard) evictOne(onEvict func()) bool {
+	for {
+		s.mu.Lock()
+		if s.head == s.tail {
+			s.mu.Unlock()
+			return false
+		}
+		i := s.head % uint64(len(s.ring))
+		victim := s.ring[i]
+		s.ring[i] = "" // release the string for the GC
+		s.head++
+		s.mu.Unlock()
+		if s.table.Delete(victim) {
+			onEvict()
+			return true
+		}
+	}
+}
+
+// Get returns the live value for key. Expired entries are deleted lazily
+// and reported as misses, so a key never outlives its TTL from a client's
+// point of view even if the sweeper has not run yet.
+func (c *Cache) Get(key string) (string, bool) {
+	si := c.shardFor(key)
+	s := c.shards[si]
+	c.stats.gets.Add(si, 1)
+	e, ok := s.table.Get(key)
+	if ok && e.expired(time.Now().UnixNano()) {
+		c.expireKey(si, key)
+		ok = false
+	}
+	if !ok {
+		c.stats.misses.Add(si, 1)
+		return "", false
+	}
+	c.stats.hits.Add(si, 1)
+	return e.val, true
+}
+
+// TTL returns the remaining lifetime of key: (d, true) with d > 0 for an
+// expiring entry, (0, true) for a persistent one, (0, false) for a miss.
+func (c *Cache) TTL(key string) (time.Duration, bool) {
+	si := c.shardFor(key)
+	e, ok := c.shards[si].table.Get(key)
+	if !ok {
+		return 0, false
+	}
+	if e.expireAt == 0 {
+		return 0, true
+	}
+	d := time.Duration(e.expireAt - time.Now().UnixNano())
+	if d <= 0 {
+		c.expireKey(si, key)
+		return 0, false
+	}
+	return d, true
+}
+
+// Delete removes key, reporting whether it was present and live.
+func (c *Cache) Delete(key string) bool {
+	si := c.shardFor(key)
+	s := c.shards[si]
+	c.stats.dels.Add(si, 1)
+	// An expired-but-unswept entry must look deleted-as-miss, not OK.
+	e, ok := s.table.Get(key)
+	if ok && e.expired(time.Now().UnixNano()) {
+		c.expireKey(si, key)
+		return false
+	}
+	return s.table.Delete(key)
+}
+
+// expireKey removes an entry observed to be expired, re-checking under a
+// fresh read so a concurrent re-SET of the same key is (almost) never
+// deleted. The residual race — key re-set between the check and the
+// delete — loses one freshly cached value, which a cache may do. It
+// reports whether an entry was actually removed.
+func (c *Cache) expireKey(si int, key string) bool {
+	s := c.shards[si]
+	if e, ok := s.table.Get(key); ok && e.expired(time.Now().UnixNano()) {
+		if s.table.Delete(key) {
+			c.stats.expired.Add(si, 1)
+			return true
+		}
+	}
+	return false
+}

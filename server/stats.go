@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cuckoohash/internal/metrics"
+)
+
+// latencySampleMask samples one request latency out of every 16 per
+// connection: enough resolution for STATS quantiles without putting two
+// clock reads and a mutex on every request's fast path.
+const latencySampleMask = 0xf
+
+// stats aggregates the daemon's counters. Operation counters are kept
+// per shard (metrics.OpCounter gives each shard a padded slot), so two
+// connections hammering different shards never bounce a statistics cache
+// line between cores — the service-layer form of the paper's principle
+// P1, "never share a counter between threads".
+type stats struct {
+	gets      *metrics.OpCounter
+	hits      *metrics.OpCounter
+	misses    *metrics.OpCounter
+	sets      *metrics.OpCounter
+	dels      *metrics.OpCounter
+	expired   *metrics.OpCounter
+	evictions *metrics.OpCounter
+
+	connsActive atomic.Int64
+	connsTotal  atomic.Uint64
+
+	latMu sync.Mutex
+	lat   metrics.Histogram // sampled request latencies (ns)
+}
+
+func newStats(shards int) *stats {
+	return &stats{
+		gets:      metrics.NewOpCounter(shards),
+		hits:      metrics.NewOpCounter(shards),
+		misses:    metrics.NewOpCounter(shards),
+		sets:      metrics.NewOpCounter(shards),
+		dels:      metrics.NewOpCounter(shards),
+		expired:   metrics.NewOpCounter(shards),
+		evictions: metrics.NewOpCounter(shards),
+	}
+}
+
+// recordLatency merges one sampled request latency.
+func (st *stats) recordLatency(ns uint64) {
+	st.latMu.Lock()
+	st.lat.Record(ns)
+	st.latMu.Unlock()
+}
+
+// Hits returns the cumulative GET hit count.
+func (st *stats) Hits() uint64 { return st.hits.Total() }
+
+// Misses returns the cumulative GET miss count.
+func (st *stats) Misses() uint64 { return st.misses.Total() }
+
+// Evictions returns the number of entries evicted to make room.
+func (st *stats) Evictions() uint64 { return st.evictions.Total() }
+
+// Expired returns the number of entries removed because their TTL passed.
+func (st *stats) Expired() uint64 { return st.expired.Total() }
+
+// Stat is one name/value line of the STATS response.
+type Stat struct {
+	Name  string
+	Value string
+}
+
+// Snapshot renders every counter, the hit ratio, and the sampled latency
+// quantiles as STATS lines. It is called off the hot path, so the lazy
+// aggregation of the per-shard counters happens here, not per request.
+func (c *Cache) Snapshot(st *stats) []Stat {
+	gets, hits, misses := st.gets.Total(), st.hits.Total(), st.misses.Total()
+	ratio := 0.0
+	if gets > 0 {
+		ratio = float64(hits) / float64(gets)
+	}
+	st.latMu.Lock()
+	lat := st.lat // copy: Histogram is a value type
+	st.latMu.Unlock()
+
+	out := []Stat{
+		{"entries", fmt.Sprint(c.Len())},
+		{"capacity", fmt.Sprint(c.Cap())},
+		{"shards", fmt.Sprint(len(c.shards))},
+		{"gets", fmt.Sprint(gets)},
+		{"hits", fmt.Sprint(hits)},
+		{"misses", fmt.Sprint(misses)},
+		{"hit_ratio", fmt.Sprintf("%.4f", ratio)},
+		{"sets", fmt.Sprint(st.sets.Total())},
+		{"dels", fmt.Sprint(st.dels.Total())},
+		{"expired", fmt.Sprint(st.expired.Total())},
+		{"evictions", fmt.Sprint(st.evictions.Total())},
+		{"conns_active", fmt.Sprint(st.connsActive.Load())},
+		{"conns_total", fmt.Sprint(st.connsTotal.Load())},
+		{"lat_samples", fmt.Sprint(lat.Count())},
+		{"lat_mean_ns", fmt.Sprintf("%.0f", lat.Mean())},
+		{"lat_p50_ns", fmt.Sprint(lat.Quantile(0.50))},
+		{"lat_p99_ns", fmt.Sprint(lat.Quantile(0.99))},
+		{"lat_p999_ns", fmt.Sprint(lat.Quantile(0.999))},
+	}
+	for i, s := range c.shards {
+		out = append(out, Stat{
+			fmt.Sprintf("shard%d_entries", i),
+			fmt.Sprint(s.table.Len()),
+		})
+	}
+	return out
+}

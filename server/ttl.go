@@ -1,0 +1,49 @@
+package server
+
+import (
+	"time"
+)
+
+// sweepBatch bounds how many expired keys one shard sheds per sweep pass,
+// so the all-stripe lock that Range takes stays short (the same
+// critical-section-shortening discipline the table itself follows).
+const sweepBatch = 1024
+
+// Sweep scans every shard once and deletes entries whose TTL has passed,
+// returning how many it removed. The scan collects victims under the
+// table's Range lock but deletes them afterwards with the ordinary
+// per-pair locks, so writers are only briefly excluded.
+func (c *Cache) Sweep() uint64 {
+	now := time.Now().UnixNano()
+	var removed uint64
+	victims := make([]string, 0, 64)
+	for si, s := range c.shards {
+		victims = victims[:0]
+		s.table.Range(func(key string, e entry) bool {
+			if e.expired(now) {
+				victims = append(victims, key)
+			}
+			return len(victims) < sweepBatch
+		})
+		for _, key := range victims {
+			if c.expireKey(si, key) {
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// sweeper runs Sweep every interval until stop is closed.
+func (c *Cache) sweeper(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.Sweep()
+		case <-stop:
+			return
+		}
+	}
+}
