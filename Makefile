@@ -3,15 +3,24 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench loadgen-smoke
+.PHONY: check build vet lint test race bench loadgen-smoke metrics-smoke
 
-check: build vet race
+check: build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck when present (CI installs it; locally it is optional so the
+# gate never requires network access).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -36,4 +45,34 @@ loadgen-smoke:
 	STATUS=$$?; \
 	kill -INT $$CUCKOOD_PID; wait $$CUCKOOD_PID || STATUS=$$?; \
 	rm -f ./cuckood.smoke; \
+	exit $$STATUS
+
+# End-to-end smoke of the admin endpoint: serve with -admin, drive a tiny
+# load, then scrape /metrics and assert the key series are present.
+metrics-smoke:
+	$(GO) build -o ./cuckood.smoke ./cmd/cuckood
+	./cuckood.smoke -listen 127.0.0.1:11378 -admin 127.0.0.1:11379 -slow-op 1ns & \
+	CUCKOOD_PID=$$!; \
+	sleep 1; \
+	./cuckood.smoke -loadgen -addr 127.0.0.1:11378 -conns 2 -ops 5000 -batch 16; \
+	STATUS=$$?; \
+	if [ $$STATUS -eq 0 ]; then \
+		SCRAPE=$$(curl -fsS http://127.0.0.1:11379/metrics) || STATUS=$$?; \
+		for series in cuckoo_table_path_length_bucket \
+		              cuckoo_table_path_restarts_total \
+		              cuckoo_lock_contended_total \
+		              cuckoo_htm_aborts_total \
+		              cuckood_hits_total \
+		              cuckood_misses_total \
+		              cuckood_evictions_total \
+		              cuckood_slow_requests_total \
+		              cuckood_request_duration_seconds_bucket; do \
+			echo "$$SCRAPE" | grep -q "$$series" || { echo "MISSING $$series"; STATUS=1; }; \
+		done; \
+		curl -fsS http://127.0.0.1:11379/debug/vars >/dev/null || STATUS=1; \
+		curl -fsS http://127.0.0.1:11379/debug/pprof/ >/dev/null || STATUS=1; \
+	fi; \
+	kill -INT $$CUCKOOD_PID; wait $$CUCKOOD_PID || STATUS=$$?; \
+	rm -f ./cuckood.smoke; \
+	[ $$STATUS -eq 0 ] && echo "metrics-smoke OK"; \
 	exit $$STATUS

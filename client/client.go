@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -308,6 +309,41 @@ type Pool struct {
 	free []*Conn
 	sem  chan struct{}
 	done bool
+
+	dials    atomic.Uint64 // connections dialed over the pool's lifetime
+	discards atomic.Uint64 // connections closed instead of returned
+}
+
+// PoolStats is a point-in-time snapshot of a Pool's connection accounting,
+// for export on a metrics endpoint: InUse/Idle are gauges, Dials/Discards
+// are cumulative counters.
+type PoolStats struct {
+	// Capacity is the pool's maximum concurrent connection count.
+	Capacity int
+	// InUse is the number of connections currently checked out.
+	InUse int
+	// Idle is the number of connections parked in the free list.
+	Idle int
+	// Dials counts connections dialed over the pool's lifetime.
+	Dials uint64
+	// Discards counts connections closed rather than pooled (transport
+	// errors, unflushed requests, pool shutdown).
+	Discards uint64
+}
+
+// Stats returns the pool's current connection accounting.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	idle := len(p.free)
+	p.mu.Unlock()
+	// A checked-out connection holds a sem slot; idle ones do not.
+	return PoolStats{
+		Capacity: cap(p.sem),
+		InUse:    len(p.sem),
+		Idle:     idle,
+		Dials:    p.dials.Load(),
+		Discards: p.discards.Load(),
+	}
 }
 
 // NewPool creates a pool of up to size lazily dialed connections.
@@ -339,6 +375,7 @@ func (p *Pool) Get() (*Conn, error) {
 		<-p.sem
 		return nil, err
 	}
+	p.dials.Add(1)
 	return c, nil
 }
 
@@ -350,6 +387,7 @@ func (p *Pool) Put(c *Conn) {
 	if p.done || c.closed || len(c.pending) > 0 {
 		p.mu.Unlock()
 		c.Close()
+		p.discards.Add(1)
 		<-p.sem
 		return
 	}
@@ -361,6 +399,7 @@ func (p *Pool) Put(c *Conn) {
 // Discard closes a checked-out connection without pooling it.
 func (p *Pool) Discard(c *Conn) {
 	c.Close()
+	p.discards.Add(1)
 	<-p.sem
 }
 

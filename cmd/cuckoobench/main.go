@@ -29,8 +29,8 @@ func main() {
 		scale    = flag.String("scale", "small", "workload scale: small, medium or paper")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		jsonPath = flag.String("json", "", "also write machine-readable results (host, scale, all reports) as JSON to this file")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		repeat  = flag.Int("repeat", 1, "run each experiment N times and report per-cell medians (for noisy hosts)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		repeat   = flag.Int("repeat", 1, "run each experiment N times and report per-cell medians (for noisy hosts)")
 	)
 	flag.Parse()
 

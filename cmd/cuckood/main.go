@@ -3,11 +3,15 @@
 //
 // Serve:
 //
-//	cuckood -listen 127.0.0.1:11300 -shards 8 -slots 65536 -sweep 1s
+//	cuckood -listen 127.0.0.1:11300 -shards 8 -slots 65536 -sweep 1s \
+//	        -admin 127.0.0.1:11301 -log-level info -slow-op 10ms
 //
 // The daemon speaks the text protocol in docs/PROTOCOL.md and drains
 // gracefully on SIGINT/SIGTERM: in-flight request batches complete and
-// every connection is closed cleanly.
+// every connection is closed cleanly. With -admin it also serves an HTTP
+// observability endpoint: Prometheus metrics at /metrics, an expvar
+// snapshot at /debug/vars, and the pprof profiler under /debug/pprof/
+// (docs/OBSERVABILITY.md).
 //
 // Load-generate:
 //
@@ -22,13 +26,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"cuckoohash/internal/loadgen"
+	"cuckoohash/internal/obs"
 	"cuckoohash/server"
 )
 
@@ -40,6 +46,12 @@ func main() {
 		slots  = flag.Uint64("slots", 1<<16, "slot capacity per shard (bounded; evicts when full)")
 		sweep  = flag.Duration("sweep", time.Second, "TTL sweep interval (<0 disables)")
 		drain  = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+
+		// Observability.
+		admin     = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/vars, /debug/pprof/ (empty disables)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, or error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		slowOp    = flag.Duration("slow-op", 0, "slow-request threshold; sampled requests at or over it are counted and logged (0 disables)")
 
 		// Loadgen mode.
 		lg      = flag.Bool("loadgen", false, "run the load generator instead of the server")
@@ -66,20 +78,53 @@ func main() {
 		return
 	}
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuckood:", err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logFormat)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
+
 	srv, err := server.New(server.Config{
-		Addr:          *listen,
-		Shards:        *shards,
-		SlotsPerShard: *slots,
-		SweepInterval: *sweep,
+		Addr:            *listen,
+		Shards:          *shards,
+		SlotsPerShard:   *slots,
+		SweepInterval:   *sweep,
+		SlowOpThreshold: *slowOp,
+		Logger:          logger,
 	})
 	if err != nil {
-		log.Fatal("cuckood: ", err)
+		fatal("startup failed", err)
 	}
 	if err := srv.Listen(); err != nil {
-		log.Fatal("cuckood: ", err)
+		fatal("listen failed", err)
 	}
-	log.Printf("cuckood listening on %s (%d shards, %d slots, %d total capacity)",
-		srv.Addr(), *shards, *slots, srv.Cache().Cap())
+
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		reg.Register(obs.GoRuntime{})
+		reg.Register(obs.HTM{})
+		reg.Register(srv)
+		obs.PublishExpvar("cuckood", srv.ExpvarSnapshot)
+		adminLn, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fatal("admin listen failed", err)
+		}
+		logger.Info("admin endpoint up",
+			"addr", adminLn.Addr().String(),
+			"paths", "/metrics /debug/vars /debug/pprof/")
+		go func() {
+			if err := http.Serve(adminLn, obs.NewAdminMux(reg)); err != nil {
+				// The listener is never closed deliberately, so any error
+				// here is real — but not fatal to the cache itself.
+				logger.Error("admin endpoint failed", "err", err)
+			}
+		}()
+	}
 
 	drained := make(chan struct{})
 	go func() {
@@ -87,18 +132,17 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("cuckood: draining (up to %v)...", *drain)
+		logger.Info("signal received; draining", "timeout", *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("cuckood: drain timed out: %v", err)
+			logger.Warn("drain timed out", "err", err)
 			return
 		}
-		log.Print("cuckood: drained cleanly")
 	}()
 
 	if err := srv.Serve(); err != server.ErrServerClosed {
-		log.Fatal("cuckood: ", err)
+		fatal("serve failed", err)
 	}
 	// Serve returns as soon as the listener closes; wait for the drain to
 	// finish so in-flight connections are not cut off by process exit.

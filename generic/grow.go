@@ -42,6 +42,7 @@ func (t *Table[K, V]) grow() {
 		}
 		t.locks.UnlockAll()
 		if ok {
+			t.growCount.Add(1)
 			return
 		}
 		newBuckets *= 2

@@ -21,6 +21,7 @@ type bfsNode[K comparable] struct {
 
 // search runs BFS from b1/b2 to an empty slot.
 func (t *Table[K, V]) search(arr *tArrays[K, V], b1, b2 uint64) ([]pathEntry[K], bool) {
+	t.stats.searches.add(b1, 1)
 	assoc := int(t.assoc)
 	budget := t.cfg.MaxSearchSlots
 	nodes := make([]bfsNode[K], 0, budget+2)
@@ -123,5 +124,6 @@ func (t *Table[K, V]) displace(arr *tArrays[K, V], src, dst pathEntry[K]) bool {
 	arr.keys[si] = zeroK
 	arr.vals[si] = zeroV
 	arr.occ[src.bucket] &^= 1 << uint(src.slot)
+	t.stats.displacements.add(src.bucket, 1)
 	return true
 }

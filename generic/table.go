@@ -68,6 +68,9 @@ type Table[K comparable, V any] struct {
 	growMu sync.Mutex
 	arr    atomic.Pointer[tArrays[K, V]]
 	size   shardedCounter
+
+	stats     tableStats
+	growCount atomic.Uint64
 }
 
 type tArrays[K comparable, V any] struct {
@@ -129,6 +132,9 @@ func (t *Table[K, V]) Cap() uint64 { return t.arr.Load().buckets * t.assoc }
 
 // LoadFactor returns Len/Cap.
 func (t *Table[K, V]) LoadFactor() float64 { return float64(t.Len()) / float64(t.Cap()) }
+
+// LockStats returns the stripe table's lock-contention counters.
+func (t *Table[K, V]) LockStats() spinlock.StripeStats { return t.locks.Stats() }
 
 func (t *Table[K, V]) hash(key K) uint64 {
 	return maphash.Comparable(t.seed, key)
@@ -247,13 +253,15 @@ func (t *Table[K, V]) tryPut(key K, val V, overwrite bool) error {
 			}
 			return ErrFull
 		}
+		t.stats.observePath(b1, uint64(len(path)-1))
 		switch t.execute(arr, path, b1, b2, key, val, overwrite) {
 		case putDone:
 			return nil
 		case putExists:
 			return ErrExists
 		}
-		// Path invalidated or arrays swapped; retry.
+		// Path invalidated or arrays swapped (Eq. 1); retry.
+		t.stats.restarts.add(b1, 1)
 	}
 }
 

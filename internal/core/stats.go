@@ -2,7 +2,9 @@ package core
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 func runtimeGosched() { runtime.Gosched() }
@@ -44,6 +46,49 @@ type tableStats struct {
 	displacements shardedCounter // successful item displacements
 	restarts      shardedCounter // inserts restarted due to invalid paths (Eq. 1)
 	maxPathLen    atomicMax      // longest cuckoo path discovered (Eq. 2)
+	pathLen       pathLenHist    // distribution of discovered path lengths
+}
+
+// PathLenBuckets is the width of the path-length histogram. Eq. 2 bounds
+// BFS paths at ~5 displacements for the paper's B=4..16 and M=2000, so 16
+// buckets cover BFS exactly; longer DFS walks clamp into the last bucket.
+const PathLenBuckets = 16
+
+// pathLenHist counts discovered cuckoo-path lengths. It is recorded once
+// per successful path search — already the insert slow path — so a modest
+// shard count suffices; each shard is cache-line padded like every other
+// probe counter (principle P1).
+type pathLenHist struct {
+	shards [8]pathLenShard
+}
+
+type pathLenShard struct {
+	counts [PathLenBuckets]atomic.Uint64
+	_      [64]byte
+}
+
+func (h *pathLenHist) observe(bucket uint64, length uint64) {
+	if length >= PathLenBuckets {
+		length = PathLenBuckets - 1
+	}
+	h.shards[bucket&7].counts[length].Add(1)
+}
+
+func (h *pathLenHist) snapshot() (out [PathLenBuckets]uint64) {
+	for i := range h.shards {
+		for b := range h.shards[i].counts {
+			out[b] += h.shards[i].counts[b].Load()
+		}
+	}
+	return out
+}
+
+func (h *pathLenHist) reset() {
+	for i := range h.shards {
+		for b := range h.shards[i].counts {
+			h.shards[i].counts[b].Store(0)
+		}
+	}
 }
 
 // atomicMax is a monotonic maximum; updated once per successful path
@@ -76,6 +121,13 @@ type Stats struct {
 	// MaxPathLen is the longest cuckoo path (in displacements) any search
 	// discovered; Eq. 2 bounds it for BFS.
 	MaxPathLen uint64
+	// PathLenHist[i] counts successful path searches that discovered a
+	// path of exactly i displacements (the last bucket also absorbs any
+	// longer DFS walks). Its mass distribution is the empirical form of
+	// the Eq. 2 analysis.
+	PathLenHist [PathLenBuckets]uint64
+	// Grows counts completed table expansions.
+	Grows uint64
 }
 
 // Stats returns a snapshot of the table's counters.
@@ -85,6 +137,8 @@ func (t *Table) Stats() Stats {
 		Displacements: uint64(t.stats.displacements.total()),
 		PathRestarts:  uint64(t.stats.restarts.total()),
 		MaxPathLen:    t.stats.maxPathLen.v.Load(),
+		PathLenHist:   t.stats.pathLen.snapshot(),
+		Grows:         t.growCount.Load(),
 	}
 }
 
@@ -94,4 +148,49 @@ func (t *Table) ResetStats() {
 	t.stats.displacements.reset()
 	t.stats.restarts.reset()
 	t.stats.maxPathLen.v.Store(0)
+	t.stats.pathLen.reset()
+}
+
+// GrowEvent records one completed table expansion, for the grow-history
+// probe: expansions are rare but stall every writer, so operators want to
+// see when they happened and how long the all-stripe critical section was.
+type GrowEvent struct {
+	// FromBuckets and ToBuckets are the bucket counts before and after.
+	FromBuckets, ToBuckets uint64
+	// Items is the number of entries rehashed.
+	Items uint64
+	// Duration is the wall time the expansion held every stripe lock.
+	Duration time.Duration
+	// Unix is the completion time in Unix nanoseconds.
+	Unix int64
+}
+
+// maxGrowEvents bounds the retained grow history; a table that doubled 64
+// times grew by 2^64, so truncation is theoretical.
+const maxGrowEvents = 64
+
+// GrowEvents returns a copy of the recorded expansion history, oldest
+// first.
+func (t *Table) GrowEvents() []GrowEvent {
+	t.growLog.mu.Lock()
+	defer t.growLog.mu.Unlock()
+	out := make([]GrowEvent, len(t.growLog.events))
+	copy(out, t.growLog.events)
+	return out
+}
+
+// growLog holds the expansion history. Appends happen under growMu (one
+// per expansion); the extra mutex only decouples readers from growers.
+type growLog struct {
+	mu     sync.Mutex
+	events []GrowEvent
+}
+
+func (l *growLog) record(e GrowEvent) {
+	l.mu.Lock()
+	if len(l.events) >= maxGrowEvents {
+		l.events = l.events[1:]
+	}
+	l.events = append(l.events, e)
+	l.mu.Unlock()
 }

@@ -29,8 +29,10 @@ type Table struct {
 	arr     atomic.Pointer[arrays]
 	scratch sync.Pool // *searchScratch
 
-	size  shardedCounter
-	stats tableStats
+	size      shardedCounter
+	stats     tableStats
+	growCount atomic.Uint64
+	growLog   growLog
 }
 
 // arrays is the swappable storage of a Table; Grow installs a new one.
@@ -97,6 +99,12 @@ func (t *Table) Len() uint64 {
 func (t *Table) LoadFactor() float64 {
 	return float64(t.Len()) / float64(t.Cap())
 }
+
+// LockStats returns the stripe table's lock-contention counters: total
+// acquisitions, contended acquisitions, and scheduler yields while
+// spinning. Spinlock spins were previously invisible; this is the probe
+// the evaluation uses to attribute throughput collapse to stripe convoys.
+func (t *Table) LockStats() spinlock.StripeStats { return t.stripe.Stats() }
 
 func (t *Table) hash(key uint64) uint64 { return hashfn.Uint64(key, t.seed) }
 
@@ -341,6 +349,7 @@ func (t *Table) write(key uint64, val []uint64, mode writeMode) error {
 			return ErrFull
 		}
 		t.stats.maxPathLen.observe(uint64(len(path) - 1))
+		t.stats.pathLen.observe(b1, uint64(len(path)-1))
 		res := t.executePath(arr, path, b1, b2, key, val, mode)
 		t.scratch.Put(sc)
 		switch res {

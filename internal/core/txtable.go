@@ -104,6 +104,7 @@ func (t *TxTable) Stats() Stats {
 		Displacements: uint64(t.stats.displacements.total()),
 		PathRestarts:  uint64(t.stats.restarts.total()),
 		MaxPathLen:    t.stats.maxPathLen.v.Load(),
+		PathLenHist:   t.stats.pathLen.snapshot(),
 	}
 }
 
@@ -248,6 +249,7 @@ func (t *TxTable) write(key uint64, val []uint64, mode writeMode) error {
 
 		if len(path) > 0 {
 			t.stats.maxPathLen.observe(uint64(len(path) - 1))
+			t.stats.pathLen.observe(b1, uint64(len(path)-1))
 		}
 
 		// Phase 2: one transaction validates the path, performs the

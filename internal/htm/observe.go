@@ -1,0 +1,53 @@
+package htm
+
+import (
+	"sort"
+	"sync"
+)
+
+// Observed regions: processes that want their transactional regions on an
+// admin/metrics endpoint register them by name; exporters snapshot all of
+// them at scrape time. Registration is explicit (rather than automatic in
+// NewRegion) so short-lived benchmark and test regions never accumulate in
+// a process-global list.
+var (
+	obsMu      sync.Mutex
+	obsRegions = map[string]*Region{}
+)
+
+// Observe registers r under name for stats export, replacing any previous
+// region with the same name. A nil r unregisters the name.
+func Observe(name string, r *Region) {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	if r == nil {
+		delete(obsRegions, name)
+		return
+	}
+	obsRegions[name] = r
+}
+
+// ObservedStats snapshots every observed region's counters, keyed by the
+// registered name.
+func ObservedStats() map[string]Stats {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	out := make(map[string]Stats, len(obsRegions))
+	for name, r := range obsRegions {
+		out[name] = r.Stats()
+	}
+	return out
+}
+
+// ObservedNames returns the registered region names, sorted, for exporters
+// that need deterministic emission order.
+func ObservedNames() []string {
+	obsMu.Lock()
+	names := make([]string, 0, len(obsRegions))
+	for name := range obsRegions {
+		names = append(names, name)
+	}
+	obsMu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -36,9 +36,31 @@ type Stats struct {
 	ConflictAborts uint64 // aborts with AbortConflict
 	CapacityAborts uint64 // aborts with AbortCapacity
 	ExplicitAborts uint64 // aborts with AbortExplicit (incl. lock-busy)
+	LockBusyAborts uint64 // aborts with AbortLockBusy (fallback lock held at start)
+	RetryHints     uint64 // aborts whose status carried the retry bit
 	Fallbacks      uint64 // executions that took the fallback lock
 	ReadLines      uint64 // total read-set lines over committed transactions
 	WriteLines     uint64 // total write-set lines over committed transactions
+}
+
+// AbortCause is one row of the abort-code breakdown.
+type AbortCause struct {
+	Cause string
+	Count uint64
+}
+
+// Breakdown returns the abort-cause histogram in a fixed order, the shape
+// Intel PCM's TSX view reports and the exporters emit as labeled series.
+// Causes overlap (an abort can be both explicit and lock-busy), so the
+// counts may sum to more than Aborts.
+func (s Stats) Breakdown() []AbortCause {
+	return []AbortCause{
+		{"conflict", s.ConflictAborts},
+		{"capacity", s.CapacityAborts},
+		{"explicit", s.ExplicitAborts},
+		{"lock_busy", s.LockBusyAborts},
+		{"retry_hint", s.RetryHints},
+	}
 }
 
 // AvgFootprint returns the mean (read, write) line footprint of committed
@@ -85,10 +107,12 @@ type counterShard struct {
 	conflicts    atomic.Uint64
 	capacityAbrt atomic.Uint64
 	explicitAbrt atomic.Uint64
+	lockBusyAbrt atomic.Uint64
+	retryHints   atomic.Uint64
 	fallbacks    atomic.Uint64
 	readLines    atomic.Uint64
 	writeLines   atomic.Uint64
-	_            [64]byte
+	_            [48]byte
 }
 
 // NewRegion creates a region holding words 8-byte words of transactional
@@ -151,6 +175,8 @@ func (r *Region) Stats() Stats {
 		s.ConflictAborts += c.conflicts.Load()
 		s.CapacityAborts += c.capacityAbrt.Load()
 		s.ExplicitAborts += c.explicitAbrt.Load()
+		s.LockBusyAborts += c.lockBusyAbrt.Load()
+		s.RetryHints += c.retryHints.Load()
 		s.Fallbacks += c.fallbacks.Load()
 		s.ReadLines += c.readLines.Load()
 		s.WriteLines += c.writeLines.Load()
@@ -167,6 +193,8 @@ func (r *Region) ResetStats() {
 		c.conflicts.Store(0)
 		c.capacityAbrt.Store(0)
 		c.explicitAbrt.Store(0)
+		c.lockBusyAbrt.Store(0)
+		c.retryHints.Store(0)
 		c.fallbacks.Store(0)
 		c.readLines.Store(0)
 		c.writeLines.Store(0)
@@ -471,6 +499,12 @@ func (c *counterShard) countAbort(code AbortCode) {
 	}
 	if code&AbortExplicit != 0 {
 		c.explicitAbrt.Add(1)
+	}
+	if code&AbortLockBusy != 0 {
+		c.lockBusyAbrt.Add(1)
+	}
+	if code&AbortRetry != 0 {
+		c.retryHints.Add(1)
 	}
 }
 

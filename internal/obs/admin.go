@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// NewAdminMux builds the admin endpoint served on cuckood's -admin
+// listener:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    expvar JSON snapshot (includes vars from PublishExpvar)
+//	/debug/pprof/  the standard net/http/pprof profile index
+//
+// The mux is deliberately separate from the data-plane listener so that
+// scrapes, profiles and heap dumps never compete with cache traffic for the
+// protocol accept loop.
+func NewAdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "cuckood admin\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+var (
+	expvarMu  sync.Mutex
+	expvarFns = map[string]func() any{}
+)
+
+// PublishExpvar publishes fn as an expvar.Func under name. Unlike
+// expvar.Publish it does not panic on duplicates: republishing swaps the
+// snapshot function, so tests (and restarts-in-process) that create several
+// servers see the most recent one under /debug/vars.
+func PublishExpvar(name string, fn func() any) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if _, ok := expvarFns[name]; !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			expvarMu.Lock()
+			f := expvarFns[name]
+			expvarMu.Unlock()
+			return f()
+		}))
+	}
+	expvarFns[name] = fn
+}

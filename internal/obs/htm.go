@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"cuckoohash/internal/htm"
+)
+
+// HTM exports the abort-code breakdown of every htm.Observe'd transactional
+// region, plus always-present process aggregates (so scrapes and alerts see
+// the series even before any region registers — or in processes, like the
+// cache daemon, whose tables run on stripe locks rather than elision).
+type HTM struct{}
+
+// Collect implements Collector.
+func (HTM) Collect(m *Metrics) {
+	names := htm.ObservedNames()
+	stats := htm.ObservedStats()
+
+	var agg htm.Stats
+	for _, s := range stats {
+		agg.Commits += s.Commits
+		agg.Aborts += s.Aborts
+		agg.ConflictAborts += s.ConflictAborts
+		agg.CapacityAborts += s.CapacityAborts
+		agg.ExplicitAborts += s.ExplicitAborts
+		agg.LockBusyAborts += s.LockBusyAborts
+		agg.RetryHints += s.RetryHints
+		agg.Fallbacks += s.Fallbacks
+	}
+
+	m.Counter("cuckoo_htm_commits_total",
+		"Speculative transactions committed across observed HTM regions.",
+		float64(agg.Commits))
+	m.Counter("cuckoo_htm_fallbacks_total",
+		"Executions that took the serializing fallback lock.",
+		float64(agg.Fallbacks))
+	const abortsHelp = "HTM aborts by cause (causes overlap; see htm.AbortCode)."
+	for _, c := range agg.Breakdown() {
+		m.Counter("cuckoo_htm_aborts_total", abortsHelp, float64(c.Count), "cause", c.Cause)
+	}
+
+	// Per-region breakdown, only for registered regions.
+	for _, name := range names {
+		s := stats[name]
+		m.Counter("cuckoo_htm_region_commits_total",
+			"Speculative commits per observed HTM region.",
+			float64(s.Commits), "region", name)
+		for _, c := range s.Breakdown() {
+			m.Counter("cuckoo_htm_region_aborts_total",
+				"Per-region HTM aborts by cause.",
+				float64(c.Count), "region", name, "cause", c.Cause)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry covering every feature of the exposition
+// writer: all three kinds, labels (sorted, escaped), multiple samples per
+// family, histograms with and without an explicit +Inf bucket, and the
+// special float values.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.RegisterFunc(func(m *Metrics) {
+		m.Counter("test_requests_total", "Requests served.", 1234)
+		m.Counter("test_shard_ops_total", "Ops per shard.", 10, "shard", "0", "op", "get")
+		m.Counter("test_shard_ops_total", "Ops per shard.", 7, "shard", "1", "op", "get")
+		m.Gauge("test_temperature_celsius", "A gauge with a negative value.", -3.25)
+		m.Gauge("test_ratio", "A gauge needing escaping.", 0.5, "path", `a"b\c`)
+		m.Histogram("test_latency_seconds", "Histogram with implicit +Inf.",
+			[]HistBucket{
+				{UpperBound: 0.001, Count: 2},
+				{UpperBound: 0.01, Count: 5},
+				{UpperBound: 0.1, Count: 5},
+			}, 6, 0.42)
+		m.Histogram("test_sizes", "Histogram with explicit +Inf and labels.",
+			[]HistBucket{
+				{UpperBound: 1, Count: 1},
+				{UpperBound: math.Inf(1), Count: 3},
+			}, 3, 12, "kind", "b")
+	})
+	return reg
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text/plain; version=0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "test_requests_total 1234") {
+		t.Errorf("body missing counter sample:\n%s", body)
+	}
+}
+
+func TestRegisterConcurrentWithScrape(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				reg.RegisterFunc(func(m *Metrics) {
+					m.Counter("c_total", "h", 1)
+				})
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := reg.WriteText(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRenderLabelsSortedAndEscaped(t *testing.T) {
+	got := renderLabels([]string{"z", "1", "a", "x\ny"})
+	want := `{a="x\ny",z="1"}`
+	if got != want {
+		t.Errorf("renderLabels = %s, want %s", got, want)
+	}
+	if renderLabels(nil) != "" {
+		t.Errorf("renderLabels(nil) = %q, want empty", renderLabels(nil))
+	}
+}

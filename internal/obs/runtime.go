@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"runtime"
+)
+
+// GoRuntime is a Collector for Go runtime health: goroutine count, heap and
+// GC statistics, GOMAXPROCS. Metric names follow the conventions of the
+// official Prometheus Go client so existing dashboards apply unchanged.
+type GoRuntime struct{}
+
+// Collect implements Collector.
+func (GoRuntime) Collect(m *Metrics) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	m.Gauge("go_goroutines", "Number of goroutines that currently exist.",
+		float64(runtime.NumGoroutine()))
+	m.Gauge("go_threads_max", "GOMAXPROCS setting.", float64(runtime.GOMAXPROCS(0)))
+	m.Gauge("go_memstats_heap_alloc_bytes", "Heap bytes allocated and in use.",
+		float64(ms.HeapAlloc))
+	m.Gauge("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.",
+		float64(ms.HeapSys))
+	m.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.",
+		float64(ms.HeapObjects))
+	m.Counter("go_memstats_alloc_bytes_total", "Cumulative bytes allocated on the heap.",
+		float64(ms.TotalAlloc))
+	m.Counter("go_memstats_mallocs_total", "Cumulative count of heap allocations.",
+		float64(ms.Mallocs))
+	m.Gauge("go_memstats_next_gc_bytes", "Heap size at which the next GC cycle runs.",
+		float64(ms.NextGC))
+	m.Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	m.Counter("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		float64(ms.PauseTotalNs)/1e9)
+}

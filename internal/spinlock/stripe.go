@@ -25,8 +25,59 @@ const versionMask = lockBit - 1
 // buckets, then validates that neither version moved (and that no writer
 // held the stripe at either point).
 type Stripe struct {
-	words []atomic.Uint64
-	mask  uint64
+	words  []atomic.Uint64
+	mask   uint64
+	probes [probeShards]lockProbe
+}
+
+// probeShards is the contention-probe shard count; stripes map onto probe
+// shards by low index bits.
+const probeShards = 16
+
+// lockProbe is one padded shard of the stripe table's contention counters.
+// The fast path (uncontended CAS) never touches a probe: contended and
+// yields are bumped only inside the spin loop, which is already paying for
+// coherence misses on the lock word, so the probe's cost disappears into
+// the wait it measures. Total acquisitions need no counter at all — every
+// Unlock bumps the stripe's version word, so the sum of versions *is* the
+// acquisition count.
+type lockProbe struct {
+	contended atomic.Uint64 // Lock calls whose first attempt failed
+	yields    atomic.Uint64 // Gosched calls while waiting
+	_         [112]byte
+}
+
+// StripeStats is a snapshot of a stripe table's lock-contention counters.
+type StripeStats struct {
+	// Acquisitions is the total number of completed lock acquisitions
+	// (sum of stripe versions; wraps only after 2^63 per stripe).
+	Acquisitions uint64
+	// Contended counts Lock calls that did not acquire on their first
+	// attempt — the service-layer visible form of stripe convoys.
+	Contended uint64
+	// Yields counts scheduler yields performed while spinning.
+	Yields uint64
+}
+
+// ContentionRate returns Contended/Acquisitions, or 0 with no data.
+func (s StripeStats) ContentionRate() float64 {
+	if s.Acquisitions == 0 {
+		return 0
+	}
+	return float64(s.Contended) / float64(s.Acquisitions)
+}
+
+// Stats returns a snapshot of the stripe table's contention counters.
+func (s *Stripe) Stats() StripeStats {
+	var st StripeStats
+	for i := range s.words {
+		st.Acquisitions += s.words[i].Load() & versionMask
+	}
+	for i := range s.probes {
+		st.Contended += s.probes[i].contended.Load()
+		st.Yields += s.probes[i].yields.Load()
+	}
+	return st
 }
 
 // NewStripe creates a stripe table with n words. n must be a power of two.
@@ -46,12 +97,25 @@ func (s *Stripe) IndexFor(bucket uint64) uint64 { return bucket & s.mask }
 // Lock acquires stripe i, spinning until the lock bit is free.
 func (s *Stripe) Lock(i uint64) {
 	w := &s.words[i]
+	v := w.Load()
+	if v&lockBit == 0 && w.CompareAndSwap(v, v|lockBit) {
+		return
+	}
+	s.lockSlow(i, w)
+}
+
+// lockSlow is the contended path of Lock, split out so the fast path stays
+// inlineable and probe-free.
+func (s *Stripe) lockSlow(i uint64, w *atomic.Uint64) {
+	p := &s.probes[i&(probeShards-1)]
+	p.contended.Add(1)
 	for spins := 0; ; spins++ {
 		v := w.Load()
 		if v&lockBit == 0 && w.CompareAndSwap(v, v|lockBit) {
 			return
 		}
 		if spins >= spinBudget {
+			p.yields.Add(1)
 			runtime.Gosched()
 			spins = 0
 		}

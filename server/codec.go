@@ -26,7 +26,31 @@ const (
 	opTTL
 	opStats
 	opQuit
+	// opBad marks a line that failed to parse; it is never dispatched, only
+	// reported in logs.
+	opBad opCode = 0xff
 )
+
+// String names the op for structured logs.
+func (o opCode) String() string {
+	switch o {
+	case opGet:
+		return "GET"
+	case opSet:
+		return "SET"
+	case opSetEx:
+		return "SETEX"
+	case opDel:
+		return "DEL"
+	case opTTL:
+		return "TTL"
+	case opStats:
+		return "STATS"
+	case opQuit:
+		return "QUIT"
+	}
+	return "INVALID"
+}
 
 // request is one parsed protocol line. key and val alias the connection's
 // read buffer and are only valid until the next read; handlers that store

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"errors"
+	"io"
 	"net"
 	"time"
 )
@@ -16,6 +17,16 @@ const (
 // connection is closed because resynchronizing mid-line is not possible.
 var errLineTooLong = errors.New("request line too long")
 
+// connState is the per-connection request-loop state. latShard pins the
+// connection to one shard of the sampled-latency histogram (assigned from
+// the monotonically increasing connection count), so latency recording
+// never shares a cache line with another connection.
+type connState struct {
+	remote   string
+	latShard uint64
+	reqCount uint64
+}
+
 // handleConn runs one connection's request loop. The loop is the
 // server-side analogue of the paper's batching principle (§4.3.2 amortizes
 // per-operation overhead across a batch): it blocks for the first request,
@@ -25,13 +36,15 @@ var errLineTooLong = errors.New("request line too long")
 // latency-sample clock pair — not N of each.
 func (s *Server) handleConn(nc net.Conn) {
 	defer s.forgetConn(nc)
-	s.cache.stats.connsTotal.Add(1)
+	cs := &connState{
+		remote:   nc.RemoteAddr().String(),
+		latShard: s.cache.stats.connsTotal.Add(1),
+	}
 	s.cache.stats.connsActive.Add(1)
 	defer s.cache.stats.connsActive.Add(-1)
 
 	r := bufio.NewReaderSize(nc, connReadBuf)
 	w := bufio.NewWriterSize(nc, connWriteBuf)
-	var reqCount uint64
 
 	for {
 		// Blocking read for the head of the next batch.
@@ -39,10 +52,15 @@ func (s *Server) handleConn(nc net.Conn) {
 		if err != nil {
 			// A shutdown wakes blocked readers via a past read deadline;
 			// flush whatever a slow client has not consumed and drop out.
+			if errors.Is(err, errLineTooLong) {
+				s.log.Warn("closing connection", "remote", cs.remote, "err", err)
+			} else if !errors.Is(err, io.EOF) && !s.draining.Load() {
+				s.log.Debug("connection closed", "remote", cs.remote, "err", err)
+			}
 			w.Flush()
 			return
 		}
-		quit := s.serveBatchHead(line, r, w, &reqCount)
+		quit := s.serveBatchHead(line, r, w, cs)
 		if w.Flush() != nil || quit {
 			return
 		}
@@ -56,17 +74,28 @@ func (s *Server) handleConn(nc net.Conn) {
 
 // serveBatchHead processes line and then every further request already
 // buffered, returning true if the client asked to quit.
-func (s *Server) serveBatchHead(line []byte, r *bufio.Reader, w *bufio.Writer, reqCount *uint64) bool {
+func (s *Server) serveBatchHead(line []byte, r *bufio.Reader, w *bufio.Writer, cs *connState) bool {
 	for {
-		sample := *reqCount&latencySampleMask == 0
-		*reqCount++
+		sample := cs.reqCount&latencySampleMask == 0
+		cs.reqCount++
 		var start time.Time
 		if sample {
 			start = time.Now()
 		}
-		quit := s.serveRequest(line, w)
+		req, quit := s.serveRequest(line, w)
 		if sample {
-			s.cache.stats.recordLatency(uint64(time.Since(start)))
+			dur := time.Since(start)
+			s.cache.stats.recordLatency(cs.latShard, uint64(dur))
+			if s.slowOp > 0 && dur >= s.slowOp {
+				s.cache.stats.slowOps.Add(1)
+				// req.key aliases the read buffer; string() copies it
+				// before the next read can clobber it.
+				s.log.Warn("slow request",
+					"op", req.op.String(),
+					"key", string(req.key),
+					"dur", dur,
+					"remote", cs.remote)
+			}
 		}
 		if quit {
 			return true
@@ -83,11 +112,12 @@ func (s *Server) serveBatchHead(line []byte, r *bufio.Reader, w *bufio.Writer, r
 }
 
 // serveRequest executes one parsed request, writing its response into w.
-func (s *Server) serveRequest(line []byte, w *bufio.Writer) (quit bool) {
+// It returns the parsed request so the caller can attribute slow-op traces.
+func (s *Server) serveRequest(line []byte, w *bufio.Writer) (req request, quit bool) {
 	req, err := parseRequest(line)
 	if err != nil {
 		writeErr(w, err)
-		return false
+		return request{op: opBad}, false
 	}
 	switch req.op {
 	case opGet:
@@ -117,9 +147,9 @@ func (s *Server) serveRequest(line []byte, w *bufio.Writer) (quit bool) {
 	case opStats:
 		writeStats(w, s.cache.Snapshot(s.cache.stats))
 	case opQuit:
-		return true
+		return req, true
 	}
-	return false
+	return req, false
 }
 
 // readLine returns the next \n-terminated line with the terminator (and a

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"cuckoohash/generic"
+	"cuckoohash/internal/obs"
+)
+
+// latencyExportBuckets bounds the exported request-latency histogram at
+// 2^40 ns (~18 minutes); anything slower lands in the automatic +Inf
+// bucket. The internal histogram keeps all 64 power-of-two buckets.
+const latencyExportBuckets = 40
+
+// Collect implements obs.Collector: it renders the daemon's counters, the
+// sampled request-latency histogram, and the cuckoo tables' internal probe
+// counters (path-length distribution, restarts, stripe-lock contention) in
+// Prometheus exposition order. Registered by cmd/cuckood on its admin
+// endpoint; safe to call while the server is serving traffic, because every
+// source it reads is a lock-free snapshot.
+func (s *Server) Collect(m *obs.Metrics) {
+	st := s.cache.stats
+
+	m.Counter("cuckood_gets_total", "GET requests served.", float64(st.gets.Total()))
+	m.Counter("cuckood_hits_total", "GET requests that found a live entry.", float64(st.hits.Total()))
+	m.Counter("cuckood_misses_total", "GET requests that missed.", float64(st.misses.Total()))
+	m.Counter("cuckood_sets_total", "SET/SETEX requests stored.", float64(st.sets.Total()))
+	m.Counter("cuckood_dels_total", "DEL requests served.", float64(st.dels.Total()))
+	m.Counter("cuckood_expired_total", "Entries removed because their TTL passed.", float64(st.expired.Total()))
+	m.Counter("cuckood_evictions_total", "Entries evicted to make room on a full shard.", float64(st.evictions.Total()))
+	m.Counter("cuckood_slow_requests_total", "Sampled requests at or over the slow-op threshold.", float64(st.slowOps.Load()))
+	m.Counter("cuckood_ttl_sweeps_total", "Completed TTL sweeper passes.", float64(st.sweeps.Load()))
+
+	m.Gauge("cuckood_connections_active", "Currently open client connections.", float64(st.connsActive.Load()))
+	m.Counter("cuckood_connections_total", "Client connections accepted since start.", float64(st.connsTotal.Load()))
+
+	m.Gauge("cuckood_entries", "Stored entries across all shards.", float64(s.cache.Len()))
+	m.Gauge("cuckood_capacity_slots", "Total slot capacity across all shards.", float64(s.cache.Cap()))
+	for i, sh := range s.cache.shards {
+		m.Gauge("cuckood_shard_entries", "Stored entries per shard.",
+			float64(sh.table.Len()), "shard", fmt.Sprint(i))
+	}
+
+	s.collectLatency(m)
+	s.collectTable(m)
+}
+
+// collectLatency exports the sampled request-service-time histogram. The
+// internal buckets are powers of two in nanoseconds, so bucket i maps to
+// le = 2^i / 1e9 seconds.
+func (s *Server) collectLatency(m *obs.Metrics) {
+	lat := s.cache.stats.lat.Snapshot()
+	bk := lat.Buckets()
+	hb := make([]obs.HistBucket, 0, latencyExportBuckets)
+	var cum uint64
+	for i := 0; i < latencyExportBuckets; i++ {
+		cum += bk[i]
+		hb = append(hb, obs.HistBucket{
+			UpperBound: math.Ldexp(1, i) / 1e9,
+			Count:      cum,
+		})
+	}
+	m.Histogram("cuckood_request_duration_seconds",
+		"Sampled request service time (excludes network I/O).",
+		hb, lat.Count(), float64(lat.Sum())/1e9)
+}
+
+// collectTable exports the aggregated cuckoo-table internals: the signals
+// the paper's evaluation inspects (BFS path lengths per Eq. 2, restart
+// counts per Eq. 1) plus stripe-lock contention.
+func (s *Server) collectTable(m *obs.Metrics) {
+	tab, lock := s.cache.tableTotals()
+
+	m.Counter("cuckoo_table_searches_total", "BFS cuckoo-path searches (slow-path inserts).", float64(tab.Searches))
+	m.Counter("cuckoo_table_displacements_total", "Item moves along cuckoo paths.", float64(tab.Displacements))
+	m.Counter("cuckoo_table_path_restarts_total", "Inserts restarted because a concurrent writer invalidated the path (Eq. 1).", float64(tab.PathRestarts))
+	m.Counter("cuckoo_table_grows_total", "Completed automatic table expansions.", float64(tab.Grows))
+	m.Gauge("cuckoo_table_max_path_length", "Longest discovered cuckoo path, in displacements.", float64(tab.MaxPathLen))
+
+	// PathLenHist[i] counts paths of exactly i displacements; the last
+	// bucket absorbs longer paths, which the +Inf bucket represents.
+	hb := make([]obs.HistBucket, 0, generic.PathLenBuckets-1)
+	var cum, total uint64
+	var sum float64
+	for i, n := range tab.PathLenHist {
+		total += n
+		sum += float64(uint64(i) * n)
+		if i < generic.PathLenBuckets-1 {
+			cum += n
+			hb = append(hb, obs.HistBucket{UpperBound: float64(i), Count: cum})
+		}
+	}
+	m.Histogram("cuckoo_table_path_length",
+		"Discovered cuckoo-path length in displacements (Eq. 2 bounds this near 5).",
+		hb, total, sum)
+
+	m.Counter("cuckoo_lock_acquisitions_total", "Stripe-lock acquisitions across all shards.", float64(lock.Acquisitions))
+	m.Counter("cuckoo_lock_contended_total", "Stripe-lock acquisitions that found the lock held.", float64(lock.Contended))
+	m.Counter("cuckoo_lock_yields_total", "Scheduler yields while spinning on a stripe lock.", float64(lock.Yields))
+}
+
+// ExpvarSnapshot returns the STATS lines as a name→value map, suitable for
+// obs.PublishExpvar so /debug/vars mirrors the wire-protocol STATS verb.
+func (s *Server) ExpvarSnapshot() any {
+	lines := s.cache.Snapshot(s.cache.stats)
+	out := make(map[string]string, len(lines))
+	for _, l := range lines {
+		out[l.Name] = l.Value
+	}
+	return out
+}

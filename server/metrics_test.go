@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cuckoohash/internal/obs"
+)
+
+// scrape runs the server's collector through a registry and returns the
+// exposition text, exactly as the admin endpoint would serve it.
+func scrape(t *testing.T, s *Server) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Register(s)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCollectSeriesPresent(t *testing.T) {
+	s := startServer(t, Config{Shards: 2, SlotsPerShard: 1 << 10})
+	c := dialRaw(t, s)
+	if got := c.roundTrip("SET k v"); got != "OK" {
+		t.Fatalf("SET = %q", got)
+	}
+	if got := c.roundTrip("GET k"); got != "VALUE v" {
+		t.Fatalf("GET = %q", got)
+	}
+	if got := c.roundTrip("GET absent"); got != "MISS" {
+		t.Fatalf("GET = %q", got)
+	}
+
+	text := scrape(t, s)
+	for _, want := range []string{
+		"cuckood_gets_total 2",
+		"cuckood_hits_total 1",
+		"cuckood_misses_total 1",
+		"cuckood_sets_total 1",
+		"cuckood_evictions_total 0",
+		`cuckood_shard_entries{shard="0"}`,
+		`cuckood_shard_entries{shard="1"}`,
+		"cuckood_request_duration_seconds_bucket",
+		"cuckood_request_duration_seconds_count",
+		"cuckoo_table_searches_total",
+		"cuckoo_table_path_restarts_total",
+		"cuckoo_table_path_length_bucket",
+		"cuckoo_lock_acquisitions_total",
+		"cuckoo_lock_contended_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestScrapeWhileServing hammers the cache from several connections while
+// concurrently scraping metrics, STATS snapshots, and the expvar snapshot.
+// Run with -race this proves every probe counter is read and written with
+// proper synchronization.
+func TestScrapeWhileServing(t *testing.T) {
+	s := startServer(t, Config{Shards: 2, SlotsPerShard: 1 << 10, SweepInterval: time.Millisecond})
+
+	const workers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := dialRaw(t, s)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("k%d-%d", w, i%512)
+				if got := c.roundTrip("SETEX " + key + " 5 v"); got != "OK" && !strings.HasPrefix(got, "ERR") {
+					t.Errorf("SETEX = %q", got)
+					return
+				}
+				c.roundTrip("GET " + key)
+				if i%16 == 0 {
+					c.roundTrip("DEL " + key)
+				}
+			}
+		}(w)
+	}
+
+	reg := obs.NewRegistry()
+	reg.Register(s)
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		var b strings.Builder
+		if err := reg.WriteText(&b); err != nil {
+			t.Error(err)
+			break
+		}
+		_ = s.ExpvarSnapshot()
+		_ = s.cache.Snapshot(s.cache.stats)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := scrape(t, s); !strings.Contains(got, "cuckood_sets_total") {
+		t.Errorf("final scrape missing series:\n%s", got)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+func TestSlowOpLogged(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	// 1ns threshold: every sampled request qualifies as slow.
+	s := startServer(t, Config{SlowOpThreshold: time.Nanosecond, Logger: logger})
+	c := dialRaw(t, s)
+
+	// Request 0 of a connection is always sampled (latencySampleMask).
+	if got := c.roundTrip("SET slowkey v"); got != "OK" {
+		t.Fatalf("SET = %q", got)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		out := buf.String()
+		if strings.Contains(out, "slow request") {
+			if !strings.Contains(out, "op=SET") || !strings.Contains(out, "key=slowkey") {
+				t.Fatalf("slow-request log missing op/key attribution:\n%s", out)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no slow-request log after SET over threshold; log:\n%s", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := s.cache.stats.slowOps.Load(); n == 0 {
+		t.Error("slowOps counter did not increment")
+	}
+	if got := scrape(t, s); !strings.Contains(got, "cuckood_slow_requests_total") {
+		t.Error("scrape missing cuckood_slow_requests_total")
+	}
+}
+
+func TestSlowOpDisabledByDefault(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	s := startServer(t, Config{Logger: logger})
+	c := dialRaw(t, s)
+	if got := c.roundTrip("SET k v"); got != "OK" {
+		t.Fatalf("SET = %q", got)
+	}
+	if strings.Contains(buf.String(), "slow request") {
+		t.Errorf("slow-request log emitted with tracing disabled:\n%s", buf.String())
+	}
+	if n := s.cache.stats.slowOps.Load(); n != 0 {
+		t.Errorf("slowOps = %d with tracing disabled", n)
+	}
+}
+
+func TestStatsVerbIncludesTableInternals(t *testing.T) {
+	s := startServer(t, Config{Shards: 1, SlotsPerShard: 1 << 10})
+	c := dialRaw(t, s)
+	for i := 0; i < 64; i++ {
+		if got := c.roundTrip(fmt.Sprintf("SET key%d v", i)); got != "OK" {
+			t.Fatalf("SET = %q", got)
+		}
+	}
+	c.send("STATS\n")
+	seen := map[string]bool{}
+	for {
+		line := c.readLine()
+		if line == "END" {
+			break
+		}
+		name, _, _ := strings.Cut(strings.TrimPrefix(line, "STAT "), " ")
+		seen[name] = true
+	}
+	for _, want := range []string{
+		"table_searches", "table_displacements", "table_path_restarts",
+		"table_max_path_len", "table_grows",
+		"lock_acquisitions", "lock_contended", "lock_yields",
+		"slow_ops", "sweeps",
+	} {
+		if !seen[want] {
+			t.Errorf("STATS missing %q", want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,13 @@ type Config struct {
 	// entries (default 1s; negative disables the sweeper — expiry then
 	// happens only lazily on access).
 	SweepInterval time.Duration
+	// SlowOpThreshold enables slow-op tracing: a sampled request whose
+	// service time (excluding network I/O) meets or exceeds it is counted
+	// and logged with its op, key, and duration. Zero disables tracing.
+	SlowOpThreshold time.Duration
+	// Logger receives structured lifecycle, connection-error, and slow-op
+	// logs. Nil discards everything.
+	Logger *slog.Logger
 }
 
 func (c *Config) setDefaults() {
@@ -45,8 +53,10 @@ func (c *Config) setDefaults() {
 
 // Server is the cuckood daemon: a listener plus the sharded cache.
 type Server struct {
-	cfg   Config
-	cache *Cache
+	cfg    Config
+	cache  *Cache
+	log    *slog.Logger
+	slowOp time.Duration
 
 	ln        net.Listener
 	mu        sync.Mutex
@@ -63,9 +73,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	cache.setLogger(log)
 	return &Server{
 		cfg:       cfg,
 		cache:     cache,
+		log:       log,
+		slowOp:    cfg.SlowOpThreshold,
 		conns:     make(map[net.Conn]struct{}),
 		sweepStop: make(chan struct{}),
 	}, nil
@@ -84,6 +101,12 @@ func (s *Server) Listen() error {
 	if s.cfg.SweepInterval > 0 {
 		go s.cache.sweeper(s.cfg.SweepInterval, s.sweepStop)
 	}
+	s.log.Info("listening",
+		"addr", ln.Addr().String(),
+		"shards", len(s.cache.shards),
+		"capacity", s.cache.Cap(),
+		"sweep_interval", s.cfg.SweepInterval,
+		"slow_op_threshold", s.slowOp)
 	return nil
 }
 
@@ -99,6 +122,7 @@ func (s *Server) Serve() error {
 			if s.draining.Load() {
 				return ErrServerClosed
 			}
+			s.log.Error("accept failed", "err", err)
 			return err
 		}
 		if !s.trackConn(nc) {
@@ -155,6 +179,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	if first {
+		s.log.Info("drain started", "conns", len(s.conns))
+	}
 	// Wake handlers blocked in Read; they observe draining and exit
 	// cleanly. Handlers mid-batch ignore this until their next read.
 	for nc := range s.conns {
@@ -169,14 +196,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("drain complete")
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
+		remaining := len(s.conns)
 		for nc := range s.conns {
 			nc.Close()
 		}
 		s.mu.Unlock()
 		<-done
+		s.log.Warn("drain deadline expired; connections closed hard",
+			"conns", remaining)
 		return ctx.Err()
 	}
 }

@@ -13,6 +13,7 @@ package server
 import (
 	"errors"
 	"hash/maphash"
+	"log/slog"
 	"math/bits"
 	"sync"
 	"time"
@@ -48,6 +49,7 @@ type Cache struct {
 	shards []*shard
 	mask   uint64
 	stats  *stats
+	log    *slog.Logger
 }
 
 // shard is one cuckoo table plus a FIFO ring of inserted keys used as the
@@ -79,6 +81,7 @@ func NewCache(shards int, slotsPerShard uint64) (*Cache, error) {
 		shards: make([]*shard, shards),
 		mask:   uint64(shards - 1),
 		stats:  newStats(shards),
+		log:    slog.New(slog.DiscardHandler),
 	}
 	for i := range c.shards {
 		t, err := generic.New[string, entry](generic.Config{
@@ -94,6 +97,13 @@ func NewCache(shards int, slotsPerShard uint64) (*Cache, error) {
 		}
 	}
 	return c, nil
+}
+
+// setLogger swaps the cache's logger; called before the cache is shared.
+func (c *Cache) setLogger(log *slog.Logger) {
+	if log != nil {
+		c.log = log
+	}
 }
 
 // shardFor maps a key to its shard index.
@@ -134,14 +144,19 @@ func (c *Cache) Set(key, val string, ttl time.Duration) error {
 	si := c.shardFor(key)
 	s := c.shards[si]
 	e := entry{val: val, expireAt: expireAt}
-	err := s.set(key, e, func() { c.stats.evictions.Add(si, 1) })
+	err := s.set(key, e, func(victim string) {
+		c.stats.evictions.Add(si, 1)
+		// Eviction only happens when a shard is full, so this is off the
+		// fast path even at debug verbosity.
+		c.log.Debug("evicted entry", "shard", si, "key", victim)
+	})
 	if err == nil {
 		c.stats.sets.Add(si, 1)
 	}
 	return err
 }
 
-func (s *shard) set(key string, e entry, onEvict func()) error {
+func (s *shard) set(key string, e entry, onEvict func(victim string)) error {
 	for tries := 0; ; tries++ {
 		err := s.table.Insert(key, e)
 		switch err {
@@ -185,7 +200,7 @@ func (s *shard) pushRing(key string) {
 // evictOne deletes the oldest ring entry that is still present, reporting
 // whether a slot was freed. Stale records (keys already deleted or
 // re-inserted elsewhere in the ring) are skipped for free.
-func (s *shard) evictOne(onEvict func()) bool {
+func (s *shard) evictOne(onEvict func(victim string)) bool {
 	for {
 		s.mu.Lock()
 		if s.head == s.tail {
@@ -198,7 +213,7 @@ func (s *shard) evictOne(onEvict func()) bool {
 		s.head++
 		s.mu.Unlock()
 		if s.table.Delete(victim) {
-			onEvict()
+			onEvict(victim)
 			return true
 		}
 	}

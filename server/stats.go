@@ -2,16 +2,24 @@ package server
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
+	"cuckoohash/generic"
 	"cuckoohash/internal/metrics"
+	"cuckoohash/internal/spinlock"
 )
 
 // latencySampleMask samples one request latency out of every 16 per
 // connection: enough resolution for STATS quantiles without putting two
-// clock reads and a mutex on every request's fast path.
+// clock reads on every request's fast path.
 const latencySampleMask = 0xf
+
+// latencyShards sizes the sharded latency histogram. Each connection
+// records into its own shard (assigned round-robin at accept time), so
+// sampled requests on different connections never touch a shared cache
+// line — previously every 16th request across *all* connections serialized
+// on one global mutex.
+const latencyShards = 64
 
 // stats aggregates the daemon's counters. Operation counters are kept
 // per shard (metrics.OpCounter gives each shard a padded slot), so two
@@ -30,8 +38,9 @@ type stats struct {
 	connsActive atomic.Int64
 	connsTotal  atomic.Uint64
 
-	latMu sync.Mutex
-	lat   metrics.Histogram // sampled request latencies (ns)
+	slowOps atomic.Uint64             // sampled requests over the slow-op threshold
+	sweeps  atomic.Uint64             // completed TTL sweep passes
+	lat     *metrics.ShardedHistogram // sampled request latencies (ns)
 }
 
 func newStats(shards int) *stats {
@@ -43,14 +52,14 @@ func newStats(shards int) *stats {
 		dels:      metrics.NewOpCounter(shards),
 		expired:   metrics.NewOpCounter(shards),
 		evictions: metrics.NewOpCounter(shards),
+		lat:       metrics.NewShardedHistogram(latencyShards),
 	}
 }
 
-// recordLatency merges one sampled request latency.
-func (st *stats) recordLatency(ns uint64) {
-	st.latMu.Lock()
-	st.lat.Record(ns)
-	st.latMu.Unlock()
+// recordLatency merges one sampled request latency into the connection's
+// histogram shard, lock-free.
+func (st *stats) recordLatency(shard uint64, ns uint64) {
+	st.lat.Record(shard, ns)
 }
 
 // Hits returns the cumulative GET hit count.
@@ -71,18 +80,44 @@ type Stat struct {
 	Value string
 }
 
-// Snapshot renders every counter, the hit ratio, and the sampled latency
-// quantiles as STATS lines. It is called off the hot path, so the lazy
-// aggregation of the per-shard counters happens here, not per request.
+// tableTotals aggregates the per-shard cuckoo tables' internal probe
+// counters and stripe-lock statistics. MaxPathLen takes the max across
+// shards; everything else sums.
+func (c *Cache) tableTotals() (generic.Stats, spinlock.StripeStats) {
+	var tab generic.Stats
+	var lock spinlock.StripeStats
+	for _, s := range c.shards {
+		ts := s.table.Stats()
+		tab.Searches += ts.Searches
+		tab.Displacements += ts.Displacements
+		tab.PathRestarts += ts.PathRestarts
+		tab.Grows += ts.Grows
+		if ts.MaxPathLen > tab.MaxPathLen {
+			tab.MaxPathLen = ts.MaxPathLen
+		}
+		for i, n := range ts.PathLenHist {
+			tab.PathLenHist[i] += n
+		}
+		ls := s.table.LockStats()
+		lock.Acquisitions += ls.Acquisitions
+		lock.Contended += ls.Contended
+		lock.Yields += ls.Yields
+	}
+	return tab, lock
+}
+
+// Snapshot renders every counter, the hit ratio, the sampled latency
+// quantiles, and the cuckoo tables' internal probe counters as STATS
+// lines. It is called off the hot path, so the lazy aggregation of the
+// per-shard counters happens here, not per request.
 func (c *Cache) Snapshot(st *stats) []Stat {
 	gets, hits, misses := st.gets.Total(), st.hits.Total(), st.misses.Total()
 	ratio := 0.0
 	if gets > 0 {
 		ratio = float64(hits) / float64(gets)
 	}
-	st.latMu.Lock()
-	lat := st.lat // copy: Histogram is a value type
-	st.latMu.Unlock()
+	lat := st.lat.Snapshot() // lock-free merge of the per-connection shards
+	tab, lock := c.tableTotals()
 
 	out := []Stat{
 		{"entries", fmt.Sprint(c.Len())},
@@ -103,6 +138,16 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 		{"lat_p50_ns", fmt.Sprint(lat.Quantile(0.50))},
 		{"lat_p99_ns", fmt.Sprint(lat.Quantile(0.99))},
 		{"lat_p999_ns", fmt.Sprint(lat.Quantile(0.999))},
+		{"slow_ops", fmt.Sprint(st.slowOps.Load())},
+		{"sweeps", fmt.Sprint(st.sweeps.Load())},
+		{"table_searches", fmt.Sprint(tab.Searches)},
+		{"table_displacements", fmt.Sprint(tab.Displacements)},
+		{"table_path_restarts", fmt.Sprint(tab.PathRestarts)},
+		{"table_max_path_len", fmt.Sprint(tab.MaxPathLen)},
+		{"table_grows", fmt.Sprint(tab.Grows)},
+		{"lock_acquisitions", fmt.Sprint(lock.Acquisitions)},
+		{"lock_contended", fmt.Sprint(lock.Contended)},
+		{"lock_yields", fmt.Sprint(lock.Yields)},
 	}
 	for i, s := range c.shards {
 		out = append(out, Stat{

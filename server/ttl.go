@@ -41,7 +41,14 @@ func (c *Cache) sweeper(interval time.Duration, stop <-chan struct{}) {
 	for {
 		select {
 		case <-t.C:
-			c.Sweep()
+			start := time.Now()
+			removed := c.Sweep()
+			c.stats.sweeps.Add(1)
+			if removed > 0 {
+				c.log.Debug("ttl sweep",
+					"removed", removed,
+					"dur", time.Since(start))
+			}
 		case <-stop:
 			return
 		}
