@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench loadgen-smoke metrics-smoke
+.PHONY: check build vet lint test race bench chaos loadgen-smoke metrics-smoke
 
 check: build vet lint race
 
@@ -27,6 +27,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Deterministic chaos suite (docs/ROBUSTNESS.md): fault-injected workloads,
+# fault-tolerant clients, drain/restore — always under -race and -count=1
+# (no cache) with verbose fault accounting for reproduction. A dedicated CI
+# job runs this so the tier-1 test job stays fast.
+chaos:
+	$(GO) test -race -count=1 -v -run 'TestChaos|TestPoolBreaker|TestDrainSaves' \
+	    ./server/ ./client/ ./internal/faultinject/
 
 # The figure harness at CI scale, with a JSON trajectory artifact.
 bench:

@@ -1,0 +1,145 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCircuitOpen is returned by Pool.Get (and the pooled one-shot helpers)
+// while the pool's circuit breaker is open: the server address has failed
+// enough consecutive transport operations that the client fast-fails
+// locally instead of piling more load and dial latency onto a sick peer.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: traffic flows; failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: every operation fast-fails with ErrCircuitOpen until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe operation is
+	// let through. Success closes the breaker, failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// breaker is a per-address circuit breaker in the classic three-state
+// shape. It trips after threshold consecutive transport failures, stays
+// open for cooldown, then admits a single probe; the probe's outcome
+// decides between closing and another full cooldown. A threshold of zero
+// disables it entirely (every method no-ops), which keeps the default
+// Pool behavior unchanged.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	reopenAt    time.Time // valid while open
+	probeAt     time.Time // last probe admission, while half-open
+
+	opens  atomic.Uint64 // closed/half-open -> open transitions
+	closes atomic.Uint64 // open/half-open -> closed transitions
+	denied atomic.Uint64 // operations fast-failed while open
+}
+
+func (b *breaker) enabled() bool { return b != nil && b.threshold > 0 }
+
+// allow reports whether an operation may proceed, admitting the half-open
+// probe when the cooldown has elapsed.
+func (b *breaker) allow() bool {
+	if !b.enabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Before(b.reopenAt) {
+			b.denied.Add(1)
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probeAt = now
+		return true
+	default: // BreakerHalfOpen
+		// One probe at a time — but if a probe was admitted and its result
+		// never came back (caller died), allow another after a cooldown.
+		if now.Sub(b.probeAt) < b.cooldown {
+			b.denied.Add(1)
+			return false
+		}
+		b.probeAt = now
+		return true
+	}
+}
+
+// record feeds one operation outcome into the state machine. Transport
+// failures and dial failures count; server-level errors on a healthy
+// connection are successes from the breaker's point of view.
+func (b *breaker) record(success bool) {
+	if !b.enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		if b.state != BreakerClosed {
+			b.closes.Add(1)
+		}
+		b.state = BreakerClosed
+		b.consecFails = 0
+		return
+	}
+	b.consecFails++
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: straight back to open for another cooldown.
+		b.trip()
+	case BreakerClosed:
+		if b.consecFails >= b.threshold {
+			b.trip()
+		}
+	case BreakerOpen:
+		// A straggler failure from before the trip; stay open.
+		b.reopenAt = time.Now().Add(b.cooldown)
+	}
+}
+
+// trip moves to open; callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.reopenAt = time.Now().Add(b.cooldown)
+	b.opens.Add(1)
+}
+
+// snapshot returns the current state for Pool.Stats.
+func (b *breaker) snapshot() (state BreakerState, opens, closes, denied uint64) {
+	if !b.enabled() {
+		return BreakerClosed, 0, 0, 0
+	}
+	b.mu.Lock()
+	state = b.state
+	b.mu.Unlock()
+	return state, b.opens.Load(), b.closes.Load(), b.denied.Load()
+}

@@ -4,6 +4,14 @@
 // responses back, amortizing syscalls exactly as the server's batch loop
 // does on its side. Pool keeps a set of Conns for concurrent callers and
 // offers one-shot convenience methods.
+//
+// The pool is also the client's fault-tolerance layer (docs/ROBUSTNESS.md):
+// dial and per-operation deadlines, health-checked connection checkout,
+// exponential backoff with full jitter and a retry budget for idempotent
+// operations, and a per-address circuit breaker that fast-fails while the
+// server is unreachable. A Conn that suffers a transport error mid-pipeline
+// is marked broken and refuses further use — replies could otherwise be
+// attributed to the wrong request — so it is discarded, never pooled.
 package client
 
 import (
@@ -15,11 +23,20 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
+
+	"cuckoohash/internal/obs"
 )
 
 // ErrClosed is returned when using a closed Conn or Pool.
 var ErrClosed = errors.New("client: closed")
+
+// ErrBrokenConn is wrapped into every error returned by a Conn after a
+// transport failure left its pipeline in an undefined state. The first
+// failure is sticky: all subsequent operations on the Conn fail with the
+// same error instead of reading desynchronized replies.
+var ErrBrokenConn = errors.New("client: connection broken")
 
 // ServerError is an ERR response from the daemon.
 type ServerError struct{ Msg string }
@@ -43,12 +60,14 @@ type Reply struct {
 // Conn is one pipelined protocol connection. It is not safe for
 // concurrent use; use a Pool to share connections between goroutines.
 type Conn struct {
-	nc      net.Conn
-	r       *bufio.Reader
-	w       *bufio.Writer
-	pending []opCode
-	replies []Reply
-	closed  bool
+	nc        net.Conn
+	r         *bufio.Reader
+	w         *bufio.Writer
+	pending   []opCode
+	replies   []Reply
+	closed    bool
+	broken    error         // sticky transport failure; nil while healthy
+	ioTimeout time.Duration // per-Flush deadline; 0 = none
 }
 
 type opCode uint8
@@ -60,17 +79,49 @@ const (
 	opTTL
 )
 
-// Dial connects to a cuckood server.
+// Dial connects to a cuckood server with no deadlines configured.
 func Dial(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0, 0)
+}
+
+// DialTimeout connects to a cuckood server, bounding the dial by
+// dialTimeout and every subsequent Flush (write plus each reply read) by
+// ioTimeout. Zero disables the respective deadline. An operation that
+// trips the deadline fails the Conn permanently, exactly like any other
+// transport error.
+func DialTimeout(addr string, dialTimeout, ioTimeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
+	return newConn(nc, ioTimeout), nil
+}
+
+func newConn(nc net.Conn, ioTimeout time.Duration) *Conn {
 	return &Conn{
-		nc: nc,
-		r:  bufio.NewReaderSize(nc, 64<<10),
-		w:  bufio.NewWriterSize(nc, 64<<10),
-	}, nil
+		nc:        nc,
+		r:         bufio.NewReaderSize(nc, 64<<10),
+		w:         bufio.NewWriterSize(nc, 64<<10),
+		ioTimeout: ioTimeout,
+	}
+}
+
+// SetIOTimeout sets the per-Flush deadline (0 disables it).
+func (c *Conn) SetIOTimeout(d time.Duration) { c.ioTimeout = d }
+
+// Err returns the Conn's sticky transport error, or nil while healthy.
+func (c *Conn) Err() error { return c.broken }
+
+// fail records the first transport error, makes it sticky, and returns it.
+// The pipeline state is undefined after a mid-flush failure — some requests
+// may have executed, some replies may be half-read — so the only safe
+// behavior is to refuse every further operation.
+func (c *Conn) fail(err error) error {
+	if c.broken == nil {
+		c.broken = fmt.Errorf("%w: %w", ErrBrokenConn, err)
+		c.pending = c.pending[:0]
+	}
+	return c.broken
 }
 
 // Close closes the connection.
@@ -91,6 +142,9 @@ func validKey(key string) error {
 
 // QueueGet buffers a GET request.
 func (c *Conn) QueueGet(key string) error {
+	if c.broken != nil {
+		return c.broken
+	}
 	if err := validKey(key); err != nil {
 		return err
 	}
@@ -104,6 +158,9 @@ func (c *Conn) QueueGet(key string) error {
 // QueueSet buffers a SET (ttl == 0) or SETEX request. The value must not
 // contain newlines; ttl is rounded up to a whole millisecond.
 func (c *Conn) QueueSet(key, val string, ttl time.Duration) error {
+	if c.broken != nil {
+		return c.broken
+	}
 	if err := validKey(key); err != nil {
 		return err
 	}
@@ -129,6 +186,9 @@ func (c *Conn) QueueSet(key, val string, ttl time.Duration) error {
 
 // QueueDel buffers a DEL request.
 func (c *Conn) QueueDel(key string) error {
+	if c.broken != nil {
+		return c.broken
+	}
 	if err := validKey(key); err != nil {
 		return err
 	}
@@ -141,6 +201,9 @@ func (c *Conn) QueueDel(key string) error {
 
 // QueueTTL buffers a TTL query.
 func (c *Conn) QueueTTL(key string) error {
+	if c.broken != nil {
+		return c.broken
+	}
 	if err := validKey(key); err != nil {
 		return err
 	}
@@ -156,27 +219,40 @@ func (c *Conn) Pending() int { return len(c.pending) }
 
 // Flush sends every queued request in one write and reads their replies
 // in order. The returned slice is reused by the next Flush. A non-nil
-// error is a transport failure; per-request failures are Reply.Err.
+// error is a transport failure; per-request failures are Reply.Err. After
+// a transport failure the Conn is broken: the stream cannot be
+// resynchronized, so every later call returns the same sticky error.
 func (c *Conn) Flush() ([]Reply, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
+	if c.broken != nil {
+		return nil, c.broken
+	}
 	if len(c.pending) == 0 {
 		return nil, nil
 	}
+	if c.ioTimeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	c.replies = c.replies[:0]
 	for _, op := range c.pending {
+		if c.ioTimeout > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(c.ioTimeout))
+		}
 		rep, err := c.readReply(op)
 		if err != nil {
-			c.pending = c.pending[:0]
-			return nil, err
+			return nil, c.fail(err)
 		}
 		c.replies = append(c.replies, rep)
 	}
 	c.pending = c.pending[:0]
+	if c.ioTimeout > 0 {
+		c.nc.SetDeadline(time.Time{})
+	}
 	return c.replies, nil
 }
 
@@ -273,20 +349,27 @@ func (c *Conn) Stats() (map[string]string, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
+	if c.broken != nil {
+		return nil, c.broken
+	}
 	if len(c.pending) > 0 {
 		return nil, errors.New("client: Stats with requests still queued")
 	}
+	if c.ioTimeout > 0 {
+		c.nc.SetDeadline(time.Now().Add(c.ioTimeout))
+		defer c.nc.SetDeadline(time.Time{})
+	}
 	if _, err := c.w.WriteString("STATS\n"); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	out := make(map[string]string)
 	for {
 		line, err := c.r.ReadString('\n')
 		if err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
 		line = strings.TrimRight(line, "\r\n")
 		if line == "END" {
@@ -300,23 +383,117 @@ func (c *Conn) Stats() (map[string]string, error) {
 	}
 }
 
+// healthCheck probes a pooled idle connection before it is handed out:
+// broken or closed conns, unsolicited buffered bytes (pipeline desync),
+// and sockets the server has since closed are all rejected. The probe is
+// one non-blocking MSG_PEEK syscall (see probeSocket), so a healthy
+// checkout stays cheap.
+func (c *Conn) healthCheck() error {
+	if c.broken != nil {
+		return c.broken
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	if c.r.Buffered() > 0 {
+		return c.fail(errors.New("unsolicited data buffered"))
+	}
+	if sc, ok := c.nc.(syscall.Conn); ok {
+		if err := probeSocket(sc); err != nil {
+			return c.fail(err)
+		}
+	}
+	return nil
+}
+
+// Options configures a Pool's sizing and fault-tolerance behavior. The
+// zero value of every field selects a safe default; in particular retries
+// and the circuit breaker are opt-in (MaxRetries / BreakerThreshold zero
+// keep them off), so NewPool's historical behavior is unchanged.
+type Options struct {
+	// Size is the maximum number of concurrent connections (default 1).
+	Size int
+	// DialTimeout bounds each dial (default 5s; negative = no limit).
+	DialTimeout time.Duration
+	// IOTimeout bounds each Flush write and reply read (0 = none).
+	IOTimeout time.Duration
+	// MaxRetries is how many times an idempotent one-shot op (Get1, Del,
+	// TTL1 — and Set when RetrySets is set) is retried after a transport
+	// failure or busy rejection. 0 disables retries.
+	MaxRetries int
+	// RetrySets opts SET into the retry policy. A retried SET re-executes
+	// on the server if the ack was lost; that is idempotent for
+	// last-writer-wins caching but not for every workload, hence opt-in.
+	RetrySets bool
+	// BackoffBase and BackoffMax bound the full-jitter exponential backoff
+	// between retries (defaults 2ms and 250ms).
+	BackoffBase, BackoffMax time.Duration
+	// RetryBudgetMax caps the retry token bucket (default 20): each retry
+	// spends one token, each success refills 0.1, so sustained failure
+	// degrades to single attempts instead of amplifying load.
+	RetryBudgetMax float64
+	// BreakerThreshold is how many consecutive transport failures open the
+	// circuit breaker (0 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting
+	// a half-open probe (default 1s).
+	BreakerCooldown time.Duration
+	// Seed makes retry jitter deterministic for tests (0 = time-seeded).
+	Seed uint64
+	// DialFunc overrides the transport dial, e.g. to inject faults in
+	// chaos tests. It receives the dial timeout already resolved.
+	DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (o *Options) setDefaults() {
+	if o.Size < 1 {
+		o.Size = 1
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	} else if o.DialTimeout < 0 {
+		o.DialTimeout = 0
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
+	if o.DialFunc == nil {
+		o.DialFunc = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+}
+
 // Pool is a fixed-size pool of Conns safe for concurrent use. Get blocks
 // when every connection is checked out, bounding the daemon's connection
-// load to Size regardless of caller concurrency.
+// load to Size regardless of caller concurrency. Idle connections are
+// health-checked at checkout and broken ones replaced, so a server restart
+// costs each pooled connection one discard, not one caller error.
 type Pool struct {
 	addr string
+	opt  Options
 	mu   sync.Mutex
 	free []*Conn
 	sem  chan struct{}
 	done bool
 
-	dials    atomic.Uint64 // connections dialed over the pool's lifetime
-	discards atomic.Uint64 // connections closed instead of returned
+	brk     *breaker
+	backoff *backoff
+	budget  *retryBudget
+
+	dials          atomic.Uint64 // connections dialed over the pool's lifetime
+	dialFails      atomic.Uint64 // dial attempts that failed
+	discards       atomic.Uint64 // connections closed instead of returned
+	healthDiscards atomic.Uint64 // idle connections failing the checkout health check
+	retries        atomic.Uint64 // op retries performed
+	budgetDenied   atomic.Uint64 // retries suppressed by an empty budget
+	timeouts       atomic.Uint64 // transport errors that were deadline timeouts
+	busyErrs       atomic.Uint64 // server busy rejections observed
 }
 
 // PoolStats is a point-in-time snapshot of a Pool's connection accounting,
-// for export on a metrics endpoint: InUse/Idle are gauges, Dials/Discards
-// are cumulative counters.
+// for export on a metrics endpoint: InUse/Idle/BreakerState are gauges,
+// the rest are cumulative counters.
 type PoolStats struct {
 	// Capacity is the pool's maximum concurrent connection count.
 	Capacity int
@@ -326,9 +503,28 @@ type PoolStats struct {
 	Idle int
 	// Dials counts connections dialed over the pool's lifetime.
 	Dials uint64
+	// DialFailures counts dial attempts that failed.
+	DialFailures uint64
 	// Discards counts connections closed rather than pooled (transport
 	// errors, unflushed requests, pool shutdown).
 	Discards uint64
+	// HealthCheckDiscards counts idle connections rejected by the checkout
+	// health check (already counted in Discards as well).
+	HealthCheckDiscards uint64
+	// Retries counts operation retry attempts.
+	Retries uint64
+	// RetryBudgetDenied counts retries suppressed by an exhausted budget.
+	RetryBudgetDenied uint64
+	// Timeouts counts transport failures that were deadline timeouts.
+	Timeouts uint64
+	// BusyRejections counts server "ERR busy" overload rejections.
+	BusyRejections uint64
+	// BreakerState is the circuit breaker position ("closed", "open",
+	// "half-open").
+	BreakerState BreakerState
+	// BreakerOpens, BreakerCloses, and BreakerDenied count breaker trips,
+	// recoveries, and operations fast-failed while open.
+	BreakerOpens, BreakerCloses, BreakerDenied uint64
 }
 
 // Stats returns the pool's current connection accounting.
@@ -336,70 +532,119 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	idle := len(p.free)
 	p.mu.Unlock()
+	state, opens, closes, denied := p.brk.snapshot()
 	// A checked-out connection holds a sem slot; idle ones do not.
 	return PoolStats{
-		Capacity: cap(p.sem),
-		InUse:    len(p.sem),
-		Idle:     idle,
-		Dials:    p.dials.Load(),
-		Discards: p.discards.Load(),
+		Capacity:            cap(p.sem),
+		InUse:               len(p.sem),
+		Idle:                idle,
+		Dials:               p.dials.Load(),
+		DialFailures:        p.dialFails.Load(),
+		Discards:            p.discards.Load(),
+		HealthCheckDiscards: p.healthDiscards.Load(),
+		Retries:             p.retries.Load(),
+		RetryBudgetDenied:   p.budgetDenied.Load(),
+		Timeouts:            p.timeouts.Load(),
+		BusyRejections:      p.busyErrs.Load(),
+		BreakerState:        state,
+		BreakerOpens:        opens,
+		BreakerCloses:       closes,
+		BreakerDenied:       denied,
 	}
 }
 
-// NewPool creates a pool of up to size lazily dialed connections.
+// NewPool creates a pool of up to size lazily dialed connections with
+// default options (no retries, no breaker).
 func NewPool(addr string, size int) *Pool {
-	if size < 1 {
-		size = 1
-	}
-	return &Pool{addr: addr, sem: make(chan struct{}, size)}
+	return NewPoolWith(addr, Options{Size: size})
 }
 
-// Get checks a connection out of the pool, dialing if none is idle.
+// NewPoolWith creates a pool with explicit fault-tolerance options.
+func NewPoolWith(addr string, opt Options) *Pool {
+	opt.setDefaults()
+	p := &Pool{
+		addr: addr,
+		opt:  opt,
+		sem:  make(chan struct{}, opt.Size),
+		brk:  &breaker{threshold: opt.BreakerThreshold, cooldown: opt.BreakerCooldown},
+	}
+	if opt.MaxRetries > 0 {
+		p.backoff = newBackoff(opt.BackoffBase, opt.BackoffMax, opt.Seed)
+		p.budget = newRetryBudget(opt.RetryBudgetMax)
+	}
+	return p
+}
+
+// Get checks a connection out of the pool, dialing if none is idle. It
+// fails fast with ErrCircuitOpen while the breaker is open, and discards
+// (then replaces) idle connections that fail the health check.
 func (p *Pool) Get() (*Conn, error) {
+	if !p.brk.allow() {
+		return nil, ErrCircuitOpen
+	}
 	p.sem <- struct{}{}
-	p.mu.Lock()
-	if p.done {
+	for {
+		p.mu.Lock()
+		if p.done {
+			p.mu.Unlock()
+			<-p.sem
+			return nil, ErrClosed
+		}
+		var c *Conn
+		if n := len(p.free); n > 0 {
+			c = p.free[n-1]
+			p.free = p.free[:n-1]
+		}
 		p.mu.Unlock()
-		<-p.sem
-		return nil, ErrClosed
+		if c == nil {
+			break
+		}
+		if c.healthCheck() == nil {
+			return c, nil
+		}
+		c.Close()
+		p.discards.Add(1)
+		p.healthDiscards.Add(1)
 	}
-	if n := len(p.free); n > 0 {
-		c := p.free[n-1]
-		p.free = p.free[:n-1]
-		p.mu.Unlock()
-		return c, nil
-	}
-	p.mu.Unlock()
-	c, err := Dial(p.addr)
+	nc, err := p.opt.DialFunc(p.addr, p.opt.DialTimeout)
 	if err != nil {
 		<-p.sem
+		p.dialFails.Add(1)
+		p.brk.record(false)
 		return nil, err
 	}
 	p.dials.Add(1)
-	return c, nil
+	return newConn(nc, p.opt.IOTimeout), nil
 }
 
 // Put returns a connection to the pool. A Conn with queued-but-unflushed
-// requests or a transport error should be Closed and discarded instead;
-// Discard does both.
+// requests, a sticky transport error, or a closed socket is closed and
+// discarded instead; Discard does both explicitly.
 func (p *Pool) Put(c *Conn) {
 	p.mu.Lock()
-	if p.done || c.closed || len(c.pending) > 0 {
+	if p.done || c.closed || c.broken != nil || len(c.pending) > 0 {
+		done := p.done
 		p.mu.Unlock()
 		c.Close()
 		p.discards.Add(1)
+		if !done {
+			p.brk.record(c.broken != nil)
+		}
 		<-p.sem
 		return
 	}
 	p.free = append(p.free, c)
 	p.mu.Unlock()
+	p.brk.record(true)
 	<-p.sem
 }
 
-// Discard closes a checked-out connection without pooling it.
+// Discard closes a checked-out connection without pooling it, counting it
+// as a transport failure for the circuit breaker.
 func (p *Pool) Discard(c *Conn) {
 	c.Close()
 	p.discards.Add(1)
+	p.brk.record(false)
 	<-p.sem
 }
 
@@ -415,46 +660,129 @@ func (p *Pool) Close() {
 	}
 }
 
-// Set is a pooled one-shot SET.
-func (p *Pool) Set(key, val string, ttl time.Duration) error {
-	c, err := p.Get()
-	if err != nil {
-		return err
+// do runs one pooled operation with the pool's retry policy. canRetry
+// gates retries entirely (non-idempotent ops pass false unless opted in);
+// each retry consumes budget and sleeps a full-jitter backoff first.
+func (p *Pool) do(canRetry bool, fn func(c *Conn) error) error {
+	attempts := 1
+	if canRetry && p.opt.MaxRetries > 0 {
+		attempts += p.opt.MaxRetries
 	}
-	err = c.Set(key, val, ttl)
-	p.release(c, err)
-	return err
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if !p.budget.take() {
+				p.budgetDenied.Add(1)
+				break
+			}
+			p.retries.Add(1)
+			time.Sleep(p.backoff.sleepFor(a))
+		}
+		c, err := p.Get()
+		if err != nil {
+			if errors.Is(err, ErrClosed) || errors.Is(err, ErrCircuitOpen) {
+				// Terminal for this op: the pool is gone, or the breaker
+				// wants silence — backing off here would defeat its point.
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		err = fn(c)
+		p.release(c, err)
+		if err == nil {
+			if p.budget != nil {
+				p.budget.success()
+			}
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// Set is a pooled one-shot SET. It is retried only when Options.RetrySets
+// opted SETs into the retry policy.
+func (p *Pool) Set(key, val string, ttl time.Duration) error {
+	return p.do(p.opt.RetrySets, func(c *Conn) error {
+		return c.Set(key, val, ttl)
+	})
 }
 
 // Get1 is a pooled one-shot GET (named to avoid clashing with pool
 // checkout).
 func (p *Pool) Get1(key string) (string, bool, error) {
-	c, err := p.Get()
-	if err != nil {
-		return "", false, err
-	}
-	v, ok, err := c.Get(key)
-	p.release(c, err)
+	var v string
+	var ok bool
+	err := p.do(true, func(c *Conn) error {
+		var err error
+		v, ok, err = c.Get(key)
+		return err
+	})
 	return v, ok, err
 }
 
 // Del is a pooled one-shot DEL.
 func (p *Pool) Del(key string) (bool, error) {
-	c, err := p.Get()
-	if err != nil {
-		return false, err
-	}
-	ok, err := c.Del(key)
-	p.release(c, err)
+	var ok bool
+	err := p.do(true, func(c *Conn) error {
+		var err error
+		ok, err = c.Del(key)
+		return err
+	})
 	return ok, err
 }
 
-// release puts c back unless err was a transport failure.
+// TTL1 is a pooled one-shot TTL query.
+func (p *Pool) TTL1(key string) (time.Duration, bool, error) {
+	var d time.Duration
+	var ok bool
+	err := p.do(true, func(c *Conn) error {
+		var err error
+		d, ok, err = c.TTL(key)
+		return err
+	})
+	return d, ok, err
+}
+
+// Collect implements obs.Collector so applications embedding the client
+// can export its fault-tolerance counters next to their own metrics.
+func (p *Pool) Collect(m *obs.Metrics) {
+	st := p.Stats()
+	m.Gauge("cuckood_client_pool_capacity", "Maximum concurrent pooled connections.", float64(st.Capacity))
+	m.Gauge("cuckood_client_pool_in_use", "Connections currently checked out.", float64(st.InUse))
+	m.Gauge("cuckood_client_pool_idle", "Connections parked in the free list.", float64(st.Idle))
+	m.Counter("cuckood_client_dials_total", "Connections dialed over the pool's lifetime.", float64(st.Dials))
+	m.Counter("cuckood_client_dial_failures_total", "Dial attempts that failed.", float64(st.DialFailures))
+	m.Counter("cuckood_client_discards_total", "Connections closed instead of pooled.", float64(st.Discards))
+	m.Counter("cuckood_client_health_discards_total", "Idle connections rejected by the checkout health check.", float64(st.HealthCheckDiscards))
+	m.Counter("cuckood_client_retries_total", "Operation retry attempts.", float64(st.Retries))
+	m.Counter("cuckood_client_retry_budget_denied_total", "Retries suppressed by an exhausted retry budget.", float64(st.RetryBudgetDenied))
+	m.Counter("cuckood_client_timeouts_total", "Transport failures that were deadline timeouts.", float64(st.Timeouts))
+	m.Counter("cuckood_client_busy_rejections_total", "Server ERR busy overload rejections observed.", float64(st.BusyRejections))
+	m.Gauge("cuckood_client_breaker_state", "Circuit breaker position: 0 closed, 1 open, 2 half-open.", float64(st.BreakerState))
+	m.Counter("cuckood_client_breaker_opens_total", "Circuit breaker trips.", float64(st.BreakerOpens))
+	m.Counter("cuckood_client_breaker_closes_total", "Circuit breaker recoveries.", float64(st.BreakerCloses))
+	m.Counter("cuckood_client_breaker_denied_total", "Operations fast-failed while the breaker was open.", float64(st.BreakerDenied))
+}
+
+// release puts c back unless err was a transport failure, and keeps the
+// failure-class counters.
 func (p *Pool) release(c *Conn, err error) {
 	var se *ServerError
 	if err == nil || errors.As(err, &se) {
+		if IsBusy(err) {
+			p.busyErrs.Add(1)
+		}
 		p.Put(c)
 		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		p.timeouts.Add(1)
 	}
 	p.Discard(c)
 }

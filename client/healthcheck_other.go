@@ -1,0 +1,10 @@
+//go:build !unix
+
+package client
+
+import "syscall"
+
+// probeSocket on platforms without non-blocking peek support reports the
+// socket healthy; broken connections are still caught at first use and
+// routed through the pool's discard path.
+func probeSocket(nc syscall.Conn) error { return nil }

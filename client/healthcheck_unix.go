@@ -1,0 +1,43 @@
+//go:build unix
+
+package client
+
+import (
+	"errors"
+	"io"
+	"syscall"
+)
+
+// probeSocket peeks at an idle socket without blocking or consuming data.
+// A read deadline in the past does not work here: Go's poller fails the
+// Read before issuing the syscall, so a dead peer would never be noticed.
+// Instead we do one non-blocking MSG_PEEK straight on the fd (the same
+// trick database/sql drivers use for their pre-checkout liveness check):
+// EAGAIN means alive-and-quiet, 0 bytes means the peer closed, and data
+// means the pipeline is desynchronized.
+func probeSocket(nc syscall.Conn) error {
+	rc, err := nc.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var probeErr error
+	err = rc.Read(func(fd uintptr) bool {
+		var buf [1]byte
+		n, _, rerr := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case rerr == syscall.EAGAIN || rerr == syscall.EWOULDBLOCK:
+			probeErr = nil
+		case rerr != nil:
+			probeErr = rerr
+		case n == 0:
+			probeErr = io.EOF
+		default:
+			probeErr = errors.New("unsolicited data on idle connection")
+		}
+		return true // never park in the poller: this is a point-in-time probe
+	})
+	if err != nil {
+		return err
+	}
+	return probeErr
+}

@@ -1,0 +1,132 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// IsBusy reports whether err is the server's overload fast-fail ("ERR
+// busy", sent when the in-flight limit or accept-time shed triggers —
+// docs/ROBUSTNESS.md). Busy errors are safe to retry after backoff: the
+// server rejected the request without executing it.
+func IsBusy(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Msg == "busy"
+}
+
+// retryable reports whether an operation error may be retried: transport
+// failures (the request may or may not have executed — callers opt in for
+// non-idempotent ops) and server busy rejections (definitely not
+// executed). Other server errors and client-side validation errors are
+// definitive answers, not faults.
+func retryable(err error) bool {
+	if IsBusy(err) {
+		return true
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	return errors.Is(err, ErrBrokenConn) || isNetError(err)
+}
+
+func isNetError(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// backoff produces full-jitter exponential delays: attempt n sleeps a
+// uniform random duration in [0, min(Max, Base<<(n-1))). Full jitter
+// (rather than equal or decorrelated jitter) spreads a thundering herd of
+// retrying clients across the whole window, which is what keeps the
+// chaos-test error rate bounded when many workers hit the same fault.
+type backoff struct {
+	base, max time.Duration
+	mu        sync.Mutex
+	rng       splitmix64
+}
+
+func newBackoff(base, max time.Duration, seed uint64) *backoff {
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	return &backoff{base: base, max: max, rng: splitmix64{seed}}
+}
+
+// sleepFor returns the jittered delay before retry attempt n (n >= 1).
+func (b *backoff) sleepFor(attempt int) time.Duration {
+	ceil := b.max
+	if attempt-1 < 32 {
+		if d := b.base << (attempt - 1); d > 0 && d < ceil {
+			ceil = d
+		}
+	}
+	b.mu.Lock()
+	f := b.rng.float64()
+	b.mu.Unlock()
+	return time.Duration(f * float64(ceil))
+}
+
+// retryBudget is a token bucket bounding the *rate* of retries, not just
+// the per-op count: each retry costs one token, each success refills a
+// fraction of one. Under a persistent outage the budget drains and ops
+// fail after their first attempt, so client-side retry amplification
+// cannot multiply the load on an already-failing server (the same
+// rationale as gRPC's retry throttling).
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	refill float64 // added per success, capped at max
+}
+
+func newRetryBudget(max float64) *retryBudget {
+	if max <= 0 {
+		max = 20
+	}
+	return &retryBudget{tokens: max, max: max, refill: 0.1}
+}
+
+// take consumes one token, reporting false when the budget is exhausted.
+func (b *retryBudget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// success refills part of a token after a successful operation.
+func (b *retryBudget) success() {
+	b.mu.Lock()
+	if b.tokens += b.refill; b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// splitmix64 is the standard 64-bit splitmix generator — enough for
+// jitter, no global rand contention, and seedable for deterministic tests.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"cuckoohash/internal/faultinject"
 	"cuckoohash/internal/loadgen"
 	"cuckoohash/internal/obs"
 	"cuckoohash/server"
@@ -46,6 +47,15 @@ func main() {
 		slots  = flag.Uint64("slots", 1<<16, "slot capacity per shard (bounded; evicts when full)")
 		sweep  = flag.Duration("sweep", time.Second, "TTL sweep interval (<0 disables)")
 		drain  = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+
+		// Robustness (docs/ROBUSTNESS.md).
+		maxConns    = flag.Int("max-conns", 0, "max concurrent connections; extras are shed with ERR busy at accept (0 = unlimited)")
+		maxInflight = flag.Int("max-inflight", 0, "max requests executing at once; extras fail fast with ERR busy (0 = unlimited)")
+		ioTimeout   = flag.Duration("io-timeout", 0, "per-batch response write deadline; slower readers are disconnected (0 = none)")
+		idleTimeout = flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 = keep forever)")
+		snapshot    = flag.String("snapshot", "", "snapshot file: cache is saved here on drain and restored on start (empty disables)")
+		faultSpec   = flag.String("fault-plan", "", "deterministic fault-injection spec, e.g. latency=2ms:0.05,reset:0.01 (testing only)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for -fault-plan schedules")
 
 		// Observability.
 		admin     = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/vars, /debug/pprof/ (empty disables)")
@@ -89,6 +99,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	plan, err := faultinject.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		fatal("bad -fault-plan", err)
+	}
+
 	srv, err := server.New(server.Config{
 		Addr:            *listen,
 		Shards:          *shards,
@@ -96,6 +111,12 @@ func main() {
 		SweepInterval:   *sweep,
 		SlowOpThreshold: *slowOp,
 		Logger:          logger,
+		MaxConns:        *maxConns,
+		MaxInflight:     *maxInflight,
+		IOTimeout:       *ioTimeout,
+		IdleTimeout:     *idleTimeout,
+		SnapshotPath:    *snapshot,
+		FaultPlan:       plan,
 	})
 	if err != nil {
 		fatal("startup failed", err)

@@ -1,0 +1,399 @@
+// Package faultinject is a deterministic, seedable fault-injection layer
+// for chaos-testing the cuckood service (docs/ROBUSTNESS.md). A Plan wraps
+// net.Conn and net.Listener values and injects transport faults — added
+// latency, partial reads and writes, stalls, connection resets, and
+// transient accept errors — with per-fault probabilities drawn from a
+// splitmix64 stream seeded by the plan seed and a per-connection sequence
+// number, so a given (seed, connection-order) pair replays the same fault
+// schedule every run.
+//
+// The package is built to cost nothing when unused: every wrapper method is
+// nil-safe and returns its argument unchanged for a nil or disarmed Plan,
+// so production code paths carry exactly one pointer nil-check and no
+// wrapper allocation. Faults only fire between Arm and Disarm, which lets a
+// chaos test stop injecting before it verifies invariants.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the base of every error this package injects; tests can
+// errors.Is against it to distinguish injected faults from real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// errReset is returned from a Read or Write whose connection was reset by
+// the plan.
+var errReset = fmt.Errorf("%w: connection reset", ErrInjected)
+
+// AcceptError is the transient listener error injected by an accept fault.
+// It implements the net.Error interface with Temporary() == true, which is
+// exactly the class of error a robust accept loop must survive with
+// backoff rather than treat as fatal.
+type AcceptError struct{}
+
+func (AcceptError) Error() string   { return "faultinject: injected transient accept error" }
+func (AcceptError) Timeout() bool   { return false }
+func (AcceptError) Temporary() bool { return true }
+
+// Unwrap ties AcceptError into the ErrInjected chain.
+func (AcceptError) Unwrap() error { return ErrInjected }
+
+// Plan is one deterministic fault schedule. Probability fields are in
+// [0, 1] and are evaluated independently per operation; zero disables that
+// fault class. Configure the fields before Arm — they are read without
+// synchronization once connections are live.
+type Plan struct {
+	// Latency and LatencyProb delay a Read or Write by Latency when the
+	// roll fires.
+	Latency     time.Duration
+	LatencyProb float64
+	// PartialProb truncates a Read to a prefix of the requested buffer or
+	// a Write to a prefix of the supplied bytes (the Write then reports an
+	// injected error, as io.Writer requires for a short write).
+	PartialProb float64
+	// Stall and StallProb block an operation for the full Stall duration —
+	// long enough to trip client deadlines where Latency is not.
+	Stall     time.Duration
+	StallProb float64
+	// ResetProb abruptly closes the connection (with SO_LINGER 0 on TCP,
+	// so the peer sees RST, not FIN) and fails the operation.
+	ResetProb float64
+	// AcceptProb makes a wrapped listener's Accept return a transient
+	// AcceptError instead of accepting.
+	AcceptProb float64
+
+	seed    uint64
+	armed   atomic.Bool
+	connSeq atomic.Uint64
+	rolls   atomic.Uint64 // fault points evaluated (armed only)
+	fired   atomic.Uint64 // faults actually injected
+}
+
+// New returns an armed Plan with the given seed and no fault classes
+// enabled; set the probability fields to taste.
+func New(seed uint64) *Plan {
+	p := &Plan{seed: seed}
+	p.armed.Store(true)
+	return p
+}
+
+// Parse builds a Plan from a compact spec string, for wiring a fault plan
+// through a command-line flag:
+//
+//	latency=2ms:0.05,partial:0.05,stall=100ms:0.01,reset:0.02,accept:0.05
+//
+// Each comma-separated clause is name[=duration]:probability. Recognized
+// names: latency (duration required), partial, stall (duration required),
+// reset, accept. An empty spec returns (nil, nil): no plan armed.
+func Parse(spec string, seed uint64) (*Plan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	p := New(seed)
+	for _, clause := range strings.Split(spec, ",") {
+		name, probStr, ok := strings.Cut(strings.TrimSpace(clause), ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: clause %q missing :probability", clause)
+		}
+		prob, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("faultinject: bad probability in %q", clause)
+		}
+		var dur time.Duration
+		if base, durStr, hasDur := strings.Cut(name, "="); hasDur {
+			name = base
+			if dur, err = time.ParseDuration(durStr); err != nil || dur < 0 {
+				return nil, fmt.Errorf("faultinject: bad duration in %q", clause)
+			}
+		}
+		switch name {
+		case "latency":
+			if dur == 0 {
+				return nil, fmt.Errorf("faultinject: latency needs =duration in %q", clause)
+			}
+			p.Latency, p.LatencyProb = dur, prob
+		case "partial":
+			p.PartialProb = prob
+		case "stall":
+			if dur == 0 {
+				return nil, fmt.Errorf("faultinject: stall needs =duration in %q", clause)
+			}
+			p.Stall, p.StallProb = dur, prob
+		case "reset":
+			p.ResetProb = prob
+		case "accept":
+			p.AcceptProb = prob
+		default:
+			return nil, fmt.Errorf("faultinject: unknown fault %q", name)
+		}
+	}
+	return p, nil
+}
+
+// Arm enables fault injection. Nil-safe.
+func (p *Plan) Arm() {
+	if p != nil {
+		p.armed.Store(true)
+	}
+}
+
+// Disarm stops injecting faults; wrapped connections keep working but pass
+// everything through untouched. Nil-safe.
+func (p *Plan) Disarm() {
+	if p != nil {
+		p.armed.Store(false)
+	}
+}
+
+func (p *Plan) active() bool { return p != nil && p.armed.Load() }
+
+// Rolls returns how many fault points have been evaluated while armed.
+func (p *Plan) Rolls() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.rolls.Load()
+}
+
+// Fired returns how many faults the plan has actually injected.
+func (p *Plan) Fired() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.fired.Load()
+}
+
+// String renders the armed fault classes, for startup logs.
+func (p *Plan) String() string {
+	if p == nil {
+		return "none"
+	}
+	var b []string
+	if p.LatencyProb > 0 {
+		b = append(b, fmt.Sprintf("latency=%v:%g", p.Latency, p.LatencyProb))
+	}
+	if p.PartialProb > 0 {
+		b = append(b, fmt.Sprintf("partial:%g", p.PartialProb))
+	}
+	if p.StallProb > 0 {
+		b = append(b, fmt.Sprintf("stall=%v:%g", p.Stall, p.StallProb))
+	}
+	if p.ResetProb > 0 {
+		b = append(b, fmt.Sprintf("reset:%g", p.ResetProb))
+	}
+	if p.AcceptProb > 0 {
+		b = append(b, fmt.Sprintf("accept:%g", p.AcceptProb))
+	}
+	if len(b) == 0 {
+		return "none"
+	}
+	return strings.Join(b, ",")
+}
+
+// WrapConn wraps nc with the plan's connection faults. Returns nc unchanged
+// for a nil plan.
+func (p *Plan) WrapConn(nc net.Conn) net.Conn {
+	if p == nil {
+		return nc
+	}
+	id := p.connSeq.Add(1)
+	return &faultConn{Conn: nc, p: p, rng: splitmix64{p.seed ^ id*0x9E3779B97F4A7C15}}
+}
+
+// WrapListener wraps ln so accepted connections carry the plan's faults and
+// Accept itself fails transiently with probability AcceptProb. Returns ln
+// unchanged for a nil plan.
+func (p *Plan) WrapListener(ln net.Listener) net.Listener {
+	if p == nil {
+		return ln
+	}
+	return &faultListener{Listener: ln, p: p, rng: splitmix64{p.seed ^ 0xA5A5A5A5A5A5A5A5}}
+}
+
+// FailOp returns a failpoint hook (see server.Cache.SetFailpoint) that
+// fails an operation with err at the given probability, deterministically
+// from the plan's seed. The hook is nil for a nil plan, so callers can
+// install it unconditionally.
+func (p *Plan) FailOp(prob float64, err error) func(op, key string) error {
+	if p == nil {
+		return nil
+	}
+	rng := &lockedRng{rng: splitmix64{p.seed ^ 0x5EED0FA117}}
+	return func(op, key string) error {
+		if !p.active() {
+			return nil
+		}
+		p.rolls.Add(1)
+		if rng.float64() < prob {
+			p.fired.Add(1)
+			return fmt.Errorf("%w: forced %v", ErrInjected, err)
+		}
+		return nil
+	}
+}
+
+// splitmix64 is the standard 64-bit splitmix generator: tiny, seedable, and
+// plenty for fault scheduling. Not safe for concurrent use; wrap or guard.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) float64() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+type lockedRng struct {
+	mu  sync.Mutex
+	rng splitmix64
+}
+
+func (l *lockedRng) float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.float64()
+}
+
+// faultListener injects transient Accept errors and wraps accepted conns.
+type faultListener struct {
+	net.Listener
+	p   *Plan
+	mu  sync.Mutex
+	rng splitmix64
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	if l.p.active() && l.p.AcceptProb > 0 {
+		l.p.rolls.Add(1)
+		l.mu.Lock()
+		r := l.rng.float64()
+		l.mu.Unlock()
+		if r < l.p.AcceptProb {
+			l.p.fired.Add(1)
+			return nil, AcceptError{}
+		}
+	}
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.p.WrapConn(nc), nil
+}
+
+// faultConn injects per-operation faults on one connection. Reads and
+// writes may run on different goroutines, so the rng is mutex-guarded; the
+// lock is uncontended in the common single-goroutine case and fault mode is
+// a testing configuration anyway.
+type faultConn struct {
+	net.Conn
+	p     *Plan
+	mu    sync.Mutex
+	rng   splitmix64
+	reset atomic.Bool
+}
+
+// decide rolls for each enabled fault class and returns the plan's verdict
+// for one operation.
+type verdict struct {
+	sleep   time.Duration
+	partial bool
+	reset   bool
+}
+
+func (c *faultConn) decide() (verdict, bool) {
+	if !c.p.active() || c.reset.Load() {
+		return verdict{}, false
+	}
+	p := c.p
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var v verdict
+	any := false
+	roll := func(prob float64) bool {
+		if prob <= 0 {
+			return false
+		}
+		p.rolls.Add(1)
+		return c.rng.float64() < prob
+	}
+	if roll(p.ResetProb) {
+		v.reset, any = true, true
+	}
+	if roll(p.StallProb) {
+		v.sleep, any = p.Stall, true
+	} else if roll(p.LatencyProb) {
+		v.sleep, any = p.Latency, true
+	}
+	if roll(p.PartialProb) {
+		v.partial, any = true, true
+	}
+	if any {
+		p.fired.Add(1)
+	}
+	return v, any
+}
+
+// doReset closes the connection abortively: SO_LINGER 0 turns the close
+// into an RST on TCP, which is the failure a crashed peer produces.
+func (c *faultConn) doReset() error {
+	if c.reset.CompareAndSwap(false, true) {
+		if tc, ok := c.Conn.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		c.Conn.Close()
+	}
+	return errReset
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	v, any := c.decide()
+	if !any {
+		return c.Conn.Read(b)
+	}
+	if v.sleep > 0 {
+		time.Sleep(v.sleep)
+	}
+	if v.reset {
+		return 0, c.doReset()
+	}
+	if v.partial && len(b) > 1 {
+		b = b[:1+len(b)/2]
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	v, any := c.decide()
+	if !any {
+		return c.Conn.Write(b)
+	}
+	if v.sleep > 0 {
+		time.Sleep(v.sleep)
+	}
+	if v.reset {
+		return 0, c.doReset()
+	}
+	if v.partial && len(b) > 1 {
+		n, err := c.Conn.Write(b[:len(b)/2])
+		if err != nil {
+			return n, err
+		}
+		// A short write must report an error; fail the rest of the buffer
+		// and reset so the stream cannot silently desynchronize.
+		return n, c.doReset()
+	}
+	return c.Conn.Write(b)
+}

@@ -90,6 +90,21 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	if _, err := cuckoohash.Load(bytes.NewReader(nil), cuckoohash.Config{}); !errors.Is(err, cuckoohash.ErrBadSnapshot) {
 		t.Fatalf("empty: err = %v", err)
 	}
+
+	// Flipped bit in the CRC trailer itself: the payload is intact but the
+	// checksum no longer matches it.
+	bad3 := append([]byte(nil), good...)
+	bad3[len(bad3)-1] ^= 0x01
+	if _, err := cuckoohash.Load(bytes.NewReader(bad3), cuckoohash.Config{}); !errors.Is(err, cuckoohash.ErrBadSnapshot) {
+		t.Fatalf("flipped crc: err = %v", err)
+	}
+
+	// Unsupported version word (second u64 of the header).
+	bad4 := append([]byte(nil), good...)
+	bad4[8] = 0x7F
+	if _, err := cuckoohash.Load(bytes.NewReader(bad4), cuckoohash.Config{}); !errors.Is(err, cuckoohash.ErrBadSnapshot) {
+		t.Fatalf("bad version: err = %v", err)
+	}
 }
 
 func TestAutoGrow(t *testing.T) {

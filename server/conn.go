@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"time"
 )
 
@@ -16,6 +17,10 @@ const (
 // errLineTooLong is reported when a request exceeds the read buffer; the
 // connection is closed because resynchronizing mid-line is not possible.
 var errLineTooLong = errors.New("request line too long")
+
+// errBusy is the overload fast-fail ("ERR busy" on the wire): the request
+// was rejected without executing and may be retried after backoff.
+var errBusy = errors.New("busy")
 
 // connState is the per-connection request-loop state. latShard pins the
 // connection to one shard of the sampled-latency histogram (assigned from
@@ -47,21 +52,43 @@ func (s *Server) handleConn(nc net.Conn) {
 	w := bufio.NewWriterSize(nc, connWriteBuf)
 
 	for {
-		// Blocking read for the head of the next batch.
+		// Blocking read for the head of the next batch, bounded by the
+		// idle timeout so abandoned connections release their resources.
+		s.armReadDeadline(nc, s.cfg.IdleTimeout)
 		line, err := readLine(r)
 		if err != nil {
 			// A shutdown wakes blocked readers via a past read deadline;
 			// flush whatever a slow client has not consumed and drop out.
-			if errors.Is(err, errLineTooLong) {
+			switch {
+			case errors.Is(err, errLineTooLong):
 				s.log.Warn("closing connection", "remote", cs.remote, "err", err)
-			} else if !errors.Is(err, io.EOF) && !s.draining.Load() {
+			case errors.Is(err, os.ErrDeadlineExceeded) && !s.draining.Load():
+				s.cache.stats.idleClosed.Add(1)
+				s.log.Debug("closing idle connection", "remote", cs.remote,
+					"idle_timeout", s.cfg.IdleTimeout)
+			case !errors.Is(err, io.EOF) && !s.draining.Load():
 				s.log.Debug("connection closed", "remote", cs.remote, "err", err)
 			}
 			w.Flush()
 			return
 		}
+		// One write deadline covers the whole batch — including bufio's
+		// automatic mid-batch flushes when responses overflow the buffer —
+		// so a client that stops reading cannot pin the handler (and its
+		// wg slot) forever.
+		if s.cfg.IOTimeout > 0 {
+			nc.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+		}
 		quit := s.serveBatchHead(line, r, w, cs)
-		if w.Flush() != nil || quit {
+		if err := w.Flush(); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.cache.stats.ioTimeouts.Add(1)
+				s.log.Warn("write timed out; closing connection",
+					"remote", cs.remote, "io_timeout", s.cfg.IOTimeout)
+			}
+			return
+		}
+		if quit {
 			return
 		}
 		if s.draining.Load() {
@@ -69,6 +96,21 @@ func (s *Server) handleConn(nc net.Conn) {
 			// close instead of blocking on a read that will never come.
 			return
 		}
+	}
+}
+
+// armReadDeadline sets the idle deadline for the next blocking read without
+// racing Shutdown's wake-up: Shutdown stores draining (under s.mu) before
+// stamping every connection with an already-expired deadline, so arming
+// first and re-checking draining after guarantees we either observe the
+// drain or Shutdown observes (and overwrites) our fresh deadline.
+func (s *Server) armReadDeadline(nc net.Conn, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	nc.SetReadDeadline(time.Now().Add(d))
+	if s.draining.Load() {
+		nc.SetReadDeadline(time.Now())
 	}
 }
 
@@ -118,6 +160,20 @@ func (s *Server) serveRequest(line []byte, w *bufio.Writer) (req request, quit b
 	if err != nil {
 		writeErr(w, err)
 		return request{op: opBad}, false
+	}
+	// In-flight limit: cache-touching ops past MaxInflight fail fast with
+	// "ERR busy" (retryable; the request did not execute) instead of
+	// queueing behind a saturated table. STATS stays exempt so operators
+	// can always observe an overloaded server, QUIT so drains always work.
+	if s.inflight != nil && req.op != opStats && req.op != opQuit {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.cache.stats.busyRejected.Add(1)
+			writeErr(w, errBusy)
+			return req, false
+		}
 	}
 	switch req.op {
 	case opGet:

@@ -35,6 +35,16 @@ func (s *Server) Collect(m *obs.Metrics) {
 	m.Gauge("cuckood_connections_active", "Currently open client connections.", float64(st.connsActive.Load()))
 	m.Counter("cuckood_connections_total", "Client connections accepted since start.", float64(st.connsTotal.Load()))
 
+	m.Counter("cuckood_accept_retries_total", "Temporary accept errors retried with backoff.", float64(st.acceptRetries.Load()))
+	m.Counter("cuckood_connections_shed_total", "Connections refused at accept because of -max-conns.", float64(st.connsShed.Load()))
+	m.Counter("cuckood_busy_rejections_total", "Requests fast-failed with ERR busy because of -max-inflight.", float64(st.busyRejected.Load()))
+	m.Counter("cuckood_idle_closes_total", "Connections closed by the idle timeout.", float64(st.idleClosed.Load()))
+	m.Counter("cuckood_io_timeouts_total", "Connections closed because a response flush timed out.", float64(st.ioTimeouts.Load()))
+	m.Counter("cuckood_snapshot_saves_total", "Cache snapshots written on drain.", float64(st.snapSaves.Load()))
+	m.Counter("cuckood_snapshot_loads_total", "Cache snapshots restored at startup.", float64(st.snapLoads.Load()))
+	m.Gauge("cuckood_snapshot_last_save_seconds", "Duration of the most recent snapshot save.", float64(st.snapSaveNs.Load())/1e9)
+	m.Gauge("cuckood_snapshot_last_load_seconds", "Duration of the most recent snapshot load.", float64(st.snapLoadNs.Load())/1e9)
+
 	m.Gauge("cuckood_entries", "Stored entries across all shards.", float64(s.cache.Len()))
 	m.Gauge("cuckood_capacity_slots", "Total slot capacity across all shards.", float64(s.cache.Cap()))
 	for i, sh := range s.cache.shards {

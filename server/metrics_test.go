@@ -54,6 +54,15 @@ func TestCollectSeriesPresent(t *testing.T) {
 		"cuckoo_table_path_length_bucket",
 		"cuckoo_lock_acquisitions_total",
 		"cuckoo_lock_contended_total",
+		"cuckood_accept_retries_total 0",
+		"cuckood_connections_shed_total 0",
+		"cuckood_busy_rejections_total 0",
+		"cuckood_idle_closes_total 0",
+		"cuckood_io_timeouts_total 0",
+		"cuckood_snapshot_saves_total 0",
+		"cuckood_snapshot_loads_total 0",
+		"cuckood_snapshot_last_save_seconds 0",
+		"cuckood_snapshot_last_load_seconds 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("scrape missing %q", want)

@@ -7,7 +7,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
+
+	"cuckoohash/internal/faultinject"
 )
 
 // ErrServerClosed is returned by Serve after Shutdown or Close.
@@ -34,6 +37,29 @@ type Config struct {
 	// Logger receives structured lifecycle, connection-error, and slow-op
 	// logs. Nil discards everything.
 	Logger *slog.Logger
+
+	// MaxConns bounds concurrently served connections; past it new
+	// connections are shed at accept time with "ERR busy" and closed,
+	// so overload turns into fast client-visible rejection instead of
+	// unbounded goroutine and fd growth. Zero means unlimited.
+	MaxConns int
+	// MaxInflight bounds requests executing against the cache at once
+	// (STATS and QUIT are exempt); excess requests fail fast with
+	// "ERR busy" rather than queueing behind a saturated table. Zero
+	// means unlimited.
+	MaxInflight int
+	// IOTimeout bounds each response flush; a client that stops reading
+	// for longer has its connection closed. Zero means no limit.
+	IOTimeout time.Duration
+	// IdleTimeout closes connections idle at a batch boundary for longer
+	// than this. Zero means idle connections are kept forever.
+	IdleTimeout time.Duration
+	// FaultPlan, when non-nil, wraps the listener so accepted connections
+	// inject the plan's deterministic faults (chaos testing only).
+	FaultPlan *faultinject.Plan
+	// SnapshotPath, when set, persists the cache there on drain and
+	// restores it on Listen, so a restart keeps the keyspace warm.
+	SnapshotPath string
 }
 
 func (c *Config) setDefaults() {
@@ -64,6 +90,8 @@ type Server struct {
 	wg        sync.WaitGroup // live connection handlers
 	draining  atomic.Bool
 	sweepStop chan struct{}
+	inflight  chan struct{} // request-execution semaphore (nil = unlimited)
+	snapOnce  sync.Once     // drain snapshot runs once even if Shutdown repeats
 }
 
 // New creates a Server; call Listen then Serve (or ListenAndServe).
@@ -78,14 +106,18 @@ func New(cfg Config) (*Server, error) {
 		log = slog.New(slog.DiscardHandler)
 	}
 	cache.setLogger(log)
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		cache:     cache,
 		log:       log,
 		slowOp:    cfg.SlowOpThreshold,
 		conns:     make(map[net.Conn]struct{}),
 		sweepStop: make(chan struct{}),
-	}, nil
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s, nil
 }
 
 // Cache exposes the underlying store, e.g. for in-process use or tests.
@@ -97,7 +129,17 @@ func (s *Server) Listen() error {
 	if err != nil {
 		return err
 	}
+	if s.cfg.FaultPlan != nil {
+		ln = s.cfg.FaultPlan.WrapListener(ln)
+		s.log.Warn("fault injection armed", "plan", s.cfg.FaultPlan.String())
+	}
 	s.ln = ln
+	if s.cfg.SnapshotPath != "" {
+		if err := s.restoreSnapshot(); err != nil {
+			ln.Close()
+			return err
+		}
+	}
 	if s.cfg.SweepInterval > 0 {
 		go s.cache.sweeper(s.cfg.SweepInterval, s.sweepStop)
 	}
@@ -114,16 +156,38 @@ func (s *Server) Listen() error {
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
 // Serve accepts connections until Shutdown or Close; it returns
-// ErrServerClosed on a clean stop.
+// ErrServerClosed on a clean stop. Transient accept failures (ECONNABORTED,
+// fd exhaustion, anything reporting itself temporary) are retried with
+// capped exponential backoff instead of killing the accept loop — a burst
+// of EMFILE under overload must degrade service, not end it. When MaxConns
+// is reached, new connections are told "ERR busy" and closed immediately.
 func (s *Server) Serve() error {
+	var backoff time.Duration
 	for {
 		nc, err := s.ln.Accept()
 		if err != nil {
 			if s.draining.Load() {
 				return ErrServerClosed
 			}
+			if isTemporaryAcceptErr(err) {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > 500*time.Millisecond {
+					backoff = 500 * time.Millisecond
+				}
+				s.cache.stats.acceptRetries.Add(1)
+				s.log.Warn("accept failed; retrying", "err", err, "backoff", backoff)
+				time.Sleep(backoff)
+				continue
+			}
 			s.log.Error("accept failed", "err", err)
 			return err
+		}
+		backoff = 0
+		if s.cfg.MaxConns > 0 && s.cache.stats.connsActive.Load() >= int64(s.cfg.MaxConns) {
+			s.cache.stats.connsShed.Add(1)
+			shedConn(nc)
+			continue
 		}
 		if !s.trackConn(nc) {
 			nc.Close()
@@ -131,6 +195,28 @@ func (s *Server) Serve() error {
 		}
 		go s.handleConn(nc)
 	}
+}
+
+// isTemporaryAcceptErr classifies accept errors worth retrying: the
+// listener is still healthy, only this accept failed. net.ErrClosed (the
+// drain path) is never temporary.
+func isTemporaryAcceptErr(err error) bool {
+	if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ECONNABORTED) {
+		return true
+	}
+	var ne net.Error
+	//nolint:staticcheck // Temporary is deprecated but remains the accept-loop contract
+	return errors.As(err, &ne) && ne.Temporary() && !errors.Is(err, net.ErrClosed)
+}
+
+// shedConn refuses an over-limit connection with a fast, bounded write so
+// clients see an explicit busy rejection (retryable after backoff) rather
+// than a silent close they might misread as a network fault.
+func shedConn(nc net.Conn) {
+	nc.SetWriteDeadline(time.Now().Add(time.Second))
+	nc.Write([]byte("ERR busy\n"))
+	nc.Close()
 }
 
 // ListenAndServe is Listen followed by Serve.
@@ -197,6 +283,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.log.Info("drain complete")
+		s.saveSnapshotOnce()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -208,8 +295,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		s.log.Warn("drain deadline expired; connections closed hard",
 			"conns", remaining)
+		s.saveSnapshotOnce()
 		return ctx.Err()
 	}
+}
+
+// saveSnapshotOnce persists the cache to SnapshotPath after the drain; all
+// handlers have exited by now, so the snapshot is a quiescent image.
+func (s *Server) saveSnapshotOnce() {
+	if s.cfg.SnapshotPath == "" {
+		return
+	}
+	s.snapOnce.Do(func() {
+		if err := s.saveSnapshot(); err != nil {
+			s.log.Error("snapshot save failed", "path", s.cfg.SnapshotPath, "err", err)
+		}
+	})
 }
 
 // Close shuts down without a drain deadline grace: equivalent to

@@ -50,6 +50,7 @@ type Cache struct {
 	mask   uint64
 	stats  *stats
 	log    *slog.Logger
+	failOp func(op, key string) error // fault-injection hook; nil in production
 }
 
 // shard is one cuckoo table plus a FIFO ring of inserted keys used as the
@@ -133,10 +134,21 @@ func (c *Cache) Cap() uint64 {
 // Stats exposes the cache's counters.
 func (c *Cache) Stats() *stats { return c.stats }
 
+// SetFailpoint installs a fault-injection hook (see faultinject.FailOp)
+// consulted before each SET; its error is returned to the client as if
+// the table itself had failed, e.g. a forced ErrServerFull. Install
+// before serving traffic; nil disables.
+func (c *Cache) SetFailpoint(f func(op, key string) error) { c.failOp = f }
+
 // Set stores key=val with the given TTL (0 = no expiry). When the shard
 // is full it evicts entries in approximate insertion order; if even that
 // fails it returns ErrServerFull.
 func (c *Cache) Set(key, val string, ttl time.Duration) error {
+	if f := c.failOp; f != nil {
+		if err := f("SET", key); err != nil {
+			return err
+		}
+	}
 	var expireAt int64
 	if ttl > 0 {
 		expireAt = time.Now().Add(ttl).UnixNano()

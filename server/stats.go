@@ -41,6 +41,18 @@ type stats struct {
 	slowOps atomic.Uint64             // sampled requests over the slow-op threshold
 	sweeps  atomic.Uint64             // completed TTL sweep passes
 	lat     *metrics.ShardedHistogram // sampled request latencies (ns)
+
+	// Robustness counters (docs/ROBUSTNESS.md): how often each overload
+	// and fault-recovery mechanism engaged.
+	acceptRetries atomic.Uint64 // temporary accept errors retried with backoff
+	connsShed     atomic.Uint64 // connections refused at accept (MaxConns)
+	busyRejected  atomic.Uint64 // requests fast-failed with ERR busy (MaxInflight)
+	idleClosed    atomic.Uint64 // connections closed by the idle timeout
+	ioTimeouts    atomic.Uint64 // connections closed by a write deadline
+	snapSaves     atomic.Uint64 // snapshots written on drain
+	snapLoads     atomic.Uint64 // snapshots restored at startup
+	snapSaveNs    atomic.Uint64 // duration of the last snapshot save
+	snapLoadNs    atomic.Uint64 // duration of the last snapshot load
 }
 
 func newStats(shards int) *stats {
@@ -140,6 +152,15 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 		{"lat_p999_ns", fmt.Sprint(lat.Quantile(0.999))},
 		{"slow_ops", fmt.Sprint(st.slowOps.Load())},
 		{"sweeps", fmt.Sprint(st.sweeps.Load())},
+		{"accept_retries", fmt.Sprint(st.acceptRetries.Load())},
+		{"conns_shed", fmt.Sprint(st.connsShed.Load())},
+		{"busy_rejected", fmt.Sprint(st.busyRejected.Load())},
+		{"idle_closed", fmt.Sprint(st.idleClosed.Load())},
+		{"io_timeouts", fmt.Sprint(st.ioTimeouts.Load())},
+		{"snapshot_saves", fmt.Sprint(st.snapSaves.Load())},
+		{"snapshot_loads", fmt.Sprint(st.snapLoads.Load())},
+		{"snapshot_last_save_ns", fmt.Sprint(st.snapSaveNs.Load())},
+		{"snapshot_last_load_ns", fmt.Sprint(st.snapLoadNs.Load())},
 		{"table_searches", fmt.Sprint(tab.Searches)},
 		{"table_displacements", fmt.Sprint(tab.Displacements)},
 		{"table_path_restarts", fmt.Sprint(tab.PathRestarts)},
