@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench chaos loadgen-smoke metrics-smoke
+# staticcheck is pinned so a new upstream release cannot break CI
+# mid-flight; bump deliberately.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: check build vet lint cuckoovet test race bench chaos loadgen-smoke metrics-smoke
 
 check: build vet lint race
 
@@ -13,14 +17,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-# staticcheck when present (CI installs it; locally it is optional so the
-# gate never requires network access).
-lint:
+# lint = the repo's own invariant checker (always; it builds offline from
+# this module with no dependencies) + staticcheck when present (CI installs
+# the pinned version; locally it is optional so the gate never requires
+# network access).
+lint: cuckoovet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
+
+# cuckoovet machine-checks the paper's concurrency invariants (§4.2 atomic
+# discipline, §4.4 lock ordering, Eq. 1 snapshot/validate, §5 transaction
+# purity, P1 cache-line padding). See docs/ANALYSIS.md.
+cuckoovet:
+	$(GO) run ./cmd/cuckoovet ./...
 
 test:
 	$(GO) test ./...

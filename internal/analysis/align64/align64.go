@@ -1,0 +1,85 @@
+// Package align64 checks that atomic-discipline 64-bit fields are 64-bit
+// aligned on 32-bit targets.
+//
+// sync/atomic's Load/Store/Add on a uint64 panic at runtime on 386/arm
+// when the word is not 8-byte aligned; the gc compiler only guarantees
+// 8-byte alignment for such fields on 64-bit targets. The typed atomics
+// (atomic.Uint64) embed an align64 marker and are immune, but the flat
+// []uint64 array layout this repository uses for bucket storage keeps some
+// legacy fields around. This analyzer consumes the atomicfield facts (the
+// cross-package record of which fields are under sync/atomic discipline)
+// and recomputes each struct's layout with GOARCH=386 sizes: any
+// discipline field at a misaligned offset is flagged before it can panic
+// on a 32-bit build.
+package align64
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cuckoohash/internal/analysis"
+	"cuckoohash/internal/analysis/atomicfield"
+	"cuckoohash/internal/analysis/checkutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "align64",
+	Doc: "flag sync/atomic-discipline 64-bit struct fields that are not " +
+		"8-byte aligned under GOARCH=386 layout (runtime panic on 32-bit)",
+	Requires: []*analysis.Analyzer{atomicfield.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sizes := types.SizesFor("gc", "386")
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Defs[ts.Name]
+			if !ok {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok || checkutil.HasTypeParams(obj.Type()) {
+				return true
+			}
+			fields := make([]*types.Var, st.NumFields())
+			for i := range fields {
+				fields[i] = st.Field(i)
+			}
+			offsets := sizes.Offsetsof(fields)
+			for i, f := range fields {
+				if !pass.ImportObjectFact(f, &atomicfield.IsAtomic{}) {
+					continue
+				}
+				if !is64BitWord(f.Type()) {
+					continue
+				}
+				if offsets[i]%8 != 0 {
+					pass.Reportf(f.Pos(),
+						"atomic 64-bit field %s is at offset %d under GOARCH=386 layout; sync/atomic requires 8-byte alignment (move it to the front of %s or use atomic.Uint64)",
+						f.Name(), offsets[i], ts.Name.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// is64BitWord reports whether t is a plain 8-byte integer, the only shape
+// the legacy sync/atomic 64-bit functions operate on.
+func is64BitWord(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package align64_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/align64"
+	"cuckoohash/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t,
+		[]string{analysistest.Dir("align64test")},
+		align64.Analyzer)
+}

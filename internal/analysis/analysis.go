@@ -1,0 +1,126 @@
+// Package analysis is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, object facts,
+// diagnostics) used by the cuckoovet suite.
+//
+// The build environment for this repository is offline by policy: `make
+// check` must run with no module downloads, so the real x/tools dependency
+// is deliberately not taken. This package mirrors the parts of the
+// go/analysis API the checkers need — an analyzer is a named Run function
+// over one type-checked package, analyzers may require other analyzers'
+// results, and facts attached to types.Object values flow across package
+// boundaries — so the checkers would port to the upstream framework
+// mechanically if the dependency ever becomes available.
+//
+// The accompanying driver (internal/analysis/driver) loads every package of
+// the module from source in dependency order into a single go/types
+// universe, which is what makes object identity (and therefore facts) work
+// across packages without the serialized-fact machinery of x/tools.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one machine-checked invariant: a name (also the
+// suppression key for //lint:allow cuckoovet:<name> directives), a doc
+// string carrying the paper-section rationale, and a Run function applied
+// to every package in the load.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	// It must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a summary, the
+	// rest explains the rule and cites the paper section it enforces.
+	Doc string
+
+	// Requires lists analyzers that must run before this one on each
+	// package. Their results are available through Pass.ResultOf, and any
+	// facts they exported are visible to this analyzer.
+	Requires []*Analyzer
+
+	// Run applies the analyzer to one package. The returned value is made
+	// available to dependent analyzers via Pass.ResultOf.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Fact is a deduction about a program object, exported by one analyzer
+// pass and importable by later passes (including passes over packages that
+// import the object's package). Implementations are marker types.
+type Fact interface {
+	AFact() // dummy method to mark fact types
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name; filled by Pass.Reportf
+	Message  string
+}
+
+// A Pass provides one analyzer with the material of one package: syntax,
+// type information, and the fact store. It mirrors x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	// ResultOf maps each analyzer in Analyzer.Requires to its result for
+	// this package.
+	ResultOf map[*Analyzer]any
+
+	// Report delivers a diagnostic to the driver. Checkers normally use
+	// Reportf.
+	Report func(Diagnostic)
+
+	facts *FactStore
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Category: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportObjectFact attaches fact to obj. The fact is visible to this
+// analyzer (and its dependents) in every subsequently analyzed package.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		panic("analysis: ExportObjectFact(nil)")
+	}
+	p.facts.set(obj, fact)
+}
+
+// ImportObjectFact copies into fact the fact previously exported for obj
+// with the same concrete type, reporting whether one existed. The fact
+// argument must be a non-nil pointer to the fact type, as in x/tools.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	return p.facts.get(obj, fact)
+}
+
+// AllObjectFacts returns every (object, fact) pair of the given concrete
+// fact type accumulated so far. The prototype selects the type.
+func (p *Pass) AllObjectFacts(prototype Fact) []ObjectFact {
+	return p.facts.all(prototype)
+}
+
+// ObjectFact is one entry of the fact store.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}

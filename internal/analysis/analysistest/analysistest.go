@@ -1,0 +1,129 @@
+// Package analysistest runs cuckoovet analyzers over golden testdata
+// packages and checks their diagnostics against expectations written in
+// the source, mirroring x/tools' analysistest convention:
+//
+//	s.locks.Lock(b) // want `while stripe lock .* is held`
+//
+// A `// want` comment carries one or more backquoted or double-quoted
+// regular expressions and asserts that each matches exactly one diagnostic
+// reported on that line; diagnostics with no matching expectation, and
+// expectations with no matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cuckoohash/internal/analysis"
+	"cuckoohash/internal/analysis/driver"
+)
+
+// expectation is one parsed `// want` pattern, pinned to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads dirs into one program (earlier dirs are importable by later
+// ones under their base names), runs the analyzers plus requirements over
+// every loaded package, applies the //lint:allow machinery, and compares
+// the surviving findings against the `// want` expectations of all files.
+func Run(t *testing.T, dirs []string, analyzers ...*analysis.Analyzer) []driver.Finding {
+	t.Helper()
+	prog, err := driver.LoadDirs(dirs...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", dirs, err)
+	}
+	findings, err := driver.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := prog.Fset.Position(c.Pos())
+					for _, raw := range wantPatterns(t, c.Text, pos.String()) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, re: re, raw: raw,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.raw)
+		}
+	}
+	return findings
+}
+
+// wantPatterns extracts the regular expressions of one comment's `// want`
+// clause, if any. Both `want "re"` and want `re` forms are accepted and
+// several patterns may follow one want.
+func wantPatterns(t *testing.T, comment, pos string) []string {
+	t.Helper()
+	text, ok := strings.CutPrefix(strings.TrimSpace(comment), "//")
+	if !ok {
+		return nil // a /* */ comment; not used for expectations
+	}
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	var out []string
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		quoted, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want clause at %q: %v", pos, rest, err)
+		}
+		s, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %q: %v", pos, quoted, err)
+		}
+		out = append(out, s)
+		rest = rest[len(quoted):]
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want clause carries no patterns", pos)
+	}
+	return out
+}
+
+// Dir builds the conventional testdata path for a golden package.
+func Dir(pkg string) string {
+	return fmt.Sprintf("../testdata/src/%s", pkg)
+}

@@ -1,0 +1,171 @@
+// Package atomicfield enforces the all-or-nothing rule for atomics: a
+// field (or package-level variable) that is ever accessed through
+// sync/atomic functions must never be read or written plainly.
+//
+// The optimistic reader protocol (§4.2) works only because every word a
+// reader can observe mid-displacement is loaded and stored atomically; one
+// plain access reintroduces the torn reads the seqlock exists to prevent,
+// and the Go race detector only catches it if a test happens to interleave
+// exactly wrong. The analyzer marks every field whose address is passed to
+// a sync/atomic function with an object fact (so the discipline follows
+// the field across package boundaries) and then flags plain accesses.
+//
+// For slice-typed fields the discipline applies to the elements: indexing
+// must happen under &f[i] passed to sync/atomic, while whole-slice
+// operations (make, len, cap, range over indices) remain free. Ranging
+// with a value variable reads elements plainly and is flagged.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cuckoohash/internal/analysis"
+	"cuckoohash/internal/analysis/checkutil"
+)
+
+// IsAtomic marks an object as atomic-discipline: somewhere in the program
+// its address is passed to a sync/atomic function.
+type IsAtomic struct{}
+
+func (*IsAtomic) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "flag plain reads/writes of fields that elsewhere use sync/atomic " +
+		"(one plain access breaks the §4.2 optimistic reader protocol)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Pass 1: mark discipline objects from &obj arguments of sync/atomic
+	// calls. Facts exported by packages analyzed earlier are already in
+	// the store, so imported fields keep their discipline here.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !checkutil.IsAtomicPkgFunc(checkutil.Callee(pass.TypesInfo, call)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if v := checkutil.FieldOf(pass.TypesInfo, un.X); v != nil {
+					pass.ExportObjectFact(v, &IsAtomic{})
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain accesses of marked objects.
+	for _, file := range pass.Files {
+		checkutil.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			var obj *types.Var
+			if ok {
+				s, okSel := pass.TypesInfo.Selections[sel]
+				if !okSel || s.Kind() != types.FieldVal {
+					return true
+				}
+				obj, _ = s.Obj().(*types.Var)
+			} else if id, okId := n.(*ast.Ident); okId {
+				v, okV := pass.TypesInfo.Uses[id].(*types.Var)
+				if !okV || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+					return true
+				}
+				// A package-qualified use (pkg.Var) is handled here at the
+				// Sel ident, but treat the enclosing selector as the access
+				// expression so parent classification sees the right node.
+				if len(stack) > 0 {
+					if parent, okP := stack[len(stack)-1].(*ast.SelectorExpr); okP && parent.Sel == id {
+						if obj2 := v; pass.ImportObjectFact(obj2, &IsAtomic{}) {
+							check(pass, parent, obj2, stack[:len(stack)-1])
+						}
+						return true
+					}
+				}
+				obj = v
+			} else {
+				return true
+			}
+			if obj == nil || !pass.ImportObjectFact(obj, &IsAtomic{}) {
+				return true
+			}
+			check(pass, n.(ast.Expr), obj, stack)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// check classifies one use of a marked object, reporting plain accesses.
+func check(pass *analysis.Pass, access ast.Expr, obj *types.Var, stack []ast.Node) {
+	indexed := false
+	// Climb wrappers that are still "the same access": parens and (for
+	// slice/array fields) the indexing that selects the guarded element.
+	i := len(stack)
+	node := ast.Node(access)
+	for i > 0 {
+		switch parent := stack[i-1].(type) {
+		case *ast.ParenExpr:
+			node, i = parent, i-1
+			continue
+		case *ast.IndexExpr:
+			if parent.X == node {
+				node, i = parent, i-1
+				indexed = true
+				continue
+			}
+		}
+		break
+	}
+
+	_, isSliceField := obj.Type().Underlying().(*types.Slice)
+	if isSliceField && !indexed {
+		// Whole-slice uses: allocation, length, swap of the header, and
+		// index-only ranges are not element accesses. The one plain
+		// element read here is a range with a value variable.
+		if i > 0 {
+			if rng, ok := stack[i-1].(*ast.RangeStmt); ok && rng.X == node && rng.Value != nil {
+				pass.Reportf(access.Pos(),
+					"range reads elements of atomic field %s plainly; loop over indices and use atomic loads (§4.2)", obj.Name())
+			}
+		}
+		return
+	}
+
+	var parent ast.Node
+	if i > 0 {
+		parent = stack[i-1]
+	}
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		if p.Op.String() == "&" {
+			// &f escaping to a sync/atomic call (the marking pattern) or
+			// to a local; either way the access itself is not plain.
+			return
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == node {
+				pass.Reportf(access.Pos(),
+					"plain write to atomic field %s; use atomic.Store/Add (field is accessed with sync/atomic elsewhere)", obj.Name())
+				return
+			}
+		}
+	case *ast.IncDecStmt:
+		if ast.Unparen(p.X) == node {
+			pass.Reportf(access.Pos(),
+				"plain %s of atomic field %s; use atomic.Add (field is accessed with sync/atomic elsewhere)", p.Tok, obj.Name())
+			return
+		}
+	}
+	pass.Reportf(access.Pos(),
+		"plain read of atomic field %s; use atomic.Load (field is accessed with sync/atomic elsewhere)", obj.Name())
+}

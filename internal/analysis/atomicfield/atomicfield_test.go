@@ -1,0 +1,14 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/analysistest"
+	"cuckoohash/internal/analysis/atomicfield"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t,
+		[]string{analysistest.Dir("atomictest")},
+		atomicfield.Analyzer)
+}

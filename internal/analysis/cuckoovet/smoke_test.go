@@ -1,0 +1,31 @@
+package cuckoovet_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/cuckoovet"
+	"cuckoohash/internal/analysis/driver"
+)
+
+// TestTreeClean runs the full analyzer suite over every package of the
+// module and requires zero unsuppressed findings: the concurrency
+// invariants the suite encodes (§4.2 atomic discipline, §4.4 lock
+// ordering, Eq. 1 snapshot/validate, §5 transaction purity, P1 padding)
+// must hold everywhere, always. A regression that reintroduces an
+// unordered lock pair or a plain atomic access fails this test and CI.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	prog, err := driver.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := driver.Run(prog, cuckoovet.Analyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// FactStore holds object facts for one driver run. Because the driver
+// type-checks the whole module into a single go/types universe, a
+// types.Object is a stable identity across packages and no serialization
+// is needed (the part of x/tools this package deliberately simplifies).
+//
+// The store is keyed by (object, concrete fact type): an object can carry
+// at most one fact of each type, matching x/tools semantics.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+func (s *FactStore) set(obj types.Object, fact Fact) {
+	s.m[factKey{obj, reflect.TypeOf(fact)}] = fact
+}
+
+// get copies the stored fact for (obj, type-of fact) into fact, which must
+// be a non-nil pointer to a fact struct.
+func (s *FactStore) get(obj types.Object, fact Fact) bool {
+	v := reflect.ValueOf(fact)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		panic("analysis: ImportObjectFact: fact must be a non-nil pointer")
+	}
+	got, ok := s.m[factKey{obj, v.Type()}]
+	if !ok {
+		return false
+	}
+	v.Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+func (s *FactStore) all(prototype Fact) []ObjectFact {
+	want := reflect.TypeOf(prototype)
+	var out []ObjectFact
+	for k, f := range s.m {
+		if k.typ == want {
+			out = append(out, ObjectFact{Object: k.obj, Fact: f})
+		}
+	}
+	return out
+}
+
+// NewPass assembles a Pass. It is exported for the driver and the test
+// harness, not for checkers.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sizes types.Sizes, results map[*Analyzer]any, facts *FactStore, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: sizes,
+		ResultOf:   results,
+		Report:     report,
+		facts:      facts,
+	}
+}

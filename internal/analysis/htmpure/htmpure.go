@@ -1,0 +1,160 @@
+// Package htmpure keeps side effects out of (emulated) hardware
+// transaction bodies.
+//
+// §5 of the paper moves the insert critical section into an HTM
+// transaction; the entire design depends on the body being a handful of
+// undo-loggable word reads and writes. Anything else is a latent bug:
+// I/O, channel operations and goroutine launches cannot roll back when
+// the transaction aborts (and on real TSX hardware abort the transaction
+// every time); map writes and allocations touch runtime-internal state
+// outside the arena's undo log; free-form panics are indistinguishable
+// from the internal abort unwinding. The transaction body may only call
+// the Txn's own Load/Store/Abort and helpers that themselves take the
+// transaction handle (which this analyzer then checks by the same rules).
+//
+// A function is a transaction body if it is a function literal passed
+// where a func(*Txn) error is expected, or any declared function with a
+// *Txn parameter, where Txn is recognized structurally as a type with
+// Load, Store and Abort methods.
+package htmpure
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cuckoohash/internal/analysis"
+	"cuckoohash/internal/analysis/checkutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "htmpure",
+	Doc: "flag side effects inside HTM transaction bodies: I/O, channels, " +
+		"goroutines, map writes, allocation and panics cannot roll back on abort (§5)",
+	Run: run,
+}
+
+// impurePkgs are packages whose calls have effects no undo log can revert.
+var impurePkgs = []string{
+	"fmt", "os", "io", "bufio", "net", "log", "log/slog",
+	"time", "math/rand", "math/rand/v2", "runtime", "sync", "syscall",
+}
+
+func isTxnType(t types.Type) bool {
+	return checkutil.HasMethods(t, "Load", "Store", "Abort")
+}
+
+// txnParam reports whether sig takes a transaction handle parameter.
+func txnParam(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		pt := sig.Params().At(i).Type()
+		if ptr, ok := pt.Underlying().(*types.Pointer); ok && isTxnType(ptr.Elem()) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, fb := range checkutil.Bodies(file) {
+			var sig *types.Signature
+			if fb.Decl != nil {
+				if obj, ok := pass.TypesInfo.Defs[fb.Decl.Name].(*types.Func); ok {
+					sig, _ = obj.Type().(*types.Signature)
+				}
+			} else if fb.Lit != nil {
+				if tv, ok := pass.TypesInfo.Types[fb.Lit]; ok {
+					sig, _ = tv.Type.(*types.Signature)
+				}
+			}
+			if !txnParam(sig) {
+				continue
+			}
+			// The htm package itself implements the machinery (abort
+			// panics, pools, stats) and is exempt; the rule governs users.
+			if definesTxn(pass, sig) {
+				continue
+			}
+			checkBody(pass, fb.Body)
+		}
+	}
+	return nil, nil
+}
+
+// definesTxn reports whether the transaction handle type of sig is
+// declared in the package under analysis.
+func definesTxn(pass *analysis.Pass, sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		pt := sig.Params().At(i).Type()
+		ptr, ok := pt.Underlying().(*types.Pointer)
+		if !ok || !isTxnType(ptr.Elem()) {
+			continue
+		}
+		if n := checkutil.NamedOf(ptr.Elem()); n != nil && n.Obj().Pkg() == pass.Pkg {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "goroutine launched inside a transaction body cannot be rolled back on abort (§5)")
+		case *ast.SelectStmt:
+			pass.Reportf(x.Pos(), "select inside a transaction body: channel operations cannot be rolled back on abort (§5)")
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "channel send inside a transaction body cannot be rolled back on abort (§5)")
+		case *ast.DeferStmt:
+			pass.Reportf(x.Pos(), "defer inside a transaction body runs after commit/abort is decided; hoist it out of the transaction (§5)")
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				pass.Reportf(x.Pos(), "channel receive inside a transaction body cannot be rolled back on abort (§5)")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if tv, ok := pass.TypesInfo.Types[idx.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							pass.Reportf(lhs.Pos(), "map write inside a transaction body touches runtime state outside the undo log (§5); keep transactional state in the region arena")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, x)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	switch checkutil.BuiltinName(pass.TypesInfo, call) {
+	case "panic":
+		pass.Reportf(call.Pos(), "free-form panic inside a transaction body is indistinguishable from the abort unwinding; use tx.Abort or return an error (§5)")
+		return
+	case "close":
+		pass.Reportf(call.Pos(), "channel close inside a transaction body cannot be rolled back on abort (§5)")
+		return
+	case "delete":
+		pass.Reportf(call.Pos(), "map delete inside a transaction body touches runtime state outside the undo log (§5)")
+		return
+	case "make", "new", "append":
+		pass.Reportf(call.Pos(), "allocation (%s) inside a transaction body cannot roll back and inflates the write set toward AbortCapacity (§5); allocate before the transaction", checkutil.BuiltinName(pass.TypesInfo, call))
+		return
+	case "print", "println":
+		pass.Reportf(call.Pos(), "I/O inside a transaction body cannot be rolled back on abort (§5)")
+		return
+	}
+	fn := checkutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if checkutil.PkgPathIn(fn, impurePkgs...) {
+		pass.Reportf(call.Pos(), "call to %s.%s inside a transaction body: the effect cannot be rolled back on abort and serializes the region (§5)", fn.Pkg().Name(), fn.Name())
+	}
+}

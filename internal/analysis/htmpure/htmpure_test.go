@@ -1,0 +1,14 @@
+package htmpure_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/analysistest"
+	"cuckoohash/internal/analysis/htmpure"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t,
+		[]string{analysistest.Dir("htmlib"), analysistest.Dir("htmpuretest")},
+		htmpure.Analyzer)
+}

@@ -1,0 +1,244 @@
+// Package lockorder flags direct two-lock sequences on striped bucket
+// locks.
+//
+// The paper's deadlock-avoidance rule (§4.4) is that a displacement locks
+// its two buckets' stripes in ascending stripe-index order, and the
+// codebase centralizes that ordering in Stripe.LockPair (and LockAll for
+// the pessimistic whole-table path). Any code that calls Stripe.Lock twice
+// without an intervening Unlock has re-derived the ordering by hand — or,
+// far more likely, has not, and will deadlock against a concurrent
+// displacement locking the same pair in the opposite order. The bug
+// compiles cleanly and deadlocks only under exactly-interleaved writers,
+// so it is machine-checked here.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cuckoohash/internal/analysis"
+	"cuckoohash/internal/analysis/checkutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flag second Stripe.Lock while a stripe lock is held: bucket pairs " +
+		"must go through LockPair/ordered helpers (§4.4 deadlock-avoidance rule)",
+	Run: run,
+}
+
+// A "striped lock" is any type that offers both Lock and LockPair: the
+// presence of LockPair is the type's own declaration that raw consecutive
+// Lock calls are not the supported way to take two stripes.
+func isStripedLock(t types.Type) bool {
+	return checkutil.HasMethods(t, "Lock", "Unlock", "LockPair")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, fb := range checkutil.Bodies(file) {
+			w := &walker{pass: pass}
+			w.block(nil, fb.Body.List)
+		}
+	}
+	return nil, nil
+}
+
+// walker tracks, in source order with branch-sensitive merging, which raw
+// stripe locks are held. Held locks are keyed by the printed receiver
+// expression so Lock/Unlock pairs on the same stripe table cancel out.
+type walker struct {
+	pass *analysis.Pass
+}
+
+// block processes stmts sequentially, threading the held set through.
+func (w *walker) block(held []string, stmts []ast.Stmt) []string {
+	for _, s := range stmts {
+		held = w.stmt(held, s)
+	}
+	return held
+}
+
+func (w *walker) stmt(held []string, s ast.Stmt) []string {
+	switch st := s.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		return w.block(held, st.List)
+	case *ast.IfStmt:
+		held = w.stmt(held, st.Init)
+		held = w.expr(held, st.Cond)
+		a := w.stmt(copyOf(held), st.Body)
+		b := w.stmt(copyOf(held), st.Else)
+		return union(a, b)
+	case *ast.ForStmt:
+		held = w.stmt(held, st.Init)
+		held = w.expr(held, st.Cond)
+		after := w.stmt(copyOf(held), st.Body)
+		after = w.stmt(after, st.Post)
+		return union(held, after)
+	case *ast.RangeStmt:
+		held = w.expr(held, st.X)
+		after := w.stmt(copyOf(held), st.Body)
+		return union(held, after)
+	case *ast.SwitchStmt:
+		held = w.stmt(held, st.Init)
+		held = w.expr(held, st.Tag)
+		return w.branches(held, st.Body)
+	case *ast.TypeSwitchStmt:
+		held = w.stmt(held, st.Init)
+		return w.branches(held, st.Body)
+	case *ast.SelectStmt:
+		return w.branches(held, st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			held = w.expr(held, e)
+		}
+		return w.block(held, st.Body)
+	case *ast.CommClause:
+		held = w.stmt(held, st.Comm)
+		return w.block(held, st.Body)
+	case *ast.DeferStmt:
+		// Deferred Unlocks run at return, not here: a deferred UnlockPair
+		// does not license another raw Lock in the body. Skip the call but
+		// scan its arguments, which are evaluated now.
+		for _, arg := range st.Call.Args {
+			held = w.expr(held, arg)
+		}
+		return held
+	case *ast.GoStmt:
+		for _, arg := range st.Call.Args {
+			held = w.expr(held, arg)
+		}
+		return held
+	case *ast.ExprStmt:
+		return w.expr(held, st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			held = w.expr(held, e)
+		}
+		for _, e := range st.Lhs {
+			held = w.expr(held, e)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			held = w.expr(held, e)
+		}
+		return held
+	case *ast.SendStmt:
+		held = w.expr(held, st.Chan)
+		return w.expr(held, st.Value)
+	case *ast.IncDecStmt:
+		return w.expr(held, st.X)
+	case *ast.LabeledStmt:
+		return w.stmt(held, st.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						held = w.expr(held, e)
+					}
+				}
+			}
+		}
+		return held
+	default:
+		return held
+	}
+}
+
+// branches evaluates each clause of a switch/select body from the same
+// entry state and unions the results.
+func (w *walker) branches(held []string, body *ast.BlockStmt) []string {
+	out := copyOf(held)
+	for _, clause := range body.List {
+		out = union(out, w.stmt(copyOf(held), clause))
+	}
+	return out
+}
+
+// expr scans an expression for Lock/Unlock calls in evaluation order.
+// Function literals are not entered: they execute later (Bodies walks them
+// independently with an empty held set).
+func (w *walker) expr(held []string, e ast.Expr) []string {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := checkutil.Callee(w.pass.TypesInfo, call)
+		recv := checkutil.Receiver(w.pass.TypesInfo, call)
+		if fn == nil || recv == nil {
+			return true
+		}
+		rt := w.pass.TypesInfo.Types[recv].Type
+		if !isStripedLock(rt) {
+			return true
+		}
+		// The lock type's own package implements LockPair/LockAll and is
+		// the one place the ordering rule lives; exempt it.
+		if fn.Pkg() == w.pass.Pkg {
+			return true
+		}
+		key := types.ExprString(recv)
+		switch fn.Name() {
+		case "Lock":
+			if len(held) > 0 {
+				w.pass.Reportf(call.Pos(),
+					"Stripe.Lock on %s while stripe lock %s is held; two stripes must be acquired via LockPair (ascending stripe order, §4.4)",
+					key, held[len(held)-1])
+			}
+			held = append(held, key)
+		case "Unlock":
+			held = remove(held, key)
+		case "LockPair", "LockAll":
+			if len(held) > 0 {
+				w.pass.Reportf(call.Pos(),
+					"%s on %s while stripe lock %s is held; release it first (§4.4)",
+					fn.Name(), key, held[len(held)-1])
+			}
+		}
+		return true
+	})
+	return held
+}
+
+func copyOf(held []string) []string {
+	out := make([]string, len(held))
+	copy(out, held)
+	return out
+}
+
+func union(a, b []string) []string {
+	out := copyOf(a)
+	for _, k := range b {
+		found := false
+		for _, have := range out {
+			if have == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func remove(held []string, key string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == key {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	return held
+}

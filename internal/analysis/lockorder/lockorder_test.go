@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/analysistest"
+	"cuckoohash/internal/analysis/lockorder"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t,
+		[]string{analysistest.Dir("stripelib"), analysistest.Dir("lockordertest")},
+		lockorder.Analyzer)
+}

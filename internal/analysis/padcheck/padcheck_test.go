@@ -1,0 +1,14 @@
+package padcheck_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/analysistest"
+	"cuckoohash/internal/analysis/padcheck"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t,
+		[]string{analysistest.Dir("padchecktest")},
+		padcheck.Analyzer)
+}

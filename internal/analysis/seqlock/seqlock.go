@@ -1,0 +1,172 @@
+// Package seqlock checks the optimistic-reader protocol around striped
+// version counters.
+//
+// §4.2 of the paper (Eq. 1): a lock-free lookup snapshots the version of
+// each candidate bucket's stripe, reads the bucket, and then re-checks
+// that the versions did not move; if either check is skipped the reader
+// can return a value torn by a concurrent displacement, and because the
+// displacement window is a handful of nanoseconds the corruption shows up
+// roughly never in tests and regularly in production. The analyzer treats
+// any type with Snapshot and Validate methods as a seqlock provider and
+// enforces, per function outside the provider's package:
+//
+//   - every Snapshot is followed by at least one Validate (the re-read);
+//   - no Validate appears without a preceding Snapshot (the begin);
+//   - a Snapshot's result is actually consumed;
+//   - the window between the first Snapshot and the last Validate is
+//     write-free on shared state: no field stores, no Lock/Unlock/Store
+//     method calls, no sync/atomic mutators. The reader path must not
+//     dirty shared cache lines (§4.2's "reads should be optimistic").
+package seqlock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cuckoohash/internal/analysis"
+	"cuckoohash/internal/analysis/checkutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seqlock",
+	Doc: "flag broken Snapshot/Validate pairings and writes on the " +
+		"optimistic reader path (§4.2, Eq. 1 re-read protocol)",
+	Run: run,
+}
+
+func isProvider(t types.Type) bool {
+	return checkutil.HasMethods(t, "Snapshot", "Validate")
+}
+
+// event is one protocol-relevant operation in source order.
+type event struct {
+	pos  token.Pos
+	kind int // 0 snapshot, 1 validate, 2 write
+	what string
+}
+
+const (
+	evSnapshot = iota
+	evValidate
+	evWrite
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, fb := range checkutil.Bodies(file) {
+			checkBody(pass, fb.Body)
+		}
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var events []event
+	exempt := false
+
+	checkutil.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate body, walked on its own
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := checkutil.Callee(pass.TypesInfo, x)
+			recv := checkutil.Receiver(pass.TypesInfo, x)
+			if fn != nil && recv != nil && isProvider(pass.TypesInfo.Types[recv].Type) {
+				if fn.Pkg() == pass.Pkg {
+					// The provider package implements the protocol.
+					exempt = true
+					return false
+				}
+				switch fn.Name() {
+				case "Snapshot":
+					events = append(events, event{x.Pos(), evSnapshot, types.ExprString(recv)})
+					if len(stack) > 0 {
+						if _, bare := stack[len(stack)-1].(*ast.ExprStmt); bare {
+							pass.Reportf(x.Pos(), "Snapshot result discarded; the version must be kept and re-checked with Validate (Eq. 1)")
+						}
+					}
+				case "Validate":
+					events = append(events, event{x.Pos(), evValidate, types.ExprString(recv)})
+				case "Lock", "Unlock", "LockPair", "UnlockPair", "LockAll", "UnlockAll", "Store", "Add":
+					// Mutating the version stripes themselves mid-window is
+					// the most direct way to break Eq. 1.
+					events = append(events, event{x.Pos(), evWrite, fn.Name()})
+				}
+				return true
+			}
+			// Mutating method calls count as writes in the window.
+			if fn != nil && recv != nil {
+				switch fn.Name() {
+				case "Lock", "Unlock", "LockPair", "UnlockPair", "Store", "Add", "Swap", "CompareAndSwap", "Inc":
+					events = append(events, event{x.Pos(), evWrite, fn.Name()})
+				}
+			}
+			if fn := checkutil.Callee(pass.TypesInfo, x); checkutil.IsAtomicPkgFunc(fn) {
+				switch {
+				case fn.Name() == "LoadUint64" || fn.Name() == "LoadUint32" ||
+					fn.Name() == "LoadInt64" || fn.Name() == "LoadInt32" ||
+					fn.Name() == "LoadPointer" || fn.Name() == "LoadUintptr":
+					// reads are fine
+				default:
+					events = append(events, event{x.Pos(), evWrite, "atomic." + fn.Name()})
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if fieldWrite(pass, lhs) {
+					events = append(events, event{lhs.Pos(), evWrite, "field store"})
+				}
+			}
+		case *ast.IncDecStmt:
+			if fieldWrite(pass, x.X) {
+				events = append(events, event{x.Pos(), evWrite, "field update"})
+			}
+		}
+		return true
+	})
+
+	if exempt {
+		return
+	}
+
+	nSnap, nVal := 0, 0
+	var firstSnap, lastVal token.Pos = token.NoPos, token.NoPos
+	for _, e := range events {
+		switch e.kind {
+		case evSnapshot:
+			nSnap++
+			if firstSnap == token.NoPos {
+				firstSnap = e.pos
+			}
+		case evValidate:
+			if nSnap == 0 {
+				pass.Reportf(e.pos, "Validate without a preceding Snapshot in this function; the optimistic read has no begin version (§4.2)")
+			}
+			nVal++
+			lastVal = e.pos
+		}
+	}
+	if nSnap > 0 && nVal == 0 {
+		for _, e := range events {
+			if e.kind == evSnapshot {
+				pass.Reportf(e.pos, "Snapshot is never validated in this function; an overlapping displacement goes undetected (§4.2, Eq. 1)")
+			}
+		}
+	}
+	if firstSnap != token.NoPos && lastVal != token.NoPos {
+		for _, e := range events {
+			if e.kind == evWrite && e.pos > firstSnap && e.pos < lastVal {
+				pass.Reportf(e.pos, "%s between Snapshot and Validate: the optimistic reader path must not write shared state (§4.2)", e.what)
+			}
+		}
+	}
+}
+
+// fieldWrite reports whether lhs stores through a struct field or a
+// package-level variable (i.e. potentially shared state, as opposed to a
+// function-local).
+func fieldWrite(pass *analysis.Pass, lhs ast.Expr) bool {
+	return checkutil.FieldOf(pass.TypesInfo, lhs) != nil
+}

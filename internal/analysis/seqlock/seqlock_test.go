@@ -1,0 +1,14 @@
+package seqlock_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/analysistest"
+	"cuckoohash/internal/analysis/seqlock"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t,
+		[]string{analysistest.Dir("stripelib"), analysistest.Dir("seqlocktest")},
+		seqlock.Analyzer)
+}

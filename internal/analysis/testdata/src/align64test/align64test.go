@@ -1,0 +1,28 @@
+// Package align64test is the align64 golden: a sync/atomic-discipline
+// 64-bit field that lands on a 4-byte offset under GOARCH=386 layout must
+// be flagged before it can panic on a 32-bit build.
+package align64test
+
+import "sync/atomic"
+
+type badLayout struct {
+	ready uint32
+	count int64 // want `atomic 64-bit field count is at offset 4 under GOARCH=386 layout`
+}
+
+type goodLayout struct {
+	count int64 // 8-byte word first: offset 0 on every target
+	ready uint32
+}
+
+type goodTyped struct {
+	ready uint32
+	count atomic.Int64 // typed atomics carry their own align64 marker
+}
+
+func use(b *badLayout, g *goodLayout, t *goodTyped) int64 {
+	atomic.AddInt64(&b.count, 1)
+	atomic.AddInt64(&g.count, 1)
+	t.count.Add(1)
+	return atomic.LoadInt64(&b.count) + atomic.LoadInt64(&g.count) + t.count.Load()
+}

@@ -1,0 +1,37 @@
+// Package allowtest exercises the //lint:allow machinery: a directive
+// with a reason suppresses the finding on its own or the following line;
+// unknown checks, missing reasons and unused directives are themselves
+// reported under the allowcheck pseudo-check.
+package allowtest
+
+import "stripelib"
+
+type table struct {
+	locks *stripelib.Stripe
+}
+
+func suppressedOwnLineDirective(t *table, a, b uint64) {
+	t.locks.Lock(a)
+	//lint:allow cuckoovet:lockorder ordering proven manually in this fixture
+	t.locks.Lock(b)
+	t.locks.Unlock(b)
+	t.locks.Unlock(a)
+}
+
+func unsuppressed(t *table, a, b uint64) {
+	t.locks.Lock(a)
+	t.locks.Lock(b)
+	t.locks.Unlock(b)
+	t.locks.Unlock(a)
+}
+
+func badDirectives(t *table, a uint64) {
+	//lint:allow cuckoovet:nosuchcheck it cannot exist
+	t.locks.Lock(a)
+	t.locks.Unlock(a)
+	//lint:allow cuckoovet:lockorder
+	t.locks.Lock(a)
+	t.locks.Unlock(a)
+	//lint:allow cuckoovet:lockorder nothing here needs suppressing
+	t.locks.Unlock(a)
+}

@@ -1,0 +1,70 @@
+// Package atomictest is the atomicfield golden: any field whose address
+// ever reaches sync/atomic is discipline-marked, and every plain access of
+// it must be flagged.
+package atomictest
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64
+	misses uint64
+	plain  uint64 // never touched by sync/atomic; stays free
+	vals   []uint64
+}
+
+// globalEpoch is discipline-marked through the package-level-var path.
+var globalEpoch uint64
+
+func mark(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.StoreUint64(&c.misses, 0)
+	atomic.AddUint64(&globalEpoch, 1)
+	for i := range c.vals {
+		atomic.StoreUint64(&c.vals[i], 0)
+	}
+}
+
+func badRead(c *counters) uint64 {
+	return c.hits // want `plain read of atomic field hits`
+}
+
+func badWrite(c *counters) {
+	c.misses = 7 // want `plain write to atomic field misses`
+}
+
+func badIncrement(c *counters) {
+	c.hits++ // want `plain \+\+ of atomic field hits`
+}
+
+func badGlobalRead() uint64 {
+	return globalEpoch // want `plain read of atomic field globalEpoch`
+}
+
+func badElementRead(c *counters, i int) uint64 {
+	return c.vals[i] // want `plain read of atomic field vals`
+}
+
+func badRangeValue(c *counters) uint64 {
+	var sum uint64
+	for _, v := range c.vals { // want `range reads elements of atomic field vals plainly`
+		sum += v
+	}
+	return sum
+}
+
+func goodAtomicUse(c *counters, i int) uint64 {
+	return atomic.LoadUint64(&c.hits) + atomic.LoadUint64(&c.vals[i])
+}
+
+func goodHeaderOps(c *counters) int {
+	c.vals = make([]uint64, 8) // swapping the header is not an element access
+	for i := range c.vals {
+		atomic.AddUint64(&c.vals[i], 1)
+	}
+	return len(c.vals)
+}
+
+func goodUnmarkedField(c *counters) uint64 {
+	c.plain++
+	return c.plain
+}

@@ -1,0 +1,101 @@
+// Package htmpuretest is the htmpure golden: transaction bodies (function
+// literals and declared helpers taking the *Txn handle) must stay free of
+// effects that cannot roll back on abort.
+package htmpuretest
+
+import (
+	"fmt"
+
+	"htmlib"
+)
+
+type table struct {
+	region *htmlib.Region
+	index  map[uint64]int
+	events chan uint64
+}
+
+func sideEffect() {}
+
+func goodBody(t *table) error {
+	return t.region.Run(func(tx *htmlib.Txn) error {
+		v := tx.Load(0)
+		if v == 0 {
+			tx.Abort(1)
+		}
+		tx.Store(1, v+1)
+		return nil
+	})
+}
+
+func goodHelper(tx *htmlib.Txn, b uint64) uint64 {
+	occ := tx.Load(uint32(b))
+	tx.Store(uint32(b), occ|1)
+	return occ
+}
+
+func badAllocation(t *table) error {
+	return t.region.Run(func(tx *htmlib.Txn) error {
+		scratch := make([]uint64, 8) // want `allocation \(make\) inside a transaction body`
+		scratch[0] = tx.Load(0)
+		scratch = append(scratch, 1) // want `allocation \(append\) inside a transaction body`
+		tx.Store(0, scratch[0])
+		return nil
+	})
+}
+
+func badIO(t *table) error {
+	return t.region.Run(func(tx *htmlib.Txn) error {
+		fmt.Println(tx.Load(0)) // want `call to fmt\.Println inside a transaction body`
+		return nil
+	})
+}
+
+func badGoroutine(t *table) error {
+	return t.region.Run(func(tx *htmlib.Txn) error {
+		go sideEffect() // want `goroutine launched inside a transaction body`
+		return nil
+	})
+}
+
+func badDefer(t *table) error {
+	return t.region.Run(func(tx *htmlib.Txn) error {
+		defer sideEffect() // want `defer inside a transaction body`
+		return nil
+	})
+}
+
+func badChannels(t *table) error {
+	return t.region.Run(func(tx *htmlib.Txn) error {
+		t.events <- tx.Load(0) // want `channel send inside a transaction body`
+		v := <-t.events        // want `channel receive inside a transaction body`
+		tx.Store(0, v)
+		return nil
+	})
+}
+
+func badPanic(t *table) error {
+	return t.region.Run(func(tx *htmlib.Txn) error {
+		if tx.Load(0) == 0 {
+			panic("empty") // want `free-form panic inside a transaction body`
+		}
+		return nil
+	})
+}
+
+// badHelper shows the rule follows the handle into declared helpers.
+func badHelper(tx *htmlib.Txn, t *table, b uint64) {
+	t.index[b] = int(tx.Load(uint32(b))) // want `map write inside a transaction body`
+}
+
+// goodCaller prepares state outside the transaction; only the body is held
+// to the purity rules.
+func goodCaller(t *table) error {
+	scratch := make([]uint64, 8)
+	err := t.region.Run(func(tx *htmlib.Txn) error {
+		scratch[0] = tx.Load(0)
+		return nil
+	})
+	fmt.Println(scratch[0])
+	return err
+}

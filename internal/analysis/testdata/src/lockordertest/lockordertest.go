@@ -1,0 +1,75 @@
+// Package lockordertest is the lockorder golden: raw two-lock sequences
+// must be flagged, LockPair and sequential lock/unlock must not.
+package lockordertest
+
+import "stripelib"
+
+type table struct {
+	locks *stripelib.Stripe
+}
+
+func badDoubleLock(t *table, a, b uint64) {
+	t.locks.Lock(a)
+	t.locks.Lock(b) // want `Stripe\.Lock on t\.locks while stripe lock t\.locks is held`
+	t.locks.Unlock(b)
+	t.locks.Unlock(a)
+}
+
+func badPairWhileHeld(t *table, a, b uint64) {
+	t.locks.Lock(a)
+	t.locks.LockPair(a, b) // want `LockPair on t\.locks while stripe lock`
+	t.locks.Unlock(a)
+}
+
+func badLockSurvivesBranch(t *table, a, b uint64, cond bool) {
+	if cond {
+		t.locks.Lock(a)
+	}
+	t.locks.Lock(b) // want `while stripe lock t\.locks is held`
+	t.locks.Unlock(b)
+	if cond {
+		t.locks.Unlock(a)
+	}
+}
+
+func badDeferredUnlockDoesNotRelease(t *table, a, b uint64) {
+	t.locks.Lock(a)
+	defer t.locks.Unlock(a)
+	t.locks.Lock(b) // want `while stripe lock t\.locks is held`
+	t.locks.Unlock(b)
+}
+
+func goodPair(t *table, a, b uint64) {
+	l1, l2 := t.locks.LockPair(a, b)
+	t.locks.UnlockPair(l1, l2)
+}
+
+func goodSequential(t *table, a, b uint64) {
+	t.locks.Lock(a)
+	t.locks.Unlock(a)
+	t.locks.Lock(b)
+	t.locks.Unlock(b)
+}
+
+func goodBranchesRelease(t *table, a, b uint64, cond bool) {
+	if cond {
+		t.locks.Lock(a)
+		t.locks.Unlock(a)
+	} else {
+		t.locks.Lock(b)
+		t.locks.Unlock(b)
+	}
+	t.locks.Lock(a)
+	t.locks.Unlock(a)
+}
+
+func goodLiteralIsSeparate(t *table, a uint64) func() {
+	t.locks.Lock(a)
+	f := func(b uint64) {
+		// A function literal runs later, outside the holder's frame.
+		t.locks.Lock(b)
+		t.locks.Unlock(b)
+	}
+	t.locks.Unlock(a)
+	return func() { f(a) }
+}

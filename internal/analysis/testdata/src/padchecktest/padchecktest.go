@@ -1,0 +1,33 @@
+// Package padchecktest is the padcheck golden: an array or slice of
+// atomic-bearing shard structs whose size is not a multiple of the 64-byte
+// cache line false-shares and must be flagged (principle P1).
+package padchecktest
+
+import "sync/atomic"
+
+type badShard struct {
+	v atomic.Int64
+}
+
+type goodShard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+type legacyShard struct {
+	n uint64 // discipline-marked below; no sync/atomic type in sight
+}
+
+type stats struct {
+	bad    [8]badShard // want `shard type badShard holds atomic counters but is 8 bytes`
+	good   [8]goodShard
+	legacy []legacyShard // want `shard type legacyShard holds atomic counters but is 8 bytes`
+	vers   []atomic.Uint64
+}
+
+func bump(s *stats, i int) {
+	s.bad[i%8].v.Add(1)
+	s.good[i%8].v.Add(1)
+	atomic.AddUint64(&s.legacy[i].n, 1)
+	s.vers[i].Add(1)
+}

@@ -1,0 +1,60 @@
+// Package seqlocktest is the seqlock golden for the §4.2 optimistic-read
+// protocol: every Snapshot must be validated, every Validate needs a
+// Snapshot, and the window between them must be write-free.
+package seqlocktest
+
+import "stripelib"
+
+type table struct {
+	vers     *stripelib.Stripe
+	restarts uint64
+	data     []uint64
+}
+
+func read(t *table, b uint64) uint64 { return t.data[b] }
+
+func goodOptimisticRead(t *table, b uint64) (uint64, bool) {
+	for {
+		s := t.vers.Snapshot(b)
+		v := read(t, b)
+		if t.vers.Validate(b, s) {
+			return v, true
+		}
+	}
+}
+
+func badNeverValidated(t *table, b uint64) uint64 {
+	s := t.vers.Snapshot(b) // want `Snapshot is never validated in this function`
+	_ = s
+	return read(t, b)
+}
+
+func badValidateWithoutSnapshot(t *table, b uint64) bool {
+	return t.vers.Validate(b, 0) // want `Validate without a preceding Snapshot`
+}
+
+func badDiscardedSnapshot(t *table, b uint64) {
+	t.vers.Snapshot(b) // want `Snapshot result discarded` `Snapshot is never validated`
+}
+
+func badWriteInWindow(t *table, b uint64) (uint64, bool) {
+	s := t.vers.Snapshot(b)
+	v := read(t, b)
+	t.restarts = t.restarts + 1 // want `field store between Snapshot and Validate`
+	return v, t.vers.Validate(b, s)
+}
+
+func badLockInWindow(t *table, b uint64) (uint64, bool) {
+	s := t.vers.Snapshot(b)
+	t.vers.Lock(b) // want `Lock between Snapshot and Validate`
+	v := read(t, b)
+	t.vers.Unlock(b) // want `Unlock between Snapshot and Validate`
+	return v, t.vers.Validate(b, s)
+}
+
+func goodLocalStateInWindow(t *table, b uint64) (uint64, bool) {
+	s := t.vers.Snapshot(b)
+	v := uint64(0)
+	v += read(t, b) // locals are private to the reader; no shared dirtying
+	return v, t.vers.Validate(b, s)
+}

@@ -118,10 +118,33 @@ func (t *TxTable) Lookup(key uint64) (uint64, bool) {
 	return val, found
 }
 
+// txScratch holds the DFS path buffers. They are allocated before the
+// transaction begins: an allocation inside the transaction body cannot be
+// rolled back on abort and real HTM aborts on the allocator's page faults
+// (cuckoovet:htmpure). The DFS itself still runs inside the transaction —
+// that unoptimized placement is the point of this baseline.
+type txScratch struct {
+	pathA, pathB []entry
+}
+
+// maxPathLen is the per-direction DFS depth bound implied by the budget.
+func (t *TxTable) maxPathLen() int {
+	maxLen := t.budget / (2 * int(t.assoc))
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	return maxLen
+}
+
 // Insert runs the entire Algorithm 1 in a single elided transaction.
 func (t *TxTable) Insert(key, val uint64) error {
 	h := t.hash(key)
 	b1, b2 := hashfn.TwoBuckets(h, t.nb)
+	maxLen := t.maxPathLen()
+	sc := txScratch{
+		pathA: make([]entry, maxLen+1),
+		pathB: make([]entry, maxLen+1),
+	}
 	err := t.region.RunElided(t.policy, func(tx *htm.Txn) error {
 		// Duplicate check.
 		for _, b := range [2]uint64{b1, b2} {
@@ -141,7 +164,7 @@ func (t *TxTable) Insert(key, val uint64) error {
 			}
 		}
 		// DFS search *inside* the transaction (the unoptimized design).
-		path, ok := t.txSearch(tx, h, b1, b2)
+		path, ok := t.txSearch(tx, &sc, h, b1, b2)
 		if !ok {
 			return ErrFull
 		}
@@ -208,41 +231,42 @@ func (t *TxTable) txDisplace(tx *htm.Txn, src, dst entry) {
 // txSearch is the two-way DFS with every bucket read tracked by the
 // transaction. Randomness derives deterministically from the key's hash so
 // no shared generator state exists.
-func (t *TxTable) txSearch(tx *htm.Txn, h, b1, b2 uint64) ([]entry, bool) {
+func (t *TxTable) txSearch(tx *htm.Txn, sc *txScratch, h, b1, b2 uint64) ([]entry, bool) {
 	assoc := int(t.assoc)
-	maxLen := t.budget / (2 * assoc)
-	if maxLen < 1 {
-		maxLen = 1
-	}
-	pathA := make([]entry, 0, maxLen+1)
-	pathB := make([]entry, 0, maxLen+1)
+	maxLen := t.maxPathLen()
+	// Indexed writes into the pre-sized scratch, never append: the buffers
+	// must not grow while the transaction is live (cuckoovet:htmpure).
+	pathA, pathB := sc.pathA[:maxLen+1], sc.pathB[:maxLen+1]
+	nA, nB := 0, 0
 	curA, curB := b1, b2
 	rng := h | 1
 	examined := 0
 	for examined < t.budget {
-		if len(pathA) > maxLen && len(pathB) > maxLen {
+		if nA > maxLen && nB > maxLen {
 			return nil, false
 		}
 		for w := 0; w < 2; w++ {
-			cur, path := curA, &pathA
+			cur, path, n := curA, pathA, &nA
 			if w == 1 {
-				cur, path = curB, &pathB
+				cur, path, n = curB, pathB, &nB
 			}
-			if len(*path) > maxLen {
+			if *n > maxLen {
 				continue
 			}
 			examined += assoc
 			occ := tx.Load(t.occAddr(cur))
 			if s, ok := freeBit(occ, assoc); ok {
-				*path = append(*path, entry{bucket: cur, slot: s})
-				return *path, true
+				path[*n] = entry{bucket: cur, slot: s}
+				*n++
+				return path[:*n], true
 			}
 			rng ^= rng << 13
 			rng ^= rng >> 7
 			rng ^= rng << 17
 			s := int(rng % uint64(assoc))
 			k := tx.Load(t.keyAddr(cur, s))
-			*path = append(*path, entry{bucket: cur, slot: s})
+			path[*n] = entry{bucket: cur, slot: s}
+			*n++
 			next := hashfn.AltBucket(t.hash(k), t.nb, cur)
 			if w == 0 {
 				curA = next
