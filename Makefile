@@ -7,7 +7,7 @@ GO ?= go
 # mid-flight; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check build vet lint cuckoovet test race bench chaos loadgen-smoke metrics-smoke
+.PHONY: check build vet lint cuckoovet test race bench bench-smoke fuzz chaos loadgen-smoke metrics-smoke
 
 check: build vet lint race
 
@@ -51,6 +51,19 @@ chaos:
 # The figure harness at CI scale, with a JSON trajectory artifact.
 bench:
 	$(GO) run ./cmd/cuckoobench -exp all -scale small -json BENCH_small.json
+
+# Quick perf-trajectory point: the full figure set at small scale, written
+# where the committed baseline lives (results/BENCH_core.json is the seed;
+# CI uploads each run's file as an artifact for diffing).
+bench-smoke:
+	$(GO) run ./cmd/cuckoobench -exp all -scale small -out results/BENCH_ci.json
+
+# Native Go fuzzing of the server text-protocol codec. The corpus seeds
+# live in the test; 30s is the CI budget — run longer locally with
+# FUZZTIME=10m.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseCommand -fuzztime $(FUZZTIME) ./server/
 
 # End-to-end smoke of the cache daemon: serve, load-generate, drain.
 # The binary is run directly (not via `go run`, which does not forward a

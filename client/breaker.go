@@ -58,6 +58,34 @@ type breaker struct {
 	opens  atomic.Uint64 // closed/half-open -> open transitions
 	closes atomic.Uint64 // open/half-open -> closed transitions
 	denied atomic.Uint64 // operations fast-failed while open
+
+	// transitions counts each state-machine edge separately, indexed by
+	// the br* constants; exported as
+	// cuckood_client_breaker_transitions_total{from,to}.
+	transitions [brEdgeCount]atomic.Uint64
+}
+
+// Breaker state-machine edges. opens/closes above aggregate these; the
+// per-edge counters distinguish a trip from steady traffic (closed→open)
+// from a failed recovery probe (half-open→open), which call for very
+// different operator responses.
+const (
+	brClosedToOpen     = iota // threshold consecutive failures tripped the breaker
+	brOpenToHalfOpen          // cooldown elapsed; a probe was admitted
+	brHalfOpenToOpen          // the probe failed; back to a full cooldown
+	brHalfOpenToClosed        // the probe succeeded; traffic restored
+	brOpenToClosed            // a straggler success landed while open
+	brEdgeCount
+)
+
+// brEdges names each edge for the metric's from/to labels, indexed by the
+// br* constants.
+var brEdges = [brEdgeCount]struct{ from, to string }{
+	{"closed", "open"},
+	{"open", "half-open"},
+	{"half-open", "open"},
+	{"half-open", "closed"},
+	{"open", "closed"},
 }
 
 func (b *breaker) enabled() bool { return b != nil && b.threshold > 0 }
@@ -81,6 +109,7 @@ func (b *breaker) allow() bool {
 		}
 		b.state = BreakerHalfOpen
 		b.probeAt = now
+		b.transitions[brOpenToHalfOpen].Add(1)
 		return true
 	default: // BreakerHalfOpen
 		// One probe at a time — but if a probe was admitted and its result
@@ -104,8 +133,13 @@ func (b *breaker) record(success bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if success {
-		if b.state != BreakerClosed {
+		switch b.state {
+		case BreakerHalfOpen:
 			b.closes.Add(1)
+			b.transitions[brHalfOpenToClosed].Add(1)
+		case BreakerOpen:
+			b.closes.Add(1)
+			b.transitions[brOpenToClosed].Add(1)
 		}
 		b.state = BreakerClosed
 		b.consecFails = 0
@@ -128,6 +162,11 @@ func (b *breaker) record(success bool) {
 
 // trip moves to open; callers hold b.mu.
 func (b *breaker) trip() {
+	if b.state == BreakerHalfOpen {
+		b.transitions[brHalfOpenToOpen].Add(1)
+	} else {
+		b.transitions[brClosedToOpen].Add(1)
+	}
 	b.state = BreakerOpen
 	b.reopenAt = time.Now().Add(b.cooldown)
 	b.opens.Add(1)
@@ -142,4 +181,16 @@ func (b *breaker) snapshot() (state BreakerState, opens, closes, denied uint64) 
 	state = b.state
 	b.mu.Unlock()
 	return state, b.opens.Load(), b.closes.Load(), b.denied.Load()
+}
+
+// transitionCounts returns the per-edge transition counters, indexed by
+// the br* constants.
+func (b *breaker) transitionCounts() (out [brEdgeCount]uint64) {
+	if !b.enabled() {
+		return out
+	}
+	for i := range b.transitions {
+		out[i] = b.transitions[i].Load()
+	}
+	return out
 }

@@ -1,0 +1,65 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitionEdges drives the breaker through every
+// state-machine edge and checks each per-edge counter — the data behind
+// cuckood_client_breaker_transitions_total{from,to} — fires exactly when
+// its edge is taken.
+func TestBreakerTransitionEdges(t *testing.T) {
+	const cooldown = 5 * time.Millisecond
+	b := &breaker{threshold: 2, cooldown: cooldown}
+
+	expect := func(step string, want [brEdgeCount]uint64) {
+		t.Helper()
+		if got := b.transitionCounts(); got != want {
+			t.Fatalf("%s: transitions = %v, want %v", step, got, want)
+		}
+	}
+
+	// closed -> open: threshold consecutive failures.
+	b.record(false)
+	b.record(false)
+	expect("trip", [brEdgeCount]uint64{brClosedToOpen: 1})
+
+	// open -> half-open: cooldown elapses, a probe is admitted.
+	time.Sleep(cooldown + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	expect("probe admitted", [brEdgeCount]uint64{brClosedToOpen: 1, brOpenToHalfOpen: 1})
+
+	// half-open -> open: the probe fails.
+	b.record(false)
+	expect("probe failed", [brEdgeCount]uint64{
+		brClosedToOpen: 1, brOpenToHalfOpen: 1, brHalfOpenToOpen: 1})
+
+	// open -> half-open -> closed: the next probe succeeds.
+	time.Sleep(cooldown + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second probe not admitted")
+	}
+	b.record(true)
+	expect("probe succeeded", [brEdgeCount]uint64{
+		brClosedToOpen: 1, brOpenToHalfOpen: 2, brHalfOpenToOpen: 1, brHalfOpenToClosed: 1})
+	if st, _, _, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+
+	// open -> closed: a straggler success lands while open (no probe).
+	b.record(false)
+	b.record(false)
+	b.record(true)
+	expect("straggler success", [brEdgeCount]uint64{
+		brClosedToOpen: 2, brOpenToHalfOpen: 2, brHalfOpenToOpen: 1,
+		brHalfOpenToClosed: 1, brOpenToClosed: 1})
+
+	// A disabled breaker reports all-zero counters.
+	var disabled *breaker
+	if got := disabled.transitionCounts(); got != ([brEdgeCount]uint64{}) {
+		t.Fatalf("disabled breaker transitions = %v, want zeros", got)
+	}
+}

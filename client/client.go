@@ -751,22 +751,36 @@ func (p *Pool) TTL1(key string) (time.Duration, bool, error) {
 // Collect implements obs.Collector so applications embedding the client
 // can export its fault-tolerance counters next to their own metrics.
 func (p *Pool) Collect(m *obs.Metrics) {
+	p.CollectWith(m)
+}
+
+// CollectWith renders the same series as Collect with the given label
+// pairs attached to every sample. The cluster client uses it to export
+// one series set per node (label "node"), so a dashboard can tell which
+// peer's breaker tripped.
+func (p *Pool) CollectWith(m *obs.Metrics, labels ...string) {
 	st := p.Stats()
-	m.Gauge("cuckood_client_pool_capacity", "Maximum concurrent pooled connections.", float64(st.Capacity))
-	m.Gauge("cuckood_client_pool_in_use", "Connections currently checked out.", float64(st.InUse))
-	m.Gauge("cuckood_client_pool_idle", "Connections parked in the free list.", float64(st.Idle))
-	m.Counter("cuckood_client_dials_total", "Connections dialed over the pool's lifetime.", float64(st.Dials))
-	m.Counter("cuckood_client_dial_failures_total", "Dial attempts that failed.", float64(st.DialFailures))
-	m.Counter("cuckood_client_discards_total", "Connections closed instead of pooled.", float64(st.Discards))
-	m.Counter("cuckood_client_health_discards_total", "Idle connections rejected by the checkout health check.", float64(st.HealthCheckDiscards))
-	m.Counter("cuckood_client_retries_total", "Operation retry attempts.", float64(st.Retries))
-	m.Counter("cuckood_client_retry_budget_denied_total", "Retries suppressed by an exhausted retry budget.", float64(st.RetryBudgetDenied))
-	m.Counter("cuckood_client_timeouts_total", "Transport failures that were deadline timeouts.", float64(st.Timeouts))
-	m.Counter("cuckood_client_busy_rejections_total", "Server ERR busy overload rejections observed.", float64(st.BusyRejections))
-	m.Gauge("cuckood_client_breaker_state", "Circuit breaker position: 0 closed, 1 open, 2 half-open.", float64(st.BreakerState))
-	m.Counter("cuckood_client_breaker_opens_total", "Circuit breaker trips.", float64(st.BreakerOpens))
-	m.Counter("cuckood_client_breaker_closes_total", "Circuit breaker recoveries.", float64(st.BreakerCloses))
-	m.Counter("cuckood_client_breaker_denied_total", "Operations fast-failed while the breaker was open.", float64(st.BreakerDenied))
+	m.Gauge("cuckood_client_pool_capacity", "Maximum concurrent pooled connections.", float64(st.Capacity), labels...)
+	m.Gauge("cuckood_client_pool_in_use", "Connections currently checked out.", float64(st.InUse), labels...)
+	m.Gauge("cuckood_client_pool_idle", "Connections parked in the free list.", float64(st.Idle), labels...)
+	m.Counter("cuckood_client_dials_total", "Connections dialed over the pool's lifetime.", float64(st.Dials), labels...)
+	m.Counter("cuckood_client_dial_failures_total", "Dial attempts that failed.", float64(st.DialFailures), labels...)
+	m.Counter("cuckood_client_discards_total", "Connections closed instead of pooled.", float64(st.Discards), labels...)
+	m.Counter("cuckood_client_health_discards_total", "Idle connections rejected by the checkout health check.", float64(st.HealthCheckDiscards), labels...)
+	m.Counter("cuckood_client_retries_total", "Operation retry attempts.", float64(st.Retries), labels...)
+	m.Counter("cuckood_client_retry_budget_denied_total", "Retries suppressed by an exhausted retry budget.", float64(st.RetryBudgetDenied), labels...)
+	m.Counter("cuckood_client_timeouts_total", "Transport failures that were deadline timeouts.", float64(st.Timeouts), labels...)
+	m.Counter("cuckood_client_busy_rejections_total", "Server ERR busy overload rejections observed.", float64(st.BusyRejections), labels...)
+	m.Gauge("cuckood_client_breaker_state", "Circuit breaker position: 0 closed, 1 open, 2 half-open.", float64(st.BreakerState), labels...)
+	m.Counter("cuckood_client_breaker_opens_total", "Circuit breaker trips.", float64(st.BreakerOpens), labels...)
+	m.Counter("cuckood_client_breaker_closes_total", "Circuit breaker recoveries.", float64(st.BreakerCloses), labels...)
+	m.Counter("cuckood_client_breaker_denied_total", "Operations fast-failed while the breaker was open.", float64(st.BreakerDenied), labels...)
+	for i, n := range p.brk.transitionCounts() {
+		e := brEdges[i]
+		m.Counter("cuckood_client_breaker_transitions_total",
+			"Circuit breaker state transitions by edge.",
+			float64(n), append([]string{"from", e.from, "to", e.to}, labels...)...)
+	}
 }
 
 // release puts c back unless err was a transport failure, and keeps the

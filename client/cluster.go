@@ -1,0 +1,575 @@
+package client
+
+// Cluster-aware client (docs/CLUSTER.md). A Cluster fronts a static ring
+// of cuckood nodes with the same two-choice discipline the table applies
+// to buckets: every key has a primary and an alternate node
+// (internal/cluster derives both from one hash, like hashfn.TwoBuckets),
+// reads fall through primary → alternate, and writes spill to the
+// alternate when the primary is overloaded or unreachable. Each node gets
+// its own Pool, so the fault-tolerance machinery — health-checked
+// checkout, retries with budget, per-address circuit breaker — composes
+// per node: one sick peer trips one breaker and the keyspace keeps
+// flowing through the other candidates.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cuckoohash/internal/cluster"
+	"cuckoohash/internal/obs"
+)
+
+// clientMigrateTimeout floors the deadline on a MIGRATE exchange: bulk
+// key movement legitimately outlives the per-operation IO timeout tuned
+// for single GETs.
+const clientMigrateTimeout = 30 * time.Second
+
+// ClusterInfo fetches the node's CLUSTER map (load figures and migration
+// counters; see docs/PROTOCOL.md).
+func (c *Conn) ClusterInfo() (map[string]string, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.broken != nil {
+		return nil, c.broken
+	}
+	if len(c.pending) > 0 {
+		return nil, errors.New("client: ClusterInfo with requests still queued")
+	}
+	if c.ioTimeout > 0 {
+		c.nc.SetDeadline(time.Now().Add(c.ioTimeout))
+		defer c.nc.SetDeadline(time.Time{})
+	}
+	if _, err := c.w.WriteString("CLUSTER\n"); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, c.fail(err)
+	}
+	out := make(map[string]string)
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			return out, nil
+		}
+		name, val, ok := strings.Cut(strings.TrimPrefix(line, "CLUSTER "), " ")
+		if !ok || !strings.HasPrefix(line, "CLUSTER ") {
+			return nil, fmt.Errorf("client: malformed CLUSTER line %q", line)
+		}
+		out[name] = val
+	}
+}
+
+// Migrate asks the connected node to move up to max keys (0 = unlimited)
+// matching mode ("home" or "shed") to dest, under the given ring
+// membership and placement seed, and returns how many keys moved. The
+// exchange gets a deadline of at least clientMigrateTimeout because the
+// server transfers the selected keys synchronously before answering.
+func (c *Conn) Migrate(mode, dest, self string, seed uint64, max int, ring string) (int, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	if c.broken != nil {
+		return 0, c.broken
+	}
+	if len(c.pending) > 0 {
+		return 0, errors.New("client: Migrate with requests still queued")
+	}
+	if c.ioTimeout > 0 {
+		d := c.ioTimeout
+		if d < clientMigrateTimeout {
+			d = clientMigrateTimeout
+		}
+		c.nc.SetDeadline(time.Now().Add(d))
+		defer c.nc.SetDeadline(time.Time{})
+	}
+	fmt.Fprintf(c.w, "MIGRATE %s %s %s %d %d %s\n", mode, dest, self, seed, max, ring)
+	if err := c.w.Flush(); err != nil {
+		return 0, c.fail(err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, c.fail(err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if rest, ok := strings.CutPrefix(line, "MIGRATED "); ok {
+		return strconv.Atoi(rest)
+	}
+	if rest, ok := strings.CutPrefix(line, "ERR "); ok {
+		return 0, &ServerError{Msg: rest}
+	}
+	return 0, fmt.Errorf("client: unexpected MIGRATE reply %q", line)
+}
+
+// ClusterOptions configures a Cluster. Every zero value selects a usable
+// default; Seed must match the one every other client, server, and
+// cuckooctl invocation uses, or they will disagree about key placement.
+type ClusterOptions struct {
+	// Pool configures each node's connection pool (sizing, retries,
+	// breaker). Applied identically to every node.
+	Pool Options
+	// SpillWatermark is the load fraction (entries/capacity, as last
+	// probed) at which writes start spilling to the key's alternate node.
+	// Default 0.9.
+	SpillWatermark float64
+	// SkewTarget is the relative load skew — (max-mean)/mean, see
+	// cluster.Skew — below which Rebalance declares convergence.
+	// Default 0.25.
+	SkewTarget float64
+	// Seed fixes the ring placement hash.
+	Seed uint64
+}
+
+func (o *ClusterOptions) setDefaults() {
+	if o.SpillWatermark <= 0 {
+		o.SpillWatermark = 0.9
+	}
+	if o.SkewTarget <= 0 {
+		o.SkewTarget = 0.25
+	}
+}
+
+// clusterNode is one ring member: its pool plus the client-side view of
+// its health and the spill/fallback traffic it attracted.
+type clusterNode struct {
+	addr string
+	pool *Pool
+
+	loadBits   atomic.Uint64 // last probed load fraction, as Float64bits
+	entries    atomic.Uint64 // last probed entry count
+	capacity   atomic.Uint64 // last probed slot capacity
+	probeFails atomic.Uint64 // CLUSTER probes that failed
+	spills     atomic.Uint64 // writes redirected to this node as the spill target
+	altReads   atomic.Uint64 // reads that fell through to this node as alternate
+	altHits    atomic.Uint64 // fallthrough reads that hit
+
+	_ [48]byte // pad to a cache-line multiple: two-choice ops touch two nodes' counters concurrently (P1)
+}
+
+func (n *clusterNode) load() float64 {
+	return math.Float64frombits(n.loadBits.Load())
+}
+
+// Cluster is a sharded client over a static two-choice ring of cuckood
+// nodes. All methods are safe for concurrent use; the per-node Pools do
+// the synchronization.
+type Cluster struct {
+	ring  *cluster.Ring
+	nodes []*clusterNode
+	opt   ClusterOptions
+}
+
+// NewCluster builds a cluster client over addrs. The address list and
+// opt.Seed define key placement, so they must be identical (same order)
+// across every participant.
+func NewCluster(addrs []string, opt ClusterOptions) (*Cluster, error) {
+	opt.setDefaults()
+	ring, err := cluster.New(addrs, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{ring: ring, opt: opt}
+	for _, addr := range ring.Nodes() {
+		cl.nodes = append(cl.nodes, &clusterNode{
+			addr: addr,
+			pool: NewPoolWith(addr, opt.Pool),
+		})
+	}
+	return cl, nil
+}
+
+// Ring returns the placement ring (shared, read-only).
+func (cl *Cluster) Ring() *cluster.Ring { return cl.ring }
+
+// Close closes every node's pool.
+func (cl *Cluster) Close() {
+	for _, n := range cl.nodes {
+		n.pool.Close()
+	}
+}
+
+// candidates returns the key's primary and alternate nodes.
+func (cl *Cluster) candidates(key string) (*clusterNode, *clusterNode) {
+	pi, ai := cl.ring.Candidates(key)
+	return cl.nodes[pi], cl.nodes[ai]
+}
+
+// Set stores key=val on the key's primary node, spilling to the alternate
+// when the primary is overloaded (probed load at or past the spill
+// watermark, and the alternate less loaded) or the write fails there —
+// the node-level analogue of a cuckoo insert placing an item in its
+// second bucket. See SetWhere for which node acked.
+func (cl *Cluster) Set(key, val string, ttl time.Duration) error {
+	_, err := cl.SetWhere(key, val, ttl)
+	return err
+}
+
+// SetWhere is Set, also reporting the address of the node that
+// acknowledged the write (chaos tests audit acked writes per node).
+func (cl *Cluster) SetWhere(key, val string, ttl time.Duration) (string, error) {
+	pri, alt := cl.candidates(key)
+	first, second := pri, alt
+	if pri != alt && cl.spillWanted(pri, alt) {
+		first, second = alt, pri
+		alt.spills.Add(1)
+	}
+	err := first.pool.Set(key, val, ttl)
+	if err == nil {
+		return first.addr, nil
+	}
+	if second == first {
+		return "", err
+	}
+	// Any failure justifies the second choice: transport errors and open
+	// breakers obviously, and server-side errors too — a busy or full
+	// first choice says nothing about the other node's capacity.
+	second.spills.Add(1)
+	if err2 := second.pool.Set(key, val, ttl); err2 == nil {
+		return second.addr, nil
+	}
+	return "", err
+}
+
+// spillWanted reports whether a write to pri should go to alt instead,
+// from the last probed loads. Unprobed nodes report load 0 and never
+// trigger a spill.
+func (cl *Cluster) spillWanted(pri, alt *clusterNode) bool {
+	pl := pri.load()
+	return pl >= cl.opt.SpillWatermark && alt.load() < pl
+}
+
+// retriableOnAlternate reports whether a write failure on one candidate
+// justifies trying the other: transport failures, open breakers, and
+// server-side overload or capacity errors do; anything else (a malformed
+// key, say) would just fail again.
+func retriableOnAlternate(err error) bool {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return true // busy, table full: the alternate has its own capacity
+	}
+	return true
+}
+
+// Get fetches key, reading the primary first and falling through to the
+// alternate on a miss or failure — the read path mirror of the write
+// spill, same as a table lookup probing both candidate buckets.
+func (cl *Cluster) Get(key string) (string, bool, error) {
+	pri, alt := cl.candidates(key)
+	v, ok, err := pri.pool.Get1(key)
+	if ok && err == nil {
+		return v, true, nil
+	}
+	if alt == pri {
+		return v, ok, err
+	}
+	alt.altReads.Add(1)
+	v2, ok2, err2 := alt.pool.Get1(key)
+	if ok2 && err2 == nil {
+		alt.altHits.Add(1)
+		return v2, true, nil
+	}
+	// Prefer reporting the primary's error if both paths failed.
+	if err != nil {
+		return "", false, err
+	}
+	return v2, ok2, err2
+}
+
+// Del removes key from both candidate nodes (a key can live on either
+// after spills and migrations) and reports whether any copy existed.
+func (cl *Cluster) Del(key string) (bool, error) {
+	pri, alt := cl.candidates(key)
+	found, err := pri.pool.Del(key)
+	if alt == pri {
+		return found, err
+	}
+	found2, err2 := alt.pool.Del(key)
+	if err == nil {
+		err = err2
+	}
+	return found || found2, err
+}
+
+// NodeStatus is one node's view in Status: its CLUSTER figures plus the
+// client-side spill/fallback counters. Err is set (and the numeric
+// fields zero) when the probe failed.
+type NodeStatus struct {
+	Addr          string
+	Entries       uint64
+	Capacity      uint64
+	Load          float64
+	MigratedIn    uint64
+	MigratedOut   uint64
+	Handoffs      uint64
+	MigrateFails  uint64
+	ClientSpills  uint64
+	ClientAltHits uint64
+	BreakerState  BreakerState
+	Err           error
+}
+
+// Probe refreshes every node's load figures via the CLUSTER verb. It
+// returns the first probe error, after probing all nodes regardless.
+func (cl *Cluster) Probe() error {
+	var firstErr error
+	for _, n := range cl.nodes {
+		if err := cl.probeNode(n); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (cl *Cluster) probeNode(n *clusterNode) error {
+	info, err := cl.clusterInfo(n)
+	if err != nil {
+		n.probeFails.Add(1)
+		return fmt.Errorf("probe %s: %w", n.addr, err)
+	}
+	entries, _ := strconv.ParseUint(info["entries"], 10, 64)
+	capacity, _ := strconv.ParseUint(info["capacity"], 10, 64)
+	load, _ := strconv.ParseFloat(info["load"], 64)
+	n.entries.Store(entries)
+	n.capacity.Store(capacity)
+	n.loadBits.Store(math.Float64bits(load))
+	return nil
+}
+
+// clusterInfo runs one CLUSTER exchange through n's pool.
+func (cl *Cluster) clusterInfo(n *clusterNode) (map[string]string, error) {
+	c, err := n.pool.Get()
+	if err != nil {
+		return nil, err
+	}
+	info, err := c.ClusterInfo()
+	n.pool.release(c, err)
+	return info, err
+}
+
+// migrate runs one MIGRATE exchange on src's pool against the given ring.
+func (cl *Cluster) migrate(src *clusterNode, mode, dest string, max int, ring *cluster.Ring) (int, error) {
+	c, err := src.pool.Get()
+	if err != nil {
+		return 0, err
+	}
+	n, err := c.Migrate(mode, dest, src.addr, ring.Seed(), max, ring.CSV())
+	src.pool.release(c, err)
+	return n, err
+}
+
+// Status probes every node and returns the merged per-node view.
+func (cl *Cluster) Status() []NodeStatus {
+	out := make([]NodeStatus, 0, len(cl.nodes))
+	for _, n := range cl.nodes {
+		st := NodeStatus{Addr: n.addr}
+		info, err := cl.clusterInfo(n)
+		if err != nil {
+			n.probeFails.Add(1)
+			st.Err = err
+		} else {
+			st.Entries, _ = strconv.ParseUint(info["entries"], 10, 64)
+			st.Capacity, _ = strconv.ParseUint(info["capacity"], 10, 64)
+			st.Load, _ = strconv.ParseFloat(info["load"], 64)
+			st.MigratedIn, _ = strconv.ParseUint(info["migrated_in"], 10, 64)
+			st.MigratedOut, _ = strconv.ParseUint(info["migrated_out"], 10, 64)
+			st.Handoffs, _ = strconv.ParseUint(info["handoffs"], 10, 64)
+			st.MigrateFails, _ = strconv.ParseUint(info["migrate_failures"], 10, 64)
+			n.entries.Store(st.Entries)
+			n.capacity.Store(st.Capacity)
+			n.loadBits.Store(math.Float64bits(st.Load))
+		}
+		st.ClientSpills = n.spills.Load()
+		st.ClientAltHits = n.altHits.Load()
+		st.BreakerState = n.pool.Stats().BreakerState
+		out = append(out, st)
+	}
+	return out
+}
+
+// Skew returns the relative load skew across the last probed loads:
+// (max-mean)/mean, 0 for a perfectly even ring. Call Probe (or Status)
+// first for fresh figures.
+func (cl *Cluster) Skew() float64 {
+	loads := make([]float64, len(cl.nodes))
+	for i, n := range cl.nodes {
+		loads[i] = n.load()
+	}
+	return cluster.Skew(loads)
+}
+
+// RebalanceReport summarizes one Rebalance run.
+type RebalanceReport struct {
+	// SkewBefore and SkewAfter are the relative load skew at entry and
+	// after the final round.
+	SkewBefore, SkewAfter float64
+	// HomeRepaired counts keys moved by the initial misplacement-repair
+	// pass (home mode).
+	HomeRepaired int
+	// Shed counts keys moved by the load-balancing rounds (shed mode).
+	Shed int
+	// Rounds is how many shed rounds ran.
+	Rounds int
+	// Converged reports whether the final skew is at or below the
+	// configured SkewTarget.
+	Converged bool
+}
+
+// Migrated returns the total keys the run moved.
+func (r RebalanceReport) Migrated() int { return r.HomeRepaired + r.Shed }
+
+// Rebalance evens load across the ring in two stages. First a repair
+// pass: every node pushes keys that do not belong on it (after a
+// membership change, or spilled writes whose primary recovered) toward
+// their candidates — MIGRATE home against every other node. Then shed
+// rounds: while the skew is above SkewTarget, the most loaded node sheds
+// up to batch correctly-placed keys to their alternate choice, preferring
+// the least loaded destination — the cluster-level cuckoo kick-out.
+// maxRounds bounds the shed loop; batch <= 0 means 512 per round.
+func (cl *Cluster) Rebalance(maxRounds, batch int) (RebalanceReport, error) {
+	if batch <= 0 {
+		batch = 512
+	}
+	var rep RebalanceReport
+	if err := cl.Probe(); err != nil {
+		return rep, err
+	}
+	rep.SkewBefore = cl.Skew()
+
+	// Stage 1: repair misplaced keys toward their real candidates.
+	for _, src := range cl.nodes {
+		for _, dst := range cl.nodes {
+			if dst == src {
+				continue
+			}
+			n, err := cl.migrate(src, "home", dst.addr, 0, cl.ring)
+			if err != nil {
+				return rep, fmt.Errorf("home repair %s -> %s: %w", src.addr, dst.addr, err)
+			}
+			rep.HomeRepaired += n
+		}
+	}
+
+	// Stage 2: shed from the most loaded node until the skew target holds
+	// or no candidate move helps.
+	for rep.Rounds = 0; rep.Rounds < maxRounds; rep.Rounds++ {
+		if err := cl.Probe(); err != nil {
+			return rep, err
+		}
+		if cl.Skew() <= cl.opt.SkewTarget {
+			break
+		}
+		src := cl.nodes[0]
+		for _, n := range cl.nodes[1:] {
+			if n.load() > src.load() {
+				src = n
+			}
+		}
+		// Try destinations from least loaded up; a destination only
+		// receives keys whose alternate it is, so a move can come up
+		// empty without the ring being balanced yet.
+		dsts := make([]*clusterNode, 0, len(cl.nodes)-1)
+		for _, n := range cl.nodes {
+			if n != src {
+				dsts = append(dsts, n)
+			}
+		}
+		moved := 0
+		for len(dsts) > 0 {
+			min := 0
+			for i, n := range dsts {
+				if n.load() < dsts[min].load() {
+					min = i
+				}
+			}
+			dst := dsts[min]
+			dsts = append(dsts[:min], dsts[min+1:]...)
+			if dst.load() >= src.load() {
+				break // no destination is lighter; shedding would ping-pong
+			}
+			n, err := cl.migrate(src, "shed", dst.addr, batch, cl.ring)
+			if err != nil {
+				return rep, fmt.Errorf("shed %s -> %s: %w", src.addr, dst.addr, err)
+			}
+			if n > 0 {
+				moved = n
+				rep.Shed += n
+				break
+			}
+		}
+		if moved == 0 {
+			break // nothing movable; stop instead of spinning
+		}
+	}
+
+	if err := cl.Probe(); err != nil {
+		return rep, err
+	}
+	rep.SkewAfter = cl.Skew()
+	rep.Converged = rep.SkewAfter <= cl.opt.SkewTarget
+	return rep, nil
+}
+
+// Drain empties addr ahead of removing it from service: every key moves
+// to its candidate under the ring without addr, so readers using the
+// surviving membership find everything. Returns the number of keys moved.
+// The node itself stays up (and keeps answering) until its operator stops
+// it; Drain only relocates data.
+func (cl *Cluster) Drain(addr string) (int, error) {
+	idx := cl.ring.Index(addr)
+	if idx < 0 {
+		return 0, fmt.Errorf("client: drain target %s not in ring", addr)
+	}
+	survivors, err := cl.ring.Without(addr)
+	if err != nil {
+		return 0, err
+	}
+	src := cl.nodes[idx]
+	total := 0
+	for _, dest := range survivors.Nodes() {
+		n, err := cl.migrate(src, "home", dest, 0, survivors)
+		if err != nil {
+			return total, fmt.Errorf("drain %s -> %s: %w", addr, dest, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Collect implements obs.Collector: the cluster-level series (spills,
+// fallthrough reads, per-node load, ring skew) plus every node's pool
+// series labeled with node=<addr>.
+func (cl *Cluster) Collect(m *obs.Metrics) {
+	for _, n := range cl.nodes {
+		m.Counter("cuckood_cluster_spills_total",
+			"Writes redirected to a key's alternate node (overload or failure of the primary).",
+			float64(n.spills.Load()), "node", n.addr)
+		m.Counter("cuckood_cluster_alt_reads_total",
+			"Reads that fell through to the alternate node.",
+			float64(n.altReads.Load()), "node", n.addr)
+		m.Counter("cuckood_cluster_alt_read_hits_total",
+			"Fallthrough reads that found the key on the alternate.",
+			float64(n.altHits.Load()), "node", n.addr)
+		m.Counter("cuckood_cluster_probe_failures_total",
+			"CLUSTER load probes that failed.",
+			float64(n.probeFails.Load()), "node", n.addr)
+		m.Gauge("cuckood_cluster_node_load",
+			"Last probed load fraction (entries/capacity) per node.",
+			n.load(), "node", n.addr)
+		m.Gauge("cuckood_cluster_node_entries",
+			"Last probed entry count per node.",
+			float64(n.entries.Load()), "node", n.addr)
+		n.pool.CollectWith(m, "node", n.addr)
+	}
+	m.Gauge("cuckood_cluster_load_skew",
+		"Relative load skew across the ring: (max-mean)/mean of probed loads.",
+		cl.Skew())
+}

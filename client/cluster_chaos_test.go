@@ -1,0 +1,185 @@
+package client_test
+
+// Cluster chaos suite (docs/CLUSTER.md, docs/ROBUSTNESS.md): three fault-
+// injected nodes serve a zipf read-through workload from a hardened
+// cluster client; one node is killed mid-run. Acceptance properties:
+//
+//   - durability: no SET acknowledged by a surviving node is ever lost —
+//     two-choice reads find every one of them after the kill;
+//   - availability: after an unmeasured recovery pass re-warms the dead
+//     node's keyspace onto the survivors (read-through: every miss is
+//     re-stored through the cluster, landing on a live candidate), the
+//     measured hit rate recovers to at least 90% of steady state.
+//
+// Faults and the zipf key sequence are seeded, so a failure reproduces
+// exactly under `make chaos`.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"cuckoohash/client"
+	"cuckoohash/internal/faultinject"
+	"cuckoohash/server"
+)
+
+// clusterChaosPlan is a mild per-node fault mix: enough to exercise the
+// retry and breaker paths without drowning the hit-rate signal.
+func clusterChaosPlan(seed uint64) *faultinject.Plan {
+	p := faultinject.New(seed)
+	p.Latency = time.Millisecond
+	p.LatencyProb = 0.03
+	p.PartialProb = 0.01
+	p.ResetProb = 0.01
+	return p
+}
+
+func startChaosNode(t *testing.T, seed uint64) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Shards:        4,
+		SlotsPerShard: 1 << 11,
+		SweepInterval: -1,
+		FaultPlan:     clusterChaosPlan(seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestChaosClusterNodeKill(t *testing.T) {
+	const (
+		ringSeed = 77
+		universe = 400
+	)
+	steadyOps := 4000
+	measuredOps := 4000
+	if testing.Short() {
+		steadyOps, measuredOps = 1000, 1000
+	}
+
+	servers := make([]*server.Server, 3)
+	addrs := make([]string, 3)
+	for i := range servers {
+		servers[i] = startChaosNode(t, uint64(100+i))
+		addrs[i] = servers[i].Addr().String()
+	}
+
+	cl, err := client.NewCluster(addrs, client.ClusterOptions{
+		Pool: client.Options{
+			Size:             4,
+			DialTimeout:      time.Second,
+			IOTimeout:        2 * time.Second,
+			MaxRetries:       4,
+			RetrySets:        true,
+			RetryBudgetMax:   1000,
+			BreakerThreshold: 5,
+			BreakerCooldown:  100 * time.Millisecond,
+			Seed:             1,
+		},
+		Seed: ringSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	// ackedOnSurvivor records the last value of every SET acknowledged by
+	// a node other than the one we will kill. Those writes must never be
+	// lost. mu also guards the rng-driven workload bookkeeping.
+	var mu sync.Mutex
+	ackedOnSurvivor := map[string]string{}
+	const victim = 1
+
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1, universe-1)
+	keyOf := func() string { return fmt.Sprintf("ck%d", zipf.Uint64()) }
+	valOf := func(key string) string { return "val-" + key }
+
+	// readThrough is the workload op: GET; on a miss or failure, re-store
+	// through the cluster (the write lands on a live candidate). Returns
+	// whether the GET hit.
+	readThrough := func(key string) bool {
+		v, ok, err := cl.Get(key)
+		if ok && err == nil && v == valOf(key) {
+			return true
+		}
+		if addr, err := cl.SetWhere(key, valOf(key), 0); err == nil && addr != addrs[victim] {
+			mu.Lock()
+			ackedOnSurvivor[key] = valOf(key)
+			mu.Unlock()
+		}
+		return false
+	}
+
+	// Phase 1: steady state. Measure the hit rate over the second half,
+	// once the zipf head is warm.
+	hits, total := 0, 0
+	for i := 0; i < steadyOps; i++ {
+		hit := readThrough(keyOf())
+		if i >= steadyOps/2 {
+			total++
+			if hit {
+				hits++
+			}
+		}
+	}
+	steadyRate := float64(hits) / float64(total)
+	if steadyRate < 0.5 {
+		t.Fatalf("steady-state hit rate %.3f implausibly low; harness broken", steadyRate)
+	}
+
+	// Kill one node. Its keyspace share becomes misses until read-through
+	// re-warms the surviving candidates.
+	servers[victim].Close()
+
+	// Unmeasured recovery pass: touch the whole universe once.
+	for i := 0; i < universe; i++ {
+		readThrough(fmt.Sprintf("ck%d", i))
+	}
+
+	// Phase 2: measured. The survivors now hold every key (each key has
+	// at least one live candidate), so the hit rate must recover.
+	hits, total = 0, 0
+	for i := 0; i < measuredOps; i++ {
+		total++
+		if readThrough(keyOf()) {
+			hits++
+		}
+	}
+	afterRate := float64(hits) / float64(total)
+	t.Logf("hit rate: steady %.4f, after kill+recovery %.4f", steadyRate, afterRate)
+	if afterRate < 0.9*steadyRate {
+		t.Errorf("hit rate after node kill = %.4f, want >= 90%% of steady %.4f",
+			afterRate, steadyRate)
+	}
+
+	// Durability audit: every SET acknowledged by a survivor is readable.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ackedOnSurvivor) == 0 {
+		t.Fatal("audit vacuous: no SET was acked on a survivor")
+	}
+	lost := 0
+	for key, want := range ackedOnSurvivor {
+		v, ok, err := cl.Get(key)
+		if err != nil || !ok || v != want {
+			lost++
+			t.Errorf("acked key %s lost: %q, %v, %v", key, v, ok, err)
+			if lost > 10 {
+				t.Fatalf("stopping after %d lost keys", lost)
+			}
+		}
+	}
+	t.Logf("audited %d survivor-acked keys: all present", len(ackedOnSurvivor))
+}

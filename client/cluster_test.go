@@ -1,0 +1,385 @@
+package client_test
+
+// Multi-node in-process harness for the cluster client: several real
+// cuckood servers on loopback ports, one Cluster over them, and the
+// placement ring shared by both sides (internal/cluster). These tests
+// pin the tentpole properties of docs/CLUSTER.md: two-choice placement,
+// write spill, read fallthrough, rebalance convergence with counter
+// agreement, drain, and scale-out repair.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cuckoohash/client"
+	"cuckoohash/internal/cluster"
+	"cuckoohash/internal/obs"
+	"cuckoohash/server"
+)
+
+// startNode launches one small cluster node on a loopback port.
+func startNode(t *testing.T) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Shards:        2,
+		SlotsPerShard: 1 << 10,
+		SweepInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve()
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func startNodes(t *testing.T, n int) ([]*server.Server, []string) {
+	t.Helper()
+	servers := make([]*server.Server, n)
+	addrs := make([]string, n)
+	for i := range servers {
+		servers[i] = startNode(t)
+		addrs[i] = servers[i].Addr().String()
+	}
+	return servers, addrs
+}
+
+func newTestCluster(t *testing.T, addrs []string, seed uint64) *client.Cluster {
+	t.Helper()
+	cl, err := client.NewCluster(addrs, client.ClusterOptions{
+		Pool: client.Options{Size: 2},
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// nodeStats reads one node's STATS map over a throwaway connection.
+func nodeStats(t *testing.T, addr string) map[string]string {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func statUint(t *testing.T, st map[string]string, name string) uint64 {
+	t.Helper()
+	v, err := strconv.ParseUint(st[name], 10, 64)
+	if err != nil {
+		t.Fatalf("stat %s = %q: %v", name, st[name], err)
+	}
+	return v
+}
+
+func TestClusterPlacement(t *testing.T) {
+	const seed = 11
+	_, addrs := startNodes(t, 3)
+	cl := newTestCluster(t, addrs, seed)
+	ring, err := cluster.New(addrs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 60
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("pk%d", i)
+		if err := cl.Set(key, "v"+key, 0); err != nil {
+			t.Fatalf("Set %s: %v", key, err)
+		}
+	}
+
+	// Every key sits on its primary (no load probed yet, so no spill) and
+	// nowhere else; the cluster Get finds all of them.
+	direct := make([]*client.Conn, len(addrs))
+	for i, addr := range addrs {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		direct[i] = c
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("pk%d", i)
+		pri, _ := ring.Candidates(key)
+		for ni, c := range direct {
+			_, ok, err := c.Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := ni == pri; ok != want {
+				t.Errorf("key %s on node %d: present=%v, want %v", key, ni, ok, want)
+			}
+		}
+		if v, ok, err := cl.Get(key); err != nil || !ok || v != "v"+key {
+			t.Errorf("cluster Get %s = %q, %v, %v", key, v, ok, err)
+		}
+	}
+
+	// Del removes the key from both candidates.
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("pk%d", i)
+		found, err := cl.Del(key)
+		if err != nil || !found {
+			t.Fatalf("Del %s = %v, %v", key, found, err)
+		}
+		if _, ok, _ := cl.Get(key); ok {
+			t.Errorf("key %s still readable after Del", key)
+		}
+	}
+}
+
+func TestClusterSpillOnDeadPrimary(t *testing.T) {
+	const seed = 5
+	servers, addrs := startNodes(t, 3)
+	ring, err := cluster.New(addrs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.NewCluster(addrs, client.ClusterOptions{
+		Pool: client.Options{Size: 2, DialTimeout: 500 * time.Millisecond},
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+
+	// Find a key whose primary is node 0 and kill node 0.
+	var key string
+	var altIdx int
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("spill%d", i)
+		if pri, alt := ring.Candidates(key); pri == 0 {
+			altIdx = alt
+			break
+		}
+	}
+	servers[0].Close()
+
+	// The write must spill to the alternate and report landing there.
+	where, err := cl.SetWhere(key, "still-stored", 0)
+	if err != nil {
+		t.Fatalf("SetWhere with dead primary: %v", err)
+	}
+	if where != addrs[altIdx] {
+		t.Errorf("write landed on %s, want alternate %s", where, addrs[altIdx])
+	}
+	// The read falls through to the alternate.
+	if v, ok, err := cl.Get(key); err != nil || !ok || v != "still-stored" {
+		t.Fatalf("Get with dead primary = %q, %v, %v", v, ok, err)
+	}
+	// Status reports the dead node as failed and counts the fallthrough.
+	var altHits uint64
+	for _, st := range cl.Status() {
+		switch st.Addr {
+		case addrs[0]:
+			if st.Err == nil {
+				t.Error("Status reported dead node as healthy")
+			}
+		case addrs[altIdx]:
+			altHits = st.ClientAltHits
+		}
+	}
+	if altHits == 0 {
+		t.Error("alternate read hit not counted")
+	}
+}
+
+func TestClusterRebalanceConvergesAndCountsAgree(t *testing.T) {
+	const seed = 23
+	servers, addrs := startNodes(t, 3)
+
+	// Misplace the whole keyspace: every key written straight to node 0,
+	// ignoring placement — the worst case a membership change can leave.
+	c0, err := client.Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	const n = 600
+	for i := 0; i < n; i++ {
+		if err := c0.Set(fmt.Sprintf("rb%d", i), fmt.Sprintf("v%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cl := newTestCluster(t, addrs, seed)
+	rep, err := cl.Rebalance(64, 64)
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if !rep.Converged {
+		t.Errorf("rebalance did not converge: skew %.4f -> %.4f after %d rounds",
+			rep.SkewBefore, rep.SkewAfter, rep.Rounds)
+	}
+	if rep.SkewAfter >= rep.SkewBefore {
+		t.Errorf("skew did not improve: %.4f -> %.4f", rep.SkewBefore, rep.SkewAfter)
+	}
+	if rep.Migrated() == 0 {
+		t.Error("rebalance of a fully misplaced keyspace moved nothing")
+	}
+
+	// Every key stays reachable through two-choice reads.
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("rb%d", i)
+		if v, ok, err := cl.Get(key); err != nil || !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get %s after rebalance = %q, %v, %v", key, v, ok, err)
+		}
+	}
+
+	// The report's count must agree with the servers' own counters: keys
+	// leave exactly once per MIGRATED ack, so the summed migrated_out
+	// equals the report, and in equals out cluster-wide.
+	var outSum, inSum uint64
+	for _, addr := range addrs {
+		st := nodeStats(t, addr)
+		outSum += statUint(t, st, "cluster_migrated_out")
+		inSum += statUint(t, st, "cluster_migrated_in")
+	}
+	if outSum != uint64(rep.Migrated()) {
+		t.Errorf("servers report %d migrated out, client report says %d", outSum, rep.Migrated())
+	}
+	if inSum != outSum {
+		t.Errorf("cluster-wide migrated_in %d != migrated_out %d", inSum, outSum)
+	}
+
+	// And the same figures flow through the Prometheus exporter.
+	reg := obs.NewRegistry()
+	reg.Register(servers[0])
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	st0 := nodeStats(t, addrs[0])
+	wantLine := fmt.Sprintf(`cuckood_cluster_migrated_keys_total{direction="out"} %s`,
+		st0["cluster_migrated_out"])
+	if !strings.Contains(b.String(), wantLine) {
+		t.Errorf("metrics output missing %q", wantLine)
+	}
+
+	// The cluster client's own collector exports the ring series.
+	creg := obs.NewRegistry()
+	creg.Register(cl)
+	b.Reset()
+	if err := creg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"cuckood_cluster_load_skew",
+		"cuckood_cluster_spills_total",
+		`cuckood_client_breaker_state{node="` + addrs[0] + `"}`,
+		`cuckood_client_breaker_transitions_total{from="closed",node="` + addrs[0] + `",to="open"}`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("cluster collector output missing %q", want)
+		}
+	}
+}
+
+func TestClusterScaleOutRepair(t *testing.T) {
+	const seed = 31
+	_, addrs2 := startNodes(t, 2)
+	cl2 := newTestCluster(t, addrs2, seed)
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := cl2.Set(fmt.Sprintf("so%d", i), "v", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A third node joins: placement changes, so some keys are now on
+	// neither of their candidates. Rebalance's home pass repairs that.
+	s3 := startNode(t)
+	addrs3 := append(append([]string{}, addrs2...), s3.Addr().String())
+	cl3 := newTestCluster(t, addrs3, seed)
+	rep, err := cl3.Rebalance(64, 64)
+	if err != nil {
+		t.Fatalf("Rebalance after scale-out: %v", err)
+	}
+	if rep.HomeRepaired == 0 {
+		t.Error("scale-out rebalance repaired nothing; expected misplaced keys to move")
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("so%d", i)
+		if _, ok, err := cl3.Get(key); err != nil || !ok {
+			t.Fatalf("key %s unreachable after scale-out rebalance (%v)", key, err)
+		}
+	}
+	// The new node actually took a share of the keyspace.
+	if got := s3.Cache().Len(); got == 0 {
+		t.Error("new node holds no keys after rebalance")
+	}
+}
+
+func TestClusterDrain(t *testing.T) {
+	const seed = 47
+	servers, addrs := startNodes(t, 3)
+	cl := newTestCluster(t, addrs, seed)
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := cl.Set(fmt.Sprintf("dr%d", i), "v", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := servers[2].Cache().Len()
+	if before == 0 {
+		t.Fatal("test needs keys on the drain target")
+	}
+
+	moved, err := cl.Drain(addrs[2])
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if uint64(moved) != before {
+		t.Errorf("drained %d keys, node held %d", moved, before)
+	}
+	if got := servers[2].Cache().Len(); got != 0 {
+		t.Errorf("drain target still holds %d keys", got)
+	}
+
+	// Reachability after a drain is defined under the surviving
+	// membership: a client configured without the drained node finds
+	// every key.
+	survivors := []string{addrs[0], addrs[1]}
+	cl2 := newTestCluster(t, survivors, seed)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("dr%d", i)
+		if _, ok, err := cl2.Get(key); err != nil || !ok {
+			t.Fatalf("key %s unreachable on survivors after drain (%v)", key, err)
+		}
+	}
+}
+
+func TestClusterSingleNode(t *testing.T) {
+	_, addrs := startNodes(t, 1)
+	cl := newTestCluster(t, addrs, 3)
+	if err := cl.Set("solo", "v", 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cl.Get("solo"); err != nil || !ok || v != "v" {
+		t.Fatalf("single-node Get = %q, %v, %v", v, ok, err)
+	}
+	if found, err := cl.Del("solo"); err != nil || !found {
+		t.Fatalf("single-node Del = %v, %v", found, err)
+	}
+}

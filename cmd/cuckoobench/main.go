@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -29,6 +30,7 @@ func main() {
 		scale    = flag.String("scale", "small", "workload scale: small, medium or paper")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		jsonPath = flag.String("json", "", "also write machine-readable results (host, scale, all reports) as JSON to this file")
+		outPath  = flag.String("out", "", "like -json, but creates parent directories first (e.g. results/BENCH_core.json) — for committed perf baselines and CI artifacts")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		repeat   = flag.Int("repeat", 1, "run each experiment N times and report per-cell medians (for noisy hosts)")
 	)
@@ -90,18 +92,37 @@ func main() {
 		done = append(done, rep)
 	}
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cuckoobench:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := bench.WriteJSON(f, done, *scale, sc, *repeat); err != nil {
-			fmt.Fprintln(os.Stderr, "cuckoobench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("# wrote %s\n", *jsonPath)
+		writeJSONFile(*jsonPath, false, done, *scale, sc, *repeat)
 	}
+	if *outPath != "" {
+		writeJSONFile(*outPath, true, done, *scale, sc, *repeat)
+	}
+}
+
+// writeJSONFile writes the machine-readable result payload to path; with
+// mkdir it creates missing parent directories, so -out can target a fresh
+// results/ tree on a CI runner.
+func writeJSONFile(path string, mkdir bool, done []*bench.Report, scale string, sc bench.Scale, repeat int) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "cuckoobench:", err)
+		os.Exit(1)
+	}
+	if mkdir {
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fail(err)
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := bench.WriteJSON(f, done, scale, sc, repeat); err != nil {
+		fail(err)
+	}
+	fmt.Printf("# wrote %s\n", path)
 }
 
 // runMedian runs the experiment n times and merges the reports cell-wise by

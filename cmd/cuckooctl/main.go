@@ -1,0 +1,144 @@
+// Command cuckooctl administers a cuckood cluster (docs/CLUSTER.md): it
+// inspects per-node load, rebalances keys across the two-choice ring, and
+// drains a node ahead of removing it from service.
+//
+//	cuckooctl -nodes 10.0.0.1:11300,10.0.0.2:11300,10.0.0.3:11300 status
+//	cuckooctl -nodes ... rebalance
+//	cuckooctl -nodes ... drain 10.0.0.2:11300
+//
+// The node list (order included) and -seed define key placement; every
+// client and cuckooctl invocation against the same cluster must agree on
+// both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cuckoohash/client"
+)
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"usage: cuckooctl -nodes <addr,addr,...> [flags] <status|rebalance|drain <addr>>\n\nflags:\n")
+	flag.PrintDefaults()
+}
+
+func main() {
+	var (
+		nodes     = flag.String("nodes", "", "comma-separated cluster membership, in ring order (required)")
+		seed      = flag.Uint64("seed", 0, "ring placement seed; must match the cluster's clients")
+		watermark = flag.Float64("watermark", 0.25, "rebalance skew target: (max-mean)/mean load at which the ring counts as balanced")
+		rounds    = flag.Int("rounds", 32, "rebalance: maximum shed rounds")
+		batch     = flag.Int("batch", 512, "rebalance: keys to shed per round")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-operation IO timeout (migrations get at least 30s)")
+	)
+	flag.Usage = usage
+	flag.Parse()
+
+	if *nodes == "" || flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	ring, err := clusterRing(*nodes, *seed, *watermark, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer ring.Close()
+
+	switch cmd := flag.Arg(0); cmd {
+	case "status":
+		err = runStatus(ring)
+	case "rebalance":
+		err = runRebalance(ring, *rounds, *batch)
+	case "drain":
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("drain wants exactly one node address"))
+		}
+		err = runDrain(ring, flag.Arg(1))
+	default:
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func clusterRing(nodes string, seed uint64, watermark float64, timeout time.Duration) (*client.Cluster, error) {
+	addrs := splitNodes(nodes)
+	return client.NewCluster(addrs, client.ClusterOptions{
+		Pool: client.Options{
+			Size:      2,
+			IOTimeout: timeout,
+		},
+		SkewTarget: watermark,
+		Seed:       seed,
+	})
+}
+
+// splitNodes splits the -nodes list, dropping empties from stray commas.
+func splitNodes(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func runStatus(cl *client.Cluster) error {
+	sts := cl.Status()
+	fmt.Printf("%-22s %10s %10s %8s %12s %12s %9s %8s %s\n",
+		"NODE", "ENTRIES", "CAPACITY", "LOAD", "MIGRATED_IN", "MIGRATED_OUT", "HANDOFFS", "BREAKER", "STATUS")
+	unreachable := 0
+	for _, st := range sts {
+		if st.Err != nil {
+			unreachable++
+			fmt.Printf("%-22s %10s %10s %8s %12s %12s %9s %8s %v\n",
+				st.Addr, "-", "-", "-", "-", "-", "-", st.BreakerState, st.Err)
+			continue
+		}
+		fmt.Printf("%-22s %10d %10d %7.2f%% %12d %12d %9d %8s ok\n",
+			st.Addr, st.Entries, st.Capacity, st.Load*100,
+			st.MigratedIn, st.MigratedOut, st.Handoffs, st.BreakerState)
+	}
+	fmt.Printf("ring skew: %.4f\n", cl.Skew())
+	if unreachable > 0 {
+		return fmt.Errorf("%d of %d nodes unreachable", unreachable, len(sts))
+	}
+	return nil
+}
+
+func runRebalance(cl *client.Cluster, rounds, batch int) error {
+	rep, err := cl.Rebalance(rounds, batch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("skew: %.4f -> %.4f\n", rep.SkewBefore, rep.SkewAfter)
+	fmt.Printf("moved: %d keys (%d home repairs, %d shed over %d rounds)\n",
+		rep.Migrated(), rep.HomeRepaired, rep.Shed, rep.Rounds)
+	if !rep.Converged {
+		return fmt.Errorf("did not converge below skew target")
+	}
+	fmt.Println("converged")
+	return nil
+}
+
+func runDrain(cl *client.Cluster, addr string) error {
+	moved, err := cl.Drain(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("drained %d keys off %s; node is safe to stop\n", moved, addr)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cuckooctl:", err)
+	os.Exit(1)
+}

@@ -64,18 +64,19 @@ func main() {
 		slowOp    = flag.Duration("slow-op", 0, "slow-request threshold; sampled requests at or over it are counted and logged (0 disables)")
 
 		// Loadgen mode.
-		lg      = flag.Bool("loadgen", false, "run the load generator instead of the server")
-		addr    = flag.String("addr", "127.0.0.1:11300", "server address (loadgen mode)")
-		conns   = flag.Int("conns", 8, "concurrent client connections")
-		ops     = flag.Int("ops", 100000, "operations per connection")
-		batch   = flag.Int("batch", 16, "pipeline depth (1 = no pipelining)")
-		dist    = flag.String("dist", "uniform", "key distribution: uniform or zipf")
-		theta   = flag.Float64("theta", 0.99, "zipf skew (0,1)")
-		setFrac = flag.Float64("set", 0.1, "fraction of SET operations")
-		keys    = flag.Uint64("keys", 1<<20, "key universe size")
-		valSize = flag.Int("valsize", 32, "value size in bytes")
-		ttl     = flag.Duration("ttl", 0, "TTL attached to every SET (0 = none)")
-		seed    = flag.Uint64("seed", 1, "workload seed")
+		lg       = flag.Bool("loadgen", false, "run the load generator instead of the server")
+		addr     = flag.String("addr", "127.0.0.1:11300", "server address, or a comma-separated cluster node list in ring order (loadgen mode)")
+		conns    = flag.Int("conns", 8, "concurrent client connections")
+		ops      = flag.Int("ops", 100000, "operations per connection")
+		batch    = flag.Int("batch", 16, "pipeline depth (1 = no pipelining)")
+		dist     = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		theta    = flag.Float64("theta", 0.99, "zipf skew (0,1)")
+		setFrac  = flag.Float64("set", 0.1, "fraction of SET operations")
+		keys     = flag.Uint64("keys", 1<<20, "key universe size")
+		valSize  = flag.Int("valsize", 32, "value size in bytes")
+		ttl      = flag.Duration("ttl", 0, "TTL attached to every SET (0 = none)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		ringSeed = flag.Uint64("ring-seed", 0, "cluster ring placement seed when -addr lists several nodes; must match the cluster's clients")
 	)
 	flag.Parse()
 
@@ -83,7 +84,7 @@ func main() {
 		runLoadgen(loadgen.Config{
 			Addr: *addr, Conns: *conns, OpsPerConn: *ops, Batch: *batch,
 			Dist: *dist, Theta: *theta, SetFrac: *setFrac, Keys: *keys,
-			ValueSize: *valSize, TTL: *ttl, Seed: *seed,
+			ValueSize: *valSize, TTL: *ttl, Seed: *seed, RingSeed: *ringSeed,
 		})
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"strings"
 	"time"
@@ -26,6 +27,22 @@ type Report struct {
 type Row struct {
 	Name   string    `json:"name"`
 	Values []float64 `json:"values"`
+}
+
+// MarshalJSON renders non-finite cells (a quantity an experiment could not
+// measure, e.g. a ratio over a zero denominator) as null; encoding/json
+// rejects NaN and ±Inf outright, which would abort the whole document.
+func (r Row) MarshalJSON() ([]byte, error) {
+	vals := make([]any, len(r.Values))
+	for i, v := range r.Values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			vals[i] = v
+		}
+	}
+	return json.Marshal(struct {
+		Name   string `json:"name"`
+		Values []any  `json:"values"`
+	}{r.Name, vals})
 }
 
 // AddRow appends a series.

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -39,6 +41,32 @@ func TestReportCSV(t *testing.T) {
 	want := "scheme,c1,c2\nrow,1,2.5\n"
 	if buf.String() != want {
 		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteJSONNonFiniteCells(t *testing.T) {
+	r := &Report{ID: "z", Columns: []string{"c1", "c2", "c3"}}
+	r.AddRow("row", 1.5, math.NaN(), math.Inf(1))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Report{r}, "small", Scale{}, 1); err != nil {
+		t.Fatalf("WriteJSON with non-finite cells: %v", err)
+	}
+	var doc struct {
+		Reports []struct {
+			Rows []struct {
+				Values []*float64 `json:"values"`
+			} `json:"rows"`
+		} `json:"reports"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, buf.String())
+	}
+	vals := doc.Reports[0].Rows[0].Values
+	if len(vals) != 3 || vals[0] == nil || *vals[0] != 1.5 {
+		t.Fatalf("finite cell mangled: %v", vals)
+	}
+	if vals[1] != nil || vals[2] != nil {
+		t.Fatalf("non-finite cells should be null, got %v", vals)
 	}
 }
 

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustRing(t *testing.T, nodes []string, seed uint64) *Ring {
+	t.Helper()
+	r, err := New(nodes, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1); err != ErrEmptyRing {
+		t.Errorf("empty ring: got %v, want ErrEmptyRing", err)
+	}
+	for _, bad := range [][]string{
+		{""},
+		{"a b"},
+		{"a,b"},
+		{"a", "a"},
+		{"a\nb"},
+	} {
+		if _, err := New(bad, 1); err == nil {
+			t.Errorf("New(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	r, err := Parse(" n1:1 , n2:2 ,n3:3 ", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CSV(); got != "n1:1,n2:2,n3:3" {
+		t.Errorf("CSV = %q", got)
+	}
+	r2, err := Parse(r.CSV(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 3 || r2.Index("n2:2") != 1 {
+		t.Errorf("round trip lost structure: %v", r2.Nodes())
+	}
+}
+
+func TestCandidatesDistinctAndStable(t *testing.T) {
+	nodes := []string{"a:1", "b:2", "c:3", "d:4", "e:5"}
+	r := mustRing(t, nodes, 42)
+	r2 := mustRing(t, nodes, 42)
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		p, a := r.Candidates(key)
+		if p == a {
+			t.Fatalf("key %q: primary == alternate == %d", key, p)
+		}
+		if p < 0 || p >= len(nodes) || a < 0 || a >= len(nodes) {
+			t.Fatalf("key %q: candidates out of range (%d, %d)", key, p, a)
+		}
+		if p2, a2 := r2.Candidates(key); p2 != p || a2 != a {
+			t.Fatalf("key %q: placement not deterministic", key)
+		}
+	}
+}
+
+func TestCandidatesSeedIndependence(t *testing.T) {
+	nodes := []string{"a:1", "b:2", "c:3", "d:4"}
+	r1 := mustRing(t, nodes, 1)
+	r2 := mustRing(t, nodes, 2)
+	same := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		p1, _ := r1.Candidates(key)
+		p2, _ := r2.Candidates(key)
+		if p1 == p2 {
+			same++
+		}
+	}
+	// Different seeds must induce different placements: agreement should be
+	// near 1/len(nodes), not near 1.
+	if same > n/2 {
+		t.Errorf("seeds 1 and 2 agree on %d/%d primaries; placements not seed-dependent", same, n)
+	}
+}
+
+func TestCandidatesBalanced(t *testing.T) {
+	nodes := []string{"a:1", "b:2", "c:3"}
+	r := mustRing(t, nodes, 9)
+	primary := make([]int, len(nodes))
+	either := make([]int, len(nodes))
+	const n = 30000
+	for i := 0; i < n; i++ {
+		p, a := r.Candidates(fmt.Sprintf("key-%d", i))
+		primary[p]++
+		either[p]++
+		either[a]++
+	}
+	for i, c := range primary {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/3) > 0.03 {
+			t.Errorf("node %d holds %.3f of primaries, want ~1/3", i, frac)
+		}
+	}
+	for i, c := range either {
+		frac := float64(c) / (2 * n)
+		if math.Abs(frac-1.0/3) > 0.03 {
+			t.Errorf("node %d appears in %.3f of candidate pairs, want ~1/3", i, frac)
+		}
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r := mustRing(t, []string{"only:1"}, 3)
+	p, a := r.Candidates("k")
+	if p != 0 || a != 0 {
+		t.Errorf("single-node candidates = (%d, %d), want (0, 0)", p, a)
+	}
+}
+
+func TestWithout(t *testing.T) {
+	r := mustRing(t, []string{"a:1", "b:2", "c:3"}, 5)
+	r2, err := r.Without("b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 2 || r2.Index("b:2") != -1 || r2.Index("a:1") != 0 || r2.Index("c:3") != 1 {
+		t.Errorf("Without left %v", r2.Nodes())
+	}
+	if _, err := r.Without("nope"); err == nil {
+		t.Error("Without(absent) did not fail")
+	}
+	// Under the reduced ring every key maps to surviving nodes only.
+	for i := 0; i < 1000; i++ {
+		p, a := r2.Candidates(fmt.Sprintf("key-%d", i))
+		if r2.Node(p) == "b:2" || r2.Node(a) == "b:2" {
+			t.Fatal("drained node still receives placements")
+		}
+	}
+	// The original ring is untouched.
+	if r.Len() != 3 {
+		t.Error("Without mutated the source ring")
+	}
+}
+
+func TestIsCandidate(t *testing.T) {
+	r := mustRing(t, []string{"a:1", "b:2", "c:3"}, 11)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		p, a := r.Candidates(key)
+		hits := 0
+		for _, n := range r.Nodes() {
+			if r.IsCandidate(key, n) {
+				hits++
+			}
+		}
+		if hits != 2 {
+			t.Fatalf("key %q: %d candidate addresses, want 2", key, hits)
+		}
+		if !r.IsCandidate(key, r.Node(p)) || !r.IsCandidate(key, r.Node(a)) {
+			t.Fatalf("key %q: candidate addresses disagree with indices", key)
+		}
+	}
+	if r.IsCandidate("k", "absent") {
+		t.Error("IsCandidate true for address outside the ring")
+	}
+}
+
+func TestSkew(t *testing.T) {
+	cases := []struct {
+		loads []float64
+		want  float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0, 0}, 0},
+		{[]float64{10, 10, 10}, 0},
+		{[]float64{20, 10, 0}, 1},
+		{[]float64{30, 0, 0}, 2},
+	}
+	for _, c := range cases {
+		if got := Skew(c.loads); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Skew(%v) = %v, want %v", c.loads, got, c.want)
+		}
+	}
+}
+
+func TestCSVSurvivesMigrateTokenization(t *testing.T) {
+	// The CSV form rides inside a space-separated protocol line: it must
+	// never contain a space itself.
+	r := mustRing(t, []string{"10.0.0.1:11300", "10.0.0.2:11300"}, 1)
+	if strings.ContainsAny(r.CSV(), " \r\n") {
+		t.Errorf("CSV %q contains protocol delimiters", r.CSV())
+	}
+}

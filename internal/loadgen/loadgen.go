@@ -10,17 +10,23 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"cuckoohash/client"
+	"cuckoohash/internal/cluster"
 	"cuckoohash/internal/metrics"
 	"cuckoohash/internal/workload"
 )
 
 // Config parameterizes a load-generation run.
 type Config struct {
-	// Addr is the server address.
+	// Addr is the server address — or a comma-separated list of cluster
+	// node addresses in ring order, in which case every generator
+	// goroutine connects to all of them and routes each key to its
+	// primary node under the two-choice ring (internal/cluster), the way
+	// a cluster-aware client would.
 	Addr string
 	// Conns is the number of concurrent client goroutines, one pipelined
 	// connection each (default 4).
@@ -46,6 +52,10 @@ type Config struct {
 	TTL time.Duration
 	// Seed makes key streams reproducible (default 1).
 	Seed uint64
+	// RingSeed fixes the cluster ring placement hash when Addr lists
+	// several nodes; it must match what the cluster's clients use, or the
+	// generated load lands on the wrong primaries.
+	RingSeed uint64
 }
 
 func (c *Config) setDefaults() error {
@@ -168,14 +178,48 @@ func Run(cfg Config) (*Result, error) {
 	return res, firstErr
 }
 
-// runConn issues one goroutine's share of the load over one connection.
+// splitAddrs splits a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runConn issues one goroutine's share of the load. Against a single
+// server that is one pipelined connection; against an address list it is
+// one connection per node, with every key queued on its primary node
+// under the ring and all touched connections flushed per batch — the
+// batch RTT then covers the whole fan-out, which is what a pipelined
+// cluster client experiences.
 func runConn(cfg Config, id int, st *connStats) {
-	conn, err := client.Dial(cfg.Addr)
-	if err != nil {
-		st.err = err
+	addrs := splitAddrs(cfg.Addr)
+	if len(addrs) == 0 {
+		st.err = fmt.Errorf("loadgen: no server address")
 		return
 	}
-	defer conn.Close()
+	var ring *cluster.Ring
+	if len(addrs) > 1 {
+		r, err := cluster.New(addrs, cfg.RingSeed)
+		if err != nil {
+			st.err = err
+			return
+		}
+		ring = r
+	}
+	conns := make([]*client.Conn, len(addrs))
+	for i, addr := range addrs {
+		conn, err := client.Dial(addr)
+		if err != nil {
+			st.err = err
+			return
+		}
+		defer conn.Close()
+		conns[i] = conn
+	}
 
 	seed := cfg.Seed ^ uint64(id)*0x9E3779B97F4A7C15
 	var keys workload.KeyGen
@@ -192,54 +236,68 @@ func runConn(cfg Config, id int, st *connStats) {
 	value := string(val)
 
 	keyBuf := make([]byte, 0, 24)
-	isSet := make([]bool, cfg.Batch)
+	isSet := make([][]bool, len(conns)) // per conn, per queued request
 	for sent := 0; sent < cfg.OpsPerConn; {
 		batch := cfg.Batch
 		if rem := cfg.OpsPerConn - sent; batch > rem {
 			batch = rem
 		}
+		for i := range isSet {
+			isSet[i] = isSet[i][:0]
+		}
 		for b := 0; b < batch; b++ {
-			isSet[b] = opRnd.Float64() < cfg.SetFrac
+			set := opRnd.Float64() < cfg.SetFrac
 			var k uint64
-			if isSet[b] {
+			if set {
 				k = keys.NextKey()
 			} else {
 				k = keys.ExistingKey()
 			}
 			keyBuf = strconv.AppendUint(keyBuf[:0], k, 16)
 			key := "k" + string(keyBuf)
-			if isSet[b] {
-				err = conn.QueueSet(key, value, cfg.TTL)
+			target := 0
+			if ring != nil {
+				target, _ = ring.Candidates(key)
+			}
+			var err error
+			if set {
+				err = conns[target].QueueSet(key, value, cfg.TTL)
 			} else {
-				err = conn.QueueGet(key)
+				err = conns[target].QueueGet(key)
 			}
 			if err != nil {
 				st.err = err
 				return
 			}
+			isSet[target] = append(isSet[target], set)
 		}
 		t0 := time.Now()
-		reps, err := conn.Flush()
-		if err != nil {
-			st.err = err
-			return
-		}
-		st.lat.Record(uint64(time.Since(t0)))
-		sent += len(reps)
-		st.ops += uint64(len(reps))
-		for b, rep := range reps {
-			switch {
-			case rep.Err != nil:
-				st.errors++
-			case isSet[b]:
-				// Successful SETs count toward ops only; hit ratio is
-				// a GET-side statistic.
-			case rep.Found:
-				st.hits++
-			default:
-				st.misses++
+		for ci, conn := range conns {
+			if conn.Pending() == 0 {
+				continue
+			}
+			reps, err := conn.Flush()
+			if err != nil {
+				st.err = err
+				return
+			}
+			sent += len(reps)
+			st.ops += uint64(len(reps))
+			for b, rep := range reps {
+				switch {
+				case rep.Err != nil:
+					st.errors++
+				case isSet[ci][b]:
+					// Successful SETs count toward ops only; hit ratio is
+					// a GET-side statistic.
+				case rep.Found:
+					st.hits++
+				default:
+					st.misses++
+				}
 			}
 		}
+		st.lat.Record(uint64(time.Since(t0)))
 	}
 }
 

@@ -1,10 +1,12 @@
 package loadgen_test
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"cuckoohash/internal/cluster"
 	"cuckoohash/internal/loadgen"
 	"cuckoohash/server"
 )
@@ -68,6 +70,70 @@ func TestRunUniformAndZipf(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestRunClusterAddrList(t *testing.T) {
+	const (
+		ringSeed = 7
+		universe = 1 << 9
+	)
+	nodes := []*server.Server{startServer(t), startServer(t)}
+	addrs := make([]string, len(nodes))
+	for i, s := range nodes {
+		addrs[i] = s.Addr().String()
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:       strings.Join(addrs, ","),
+		Conns:      2,
+		OpsPerConn: 2000,
+		Batch:      16,
+		SetFrac:    0.5,
+		Keys:       universe,
+		RingSeed:   ringSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Ops, uint64(2*2000); got != want {
+		t.Fatalf("Ops = %d, want %d", got, want)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors", res.Errors)
+	}
+	if res.Hits == 0 {
+		t.Fatal("no GET hits against a small universe")
+	}
+
+	// The zipf-free uniform mix over a small universe must populate both
+	// nodes, and every stored key must sit on its ring primary — loadgen
+	// routes each key there and nowhere else.
+	ring, err := cluster.New(addrs, ringSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := 0
+	for k := uint64(0); k < universe; k++ {
+		key := "k" + strconv.FormatUint(k, 16)
+		pri, _ := ring.Candidates(key)
+		for i, s := range nodes {
+			if _, ok := s.Cache().Get(key); !ok {
+				continue
+			}
+			stored++
+			if i != pri {
+				t.Fatalf("key %s stored on node %d, but its ring primary is %d", key, i, pri)
+			}
+		}
+	}
+	if stored == 0 {
+		t.Fatal("no keys stored on any node")
+	}
+	for i, s := range nodes {
+		if s.Cache().Len() == 0 {
+			t.Errorf("node %d (%s) received no keys", i, addrs[i])
+		}
 	}
 }
 

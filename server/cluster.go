@@ -1,0 +1,244 @@
+package server
+
+// Cluster support (docs/CLUSTER.md): cuckood nodes form a static-
+// membership two-choice ring — every key has a primary and an alternate
+// node, computed by internal/cluster with the same hash discipline the
+// table uses for its two candidate buckets. This file is the server side
+// of that layer:
+//
+//   - CLUSTER reports the node's load figures so clients and cuckooctl
+//     can make spill and rebalance decisions;
+//   - MIGRATE selects keys by their ring placement and pushes them to a
+//     peer in the snapshot wire format (persist.go), then deletes the
+//     moved keys locally — a cuckoo kick-out between machines;
+//   - HANDOFF is the receiving side of that bulk transfer: a length-
+//     prefixed snapshot stream applied through the normal Set path.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"cuckoohash/internal/cluster"
+)
+
+// migrateIOTimeout bounds the outbound side of one MIGRATE: the dial of
+// the destination plus the full handoff exchange. Migrations move bulk
+// data, so the bound is generous; a stuck peer still cannot pin the
+// handler forever.
+const migrateIOTimeout = 30 * time.Second
+
+var (
+	errMigrateDest = errors.New("migrate destination is not in the ring")
+	errMigrateSelf = errors.New("migrate destination equals self")
+)
+
+// migrateRec is one key selected for migration, pinned with the entry
+// value observed at selection time so the post-transfer delete can skip
+// keys a concurrent SET refreshed in the meantime.
+type migrateRec struct {
+	key string
+	e   entry
+}
+
+// clusterInfo renders the node's cluster-relevant figures as CLUSTER
+// response lines: identity, load, and migration counters. Load is what
+// the client's spill watermark and cuckooctl's rebalance compare.
+func (s *Server) clusterInfo() []Stat {
+	st := s.cache.stats
+	entries := s.cache.Len()
+	capacity := s.cache.Cap()
+	load := 0.0
+	if capacity > 0 {
+		load = float64(entries) / float64(capacity)
+	}
+	addr := s.cfg.Addr
+	if s.ln != nil {
+		addr = s.ln.Addr().String()
+	}
+	return []Stat{
+		{"addr", addr},
+		{"entries", fmt.Sprint(entries)},
+		{"capacity", fmt.Sprint(capacity)},
+		{"load", fmt.Sprintf("%.6f", load)},
+		{"migrated_in", fmt.Sprint(st.migratedIn.Load())},
+		{"migrated_out", fmt.Sprint(st.migratedOut.Load())},
+		{"handoffs", fmt.Sprint(st.handoffs.Load())},
+		{"migrate_failures", fmt.Sprint(st.migrateFails.Load())},
+	}
+}
+
+// Migrate moves up to max keys (0 = unlimited) matching the mode's
+// placement predicate to dest, and returns how many were moved. It is
+// synchronous: selection, bulk transfer, and local deletion all complete
+// before it returns, so the MIGRATED count a client reads is already
+// reflected in the migrated_out counter.
+func (s *Server) Migrate(a *migrateArgs) (int, error) {
+	ring, err := cluster.Parse(a.ring, a.seed)
+	if err != nil {
+		return 0, err
+	}
+	if ring.Index(a.dest) < 0 {
+		return 0, errMigrateDest
+	}
+	if a.dest == a.self {
+		return 0, errMigrateSelf
+	}
+	recs := s.cache.selectForMigrate(ring, a.mode, a.dest, a.self, a.max)
+	if len(recs) == 0 {
+		return 0, nil
+	}
+
+	var buf bytes.Buffer
+	enc := newSnapEncoder(&buf)
+	for _, rc := range recs {
+		enc.add(rc.key, rc.e)
+	}
+	if err := enc.finish(); err != nil {
+		return 0, err
+	}
+
+	start := time.Now()
+	loaded, err := sendHandoff(a.dest, buf.Bytes())
+	if err != nil {
+		s.cache.stats.migrateFails.Add(1)
+		s.log.Warn("migrate failed", "dest", a.dest, "keys", len(recs), "err", err)
+		return 0, fmt.Errorf("handoff to %s: %w", a.dest, err)
+	}
+
+	// The records are durably applied on dest; remove them here. A key a
+	// concurrent SET refreshed since selection is left alone — the fresh
+	// value wins locally, and the (stale) copy shipped to dest is shadowed
+	// for readers because this node stays the earlier choice until the
+	// value expires or is rewritten. Cache-grade semantics, same contract
+	// as expireKey's residual race.
+	moved := 0
+	for _, rc := range recs {
+		if s.cache.removeIfUnchanged(rc.key, rc.e) {
+			moved++
+		}
+	}
+	s.cache.stats.migratedOut.Add(uint64(moved))
+	s.log.Info("migrated keys",
+		"mode", a.mode,
+		"dest", a.dest,
+		"selected", len(recs),
+		"applied_on_dest", loaded,
+		"moved", moved,
+		"dur", time.Since(start))
+	return moved, nil
+}
+
+// selectForMigrate walks a point-in-time snapshot of every shard and
+// picks keys whose ring placement matches the mode:
+//
+//	home: the key does NOT belong on self, and dest is one of its two
+//	      candidates — repair after a membership change, and the whole
+//	      of a drain (self is absent from a drain ring, so every key
+//	      qualifies for one surviving candidate or the other).
+//	shed: the key DOES belong on self, and dest is its other candidate —
+//	      load-balancing displacement between a key's two choices.
+//
+// Expired entries are skipped: migration carries no obligation to
+// resurrect dead data (same rule as SaveSnapshot).
+func (c *Cache) selectForMigrate(ring *cluster.Ring, mode, dest, self string, max int) []migrateRec {
+	var recs []migrateRec
+	now := time.Now().UnixNano()
+	for _, sh := range c.shards {
+		// Items snapshots the shard under its lock and releases it before
+		// we filter, so selection never holds a table lock across the
+		// whole keyspace walk.
+		for key, e := range sh.table.Items() {
+			if e.expired(now) {
+				continue
+			}
+			selfIsHome := ring.IsCandidate(key, self)
+			if mode == "home" && selfIsHome {
+				continue
+			}
+			if mode == "shed" && !selfIsHome {
+				continue
+			}
+			if !ring.IsCandidate(key, dest) {
+				continue
+			}
+			recs = append(recs, migrateRec{key: key, e: e})
+			if max > 0 && len(recs) >= max {
+				return recs
+			}
+		}
+	}
+	return recs
+}
+
+// removeIfUnchanged deletes key only if its entry still equals the one
+// observed at migration-selection time, so a concurrent SET that landed
+// in between survives. The check-then-delete window is unsynchronized;
+// see the Migrate comment for why that is acceptable here.
+func (c *Cache) removeIfUnchanged(key string, want entry) bool {
+	si := c.shardFor(key)
+	sh := c.shards[si]
+	cur, ok := sh.table.Get(key)
+	if !ok || cur != want {
+		return false
+	}
+	return sh.table.Delete(key)
+}
+
+// sendHandoff dials dest, pushes one HANDOFF frame (length-prefixed
+// snapshot payload), and returns the count the peer reports applying.
+func sendHandoff(dest string, payload []byte) (int, error) {
+	nc, err := net.DialTimeout("tcp", dest, migrateIOTimeout)
+	if err != nil {
+		return 0, err
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(migrateIOTimeout))
+
+	w := bufio.NewWriterSize(nc, 64<<10)
+	w.WriteString("HANDOFF ")
+	w.WriteString(strconv.Itoa(len(payload)))
+	w.WriteByte('\n')
+	w.Write(payload)
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	line, err := bufio.NewReader(nc).ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if rest, ok := strings.CutPrefix(line, "HANDOFF "); ok {
+		return strconv.Atoi(rest)
+	}
+	return 0, fmt.Errorf("peer rejected handoff: %q", line)
+}
+
+// applyHandoff consumes the length-prefixed snapshot payload following a
+// HANDOFF request line and merges it through the normal Set path. A
+// payload that fails to arrive in full is a transport failure (the
+// connection is closed by the caller); a payload that arrives but fails
+// validation is answered with ERR and the connection stays usable — the
+// stream is back in sync at the next line either way.
+func (s *Server) applyHandoff(r *bufio.Reader, w *bufio.Writer, n uint64) error {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	loaded, err := s.cache.LoadSnapshot(bytes.NewReader(buf))
+	if err != nil {
+		s.cache.stats.handoffRejects.Add(1)
+		writeErr(w, err)
+		return nil
+	}
+	s.cache.stats.handoffs.Add(1)
+	s.cache.stats.migratedIn.Add(uint64(loaded))
+	writeHandoff(w, loaded)
+	return nil
+}

@@ -26,6 +26,11 @@ const (
 	opTTL
 	opStats
 	opQuit
+	// Cluster verbs (docs/CLUSTER.md): node info, key migration to a
+	// two-choice peer, and the inbound side of that bulk transfer.
+	opCluster
+	opMigrate
+	opHandoff
 	// opBad marks a line that failed to parse; it is never dispatched, only
 	// reported in logs.
 	opBad opCode = 0xff
@@ -48,6 +53,12 @@ func (o opCode) String() string {
 		return "STATS"
 	case opQuit:
 		return "QUIT"
+	case opCluster:
+		return "CLUSTER"
+	case opMigrate:
+		return "MIGRATE"
+	case opHandoff:
+		return "HANDOFF"
 	}
 	return "INVALID"
 }
@@ -60,6 +71,34 @@ type request struct {
 	key []byte
 	ttl time.Duration
 	val []byte
+	// payload is the HANDOFF body length; the bytes follow the request
+	// line on the wire and are consumed by the handler.
+	payload uint64
+	// mig carries the MIGRATE arguments. Unlike key/val it is fully
+	// copied out of the read buffer — migrations are rare admin
+	// operations, so the allocations are off the hot path.
+	mig *migrateArgs
+}
+
+// migrateArgs are the parsed operands of a MIGRATE line:
+//
+//	MIGRATE <mode> <dest> <self> <seed> <max> <ring-csv>
+//
+// mode "home" moves keys that do not belong on this node (self is not
+// one of their two candidates under the ring) — the repair pass after a
+// membership change and the whole of a drain; mode "shed" moves
+// correctly-placed keys to their other candidate — the load-balancing
+// kick-out. dest is where keys go, self is this node's ring name, seed
+// fixes the placement hash, max bounds moved keys (0 = unlimited), and
+// ring-csv is the comma-separated membership the candidates are computed
+// against.
+type migrateArgs struct {
+	mode string
+	dest string
+	self string
+	seed uint64
+	max  int
+	ring string
 }
 
 var (
@@ -68,6 +107,9 @@ var (
 	errBadArgs    = errors.New("wrong number of arguments")
 	errKeyTooLong = errors.New("key exceeds 250 bytes")
 	errBadTTL     = errors.New("ttl must be a positive integer (milliseconds)")
+
+	errBadPayload = errors.New("handoff payload must be 1.." + handoffMaxStr + " bytes")
+	errBadMigrate = errors.New("migrate wants: MIGRATE <home|shed> <dest> <self> <seed> <max> <ring-csv>")
 )
 
 // nextToken splits the first space-separated token off line.
@@ -121,8 +163,65 @@ func parseRequest(line []byte) (request, error) {
 		return request{op: opStats}, nil
 	case asciiEqualFold(cmd, "QUIT"):
 		return request{op: opQuit}, nil
+	case asciiEqualFold(cmd, "CLUSTER"):
+		if len(rest) != 0 {
+			return request{}, errBadArgs
+		}
+		return request{op: opCluster}, nil
+	case asciiEqualFold(cmd, "HANDOFF"):
+		return parseHandoff(rest)
+	case asciiEqualFold(cmd, "MIGRATE"):
+		return parseMigrate(rest)
 	}
 	return request{}, errUnknownCmd
+}
+
+// handoffMaxBytes bounds one HANDOFF bulk payload. A length past it is a
+// protocol violation that closes the connection: the payload bytes are
+// already in flight behind the request line, so the stream cannot be
+// resynchronized by skipping the line alone.
+const (
+	handoffMaxBytes = 64 << 20
+	handoffMaxStr   = "67108864"
+)
+
+func parseHandoff(rest []byte) (request, error) {
+	tok, extra := nextToken(rest)
+	if len(tok) == 0 || extra != nil {
+		return request{}, errBadArgs
+	}
+	n, err := strconv.ParseUint(string(tok), 10, 64)
+	if err != nil || n == 0 || n > handoffMaxBytes {
+		return request{}, errBadPayload
+	}
+	return request{op: opHandoff, payload: n}, nil
+}
+
+func parseMigrate(rest []byte) (request, error) {
+	fields := bytes.Fields(rest)
+	if len(fields) != 6 {
+		return request{}, errBadMigrate
+	}
+	mode := string(bytes.ToLower(fields[0]))
+	if mode != "home" && mode != "shed" {
+		return request{}, errBadMigrate
+	}
+	seed, err := strconv.ParseUint(string(fields[3]), 10, 64)
+	if err != nil {
+		return request{}, errBadMigrate
+	}
+	max, err := strconv.ParseUint(string(fields[4]), 10, 32)
+	if err != nil {
+		return request{}, errBadMigrate
+	}
+	return request{op: opMigrate, mig: &migrateArgs{
+		mode: mode,
+		dest: string(fields[1]),
+		self: string(fields[2]),
+		seed: seed,
+		max:  int(max),
+		ring: string(fields[5]),
+	}}, nil
 }
 
 func parseKeyOnly(op opCode, rest []byte) (request, error) {
@@ -200,4 +299,27 @@ func writeStats(w *bufio.Writer, lines []Stat) {
 		w.WriteByte('\n')
 	}
 	w.WriteString("END\n")
+}
+
+func writeCluster(w *bufio.Writer, lines []Stat) {
+	for _, s := range lines {
+		w.WriteString("CLUSTER ")
+		w.WriteString(s.Name)
+		w.WriteByte(' ')
+		w.WriteString(s.Value)
+		w.WriteByte('\n')
+	}
+	w.WriteString("END\n")
+}
+
+func writeMigrated(w *bufio.Writer, count int) {
+	w.WriteString("MIGRATED ")
+	w.WriteString(strconv.Itoa(count))
+	w.WriteByte('\n')
+}
+
+func writeHandoff(w *bufio.Writer, loaded int) {
+	w.WriteString("HANDOFF ")
+	w.WriteString(strconv.Itoa(loaded))
+	w.WriteByte('\n')
 }

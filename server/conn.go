@@ -124,7 +124,7 @@ func (s *Server) serveBatchHead(line []byte, r *bufio.Reader, w *bufio.Writer, c
 		if sample {
 			start = time.Now()
 		}
-		req, quit := s.serveRequest(line, w)
+		req, quit := s.serveRequest(line, r, w)
 		if sample {
 			dur := time.Since(start)
 			s.cache.stats.recordLatency(cs.latShard, uint64(dur))
@@ -154,18 +154,25 @@ func (s *Server) serveBatchHead(line []byte, r *bufio.Reader, w *bufio.Writer, c
 }
 
 // serveRequest executes one parsed request, writing its response into w.
-// It returns the parsed request so the caller can attribute slow-op traces.
-func (s *Server) serveRequest(line []byte, w *bufio.Writer) (req request, quit bool) {
+// It reads from r only for a HANDOFF payload (the bulk bytes follow the
+// request line). It returns the parsed request so the caller can
+// attribute slow-op traces.
+func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer) (req request, quit bool) {
 	req, err := parseRequest(line)
 	if err != nil {
 		writeErr(w, err)
-		return request{op: opBad}, false
+		// An oversized HANDOFF length is fatal to the connection: the
+		// payload bytes are already behind the line and cannot be skipped,
+		// so the stream would desynchronize into garbage commands.
+		return request{op: opBad}, errors.Is(err, errBadPayload)
 	}
 	// In-flight limit: cache-touching ops past MaxInflight fail fast with
 	// "ERR busy" (retryable; the request did not execute) instead of
 	// queueing behind a saturated table. STATS stays exempt so operators
-	// can always observe an overloaded server, QUIT so drains always work.
-	if s.inflight != nil && req.op != opStats && req.op != opQuit {
+	// can always observe an overloaded server, QUIT so drains always
+	// work, and CLUSTER so rebalance decisions can be made while the
+	// node is overloaded — which is exactly when they matter.
+	if s.inflight != nil && req.op != opStats && req.op != opQuit && req.op != opCluster {
 		select {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
@@ -202,6 +209,20 @@ func (s *Server) serveRequest(line []byte, w *bufio.Writer) (req request, quit b
 		}
 	case opStats:
 		writeStats(w, s.cache.Snapshot(s.cache.stats))
+	case opCluster:
+		writeCluster(w, s.clusterInfo())
+	case opMigrate:
+		if n, err := s.Migrate(req.mig); err != nil {
+			writeErr(w, err)
+		} else {
+			writeMigrated(w, n)
+		}
+	case opHandoff:
+		if err := s.applyHandoff(r, w, req.payload); err != nil {
+			// The payload never arrived in full; the stream is undefined.
+			s.log.Warn("handoff payload truncated", "err", err)
+			return req, true
+		}
 	case opQuit:
 		return req, true
 	}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzParseCommand throws arbitrary request lines at the text-protocol
+// parser and checks its invariants rather than exact outputs:
+//
+//   - it never panics (the implicit property of any fuzz target);
+//   - a parse error never coexists with a usable request, and vice versa;
+//   - whatever it accepts respects the protocol's own bounds (key length,
+//     TTL positivity, HANDOFF payload bounds, MIGRATE operand count);
+//   - key/val always alias the input line, never copies with different
+//     content (conn.go depends on aliasing for its zero-copy fast path).
+//
+// Run via `make fuzz` or `go test -fuzz FuzzParseCommand ./server/`.
+func FuzzParseCommand(f *testing.F) {
+	seeds := []string{
+		"GET k",
+		"SET k v",
+		"SET k value with spaces",
+		"SETEX k 1500 v",
+		"DEL k",
+		"TTL k",
+		"STATS",
+		"QUIT",
+		"CLUSTER",
+		"HANDOFF 1024",
+		"HANDOFF 67108865",
+		"MIGRATE shed 127.0.0.1:2 127.0.0.1:1 42 0 127.0.0.1:1,127.0.0.1:2",
+		"MIGRATE home b a 18446744073709551615 4294967295 a,b",
+		"get lower",
+		"SET " + string(bytes.Repeat([]byte("k"), 251)) + " v",
+		"",
+		" ",
+		"\x00\xff",
+		"SET k\x00 v",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		if bytes.ContainsAny(line, "\r\n") {
+			// readLine strips line terminators before parseRequest ever
+			// sees the bytes; embedded ones cannot occur.
+			return
+		}
+		req, err := parseRequest(line)
+		if err != nil {
+			if req.op != 0 || req.key != nil || req.val != nil || req.mig != nil || req.payload != 0 {
+				t.Fatalf("error %v returned alongside non-zero request %+v", err, req)
+			}
+			return
+		}
+		switch req.op {
+		case opGet, opDel, opTTL:
+			if len(req.key) == 0 || len(req.key) > maxKeyLen {
+				t.Fatalf("%s accepted key of length %d", req.op, len(req.key))
+			}
+		case opSet:
+			if len(req.key) == 0 || len(req.key) > maxKeyLen || req.val == nil {
+				t.Fatalf("SET accepted bad operands %+v", req)
+			}
+		case opSetEx:
+			if len(req.key) == 0 || len(req.key) > maxKeyLen || req.val == nil {
+				t.Fatalf("SETEX accepted bad operands %+v", req)
+			}
+			if req.ttl < time.Millisecond {
+				t.Fatalf("SETEX accepted non-positive ttl %v", req.ttl)
+			}
+		case opStats, opQuit, opCluster:
+			// No operands to validate.
+		case opHandoff:
+			if req.payload == 0 || req.payload > handoffMaxBytes {
+				t.Fatalf("HANDOFF accepted payload length %d", req.payload)
+			}
+		case opMigrate:
+			m := req.mig
+			if m == nil {
+				t.Fatal("MIGRATE parsed without args")
+			}
+			if m.mode != "home" && m.mode != "shed" {
+				t.Fatalf("MIGRATE accepted mode %q", m.mode)
+			}
+			if m.dest == "" || m.self == "" || m.ring == "" || m.max < 0 {
+				t.Fatalf("MIGRATE accepted bad operands %+v", *m)
+			}
+		default:
+			t.Fatalf("parser returned unknown op %d", req.op)
+		}
+		// Zero-copy contract: accepted keys and values are byte ranges of
+		// the input line, so their content must appear in it verbatim.
+		for _, b := range [][]byte{req.key, req.val} {
+			if len(b) > 0 && !bytes.Contains(line, b) {
+				t.Fatalf("operand %q not present in input line %q", b, line)
+			}
+		}
+	})
+}

@@ -45,6 +45,14 @@ func (s *Server) Collect(m *obs.Metrics) {
 	m.Gauge("cuckood_snapshot_last_save_seconds", "Duration of the most recent snapshot save.", float64(st.snapSaveNs.Load())/1e9)
 	m.Gauge("cuckood_snapshot_last_load_seconds", "Duration of the most recent snapshot load.", float64(st.snapLoadNs.Load())/1e9)
 
+	m.Counter("cuckood_cluster_migrated_keys_total", "Keys moved between nodes by MIGRATE/HANDOFF, by direction.",
+		float64(st.migratedIn.Load()), "direction", "in")
+	m.Counter("cuckood_cluster_migrated_keys_total", "Keys moved between nodes by MIGRATE/HANDOFF, by direction.",
+		float64(st.migratedOut.Load()), "direction", "out")
+	m.Counter("cuckood_cluster_handoffs_total", "Inbound bulk key transfers applied.", float64(st.handoffs.Load()))
+	m.Counter("cuckood_cluster_handoff_rejects_total", "Inbound bulk key transfers rejected as invalid.", float64(st.handoffRejects.Load()))
+	m.Counter("cuckood_cluster_migrate_failures_total", "Outbound migrations that failed before any key was removed.", float64(st.migrateFails.Load()))
+
 	m.Gauge("cuckood_entries", "Stored entries across all shards.", float64(s.cache.Len()))
 	m.Gauge("cuckood_capacity_slots", "Total slot capacity across all shards.", float64(s.cache.Cap()))
 	for i, sh := range s.cache.shards {

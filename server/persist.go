@@ -47,49 +47,75 @@ const (
 // valid cache snapshot (bad magic/version, truncation, CRC mismatch).
 var ErrBadSnapshot = errors.New("server: bad snapshot")
 
+// snapEncoder streams records in the snapshot wire format: header on
+// construction, one record per add, end marker + count + CRC trailer on
+// finish. It backs both the drain-time full snapshot and the MIGRATE
+// verb's bulk transfer (cluster.go), which ships a selected subset of
+// keys to another node in exactly this format.
+type snapEncoder struct {
+	dst     io.Writer
+	crc     hash.Hash64
+	bw      *bufio.Writer
+	count   uint64
+	scratch [8]byte
+}
+
+func newSnapEncoder(w io.Writer) *snapEncoder {
+	e := &snapEncoder{dst: w, crc: crc64.New(crc64.MakeTable(crc64.ECMA))}
+	e.bw = bufio.NewWriterSize(io.MultiWriter(w, e.crc), 1<<16)
+	e.putU64(cacheSnapMagic)
+	e.putU64(cacheSnapVersion)
+	return e
+}
+
+func (e *snapEncoder) putU32(v uint32) {
+	binary.LittleEndian.PutUint32(e.scratch[:4], v)
+	e.bw.Write(e.scratch[:4])
+}
+
+func (e *snapEncoder) putU64(v uint64) {
+	binary.LittleEndian.PutUint64(e.scratch[:], v)
+	e.bw.Write(e.scratch[:])
+}
+
+// add appends one record.
+func (e *snapEncoder) add(key string, ent entry) {
+	e.putU32(uint32(len(key)))
+	e.bw.WriteString(key)
+	e.putU32(uint32(len(ent.val)))
+	e.bw.WriteString(ent.val)
+	e.putU64(uint64(ent.expireAt))
+	e.count++
+}
+
+// finish writes the end marker, record count, and CRC trailer.
+func (e *snapEncoder) finish() error {
+	e.putU32(cacheSnapEnd)
+	e.putU64(e.count)
+	if err := e.bw.Flush(); err != nil {
+		return err
+	}
+	// The trailer checksums everything before it, so it bypasses crc.
+	binary.LittleEndian.PutUint64(e.scratch[:], e.crc.Sum64())
+	_, err := e.dst.Write(e.scratch[:])
+	return err
+}
+
 // SaveSnapshot writes the cache's live entries to w. Concurrent writers
 // are not excluded — the caller serializes (the daemon snapshots after
 // the drain, when no handler is running).
 func (c *Cache) SaveSnapshot(w io.Writer) error {
-	crc := crc64.New(crc64.MakeTable(crc64.ECMA))
-	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
-
-	var scratch [8]byte
-	putU32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(scratch[:4], v)
-		bw.Write(scratch[:4])
-	}
-	putU64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(scratch[:], v)
-		bw.Write(scratch[:])
-	}
-
-	putU64(cacheSnapMagic)
-	putU64(cacheSnapVersion)
-	var count uint64
+	enc := newSnapEncoder(w)
 	now := time.Now().UnixNano()
 	for _, sh := range c.shards {
 		for key, e := range sh.table.All() {
 			if e.expired(now) {
 				continue
 			}
-			putU32(uint32(len(key)))
-			bw.WriteString(key)
-			putU32(uint32(len(e.val)))
-			bw.WriteString(e.val)
-			putU64(uint64(e.expireAt))
-			count++
+			enc.add(key, e)
 		}
 	}
-	putU32(cacheSnapEnd)
-	putU64(count)
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	// The trailer checksums everything before it, so it bypasses crc.
-	binary.LittleEndian.PutUint64(scratch[:], crc.Sum64())
-	_, err := w.Write(scratch[:])
-	return err
+	return enc.finish()
 }
 
 // LoadSnapshot replaces nothing and merges everything: each record is

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSnapshotPortabilityAcrossShardCounts proves the snapshot format is
+// independent of the shard topology that wrote it: a daemon saved with S1
+// shards restores completely on a daemon configured with S2 shards, in
+// both directions, because LoadSnapshot routes every record through the
+// normal Set path (re-hashing into whatever shards exist) instead of
+// memcpy-ing shard images. TTLs are stored as absolute expiry times, so
+// they survive the restart unchanged.
+func TestSnapshotPortabilityAcrossShardCounts(t *testing.T) {
+	cases := []struct{ saveShards, loadShards int }{
+		{8, 2}, // shrink: records from 8 tables re-hash into 2
+		{2, 8}, // grow: records from 2 tables spread over 8
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%dto%d", tc.saveShards, tc.loadShards), func(t *testing.T) {
+			snap := filepath.Join(t.TempDir(), "cache.snap")
+			const n = 400
+
+			// First life: S1 shards, a mixed persistent/TTL keyspace,
+			// graceful shutdown persists the snapshot.
+			src, err := New(Config{
+				Addr:         "127.0.0.1:0",
+				Shards:       tc.saveShards,
+				SnapshotPath: snap,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := src.Listen(); err != nil {
+				t.Fatal(err)
+			}
+			serveErr := make(chan error, 1)
+			go func() { serveErr <- src.Serve() }()
+			for i := 0; i < n; i++ {
+				if err := src.Cache().Set(fmt.Sprintf("p%d", i), fmt.Sprintf("v%d", i), 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := src.Cache().Set("with-ttl", "tv", time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			if err := src.Shutdown(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-serveErr; err != ErrServerClosed {
+				t.Fatalf("Serve returned %v", err)
+			}
+
+			// Second life: S2 shards, restore at Listen, full contents and
+			// the TTL must survive.
+			dst, err := New(Config{
+				Addr:         "127.0.0.1:0",
+				Shards:       tc.loadShards,
+				SnapshotPath: snap,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Listen(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { dst.Close() })
+
+			if got := dst.Cache().Len(); got != n+1 {
+				t.Fatalf("restored entries = %d, want %d", got, n+1)
+			}
+			for i := 0; i < n; i++ {
+				if v, ok := dst.Cache().Get(fmt.Sprintf("p%d", i)); !ok || v != fmt.Sprintf("v%d", i) {
+					t.Fatalf("p%d = %q, %v after cross-shard restore", i, v, ok)
+				}
+			}
+			if d, ok := dst.Cache().TTL("with-ttl"); !ok || d <= 0 || d > time.Hour {
+				t.Fatalf("restored TTL = %v, %v; want within (0, 1h]", d, ok)
+			}
+			if got := dst.Cache().stats.snapLoads.Load(); got != 1 {
+				t.Errorf("snapshot_loads = %d, want 1", got)
+			}
+		})
+	}
+}

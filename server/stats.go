@@ -53,6 +53,14 @@ type stats struct {
 	snapLoads     atomic.Uint64 // snapshots restored at startup
 	snapSaveNs    atomic.Uint64 // duration of the last snapshot save
 	snapLoadNs    atomic.Uint64 // duration of the last snapshot load
+
+	// Cluster counters (docs/CLUSTER.md): two-choice migration traffic
+	// through the MIGRATE/HANDOFF verbs.
+	migratedIn     atomic.Uint64 // keys applied from inbound handoffs
+	migratedOut    atomic.Uint64 // keys moved to a peer and removed here
+	handoffs       atomic.Uint64 // inbound bulk transfers applied
+	handoffRejects atomic.Uint64 // inbound transfers rejected (bad payload)
+	migrateFails   atomic.Uint64 // outbound transfers that failed
 }
 
 func newStats(shards int) *stats {
@@ -161,6 +169,11 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 		{"snapshot_loads", fmt.Sprint(st.snapLoads.Load())},
 		{"snapshot_last_save_ns", fmt.Sprint(st.snapSaveNs.Load())},
 		{"snapshot_last_load_ns", fmt.Sprint(st.snapLoadNs.Load())},
+		{"cluster_migrated_in", fmt.Sprint(st.migratedIn.Load())},
+		{"cluster_migrated_out", fmt.Sprint(st.migratedOut.Load())},
+		{"cluster_handoffs", fmt.Sprint(st.handoffs.Load())},
+		{"cluster_handoff_rejects", fmt.Sprint(st.handoffRejects.Load())},
+		{"cluster_migrate_failures", fmt.Sprint(st.migrateFails.Load())},
 		{"table_searches", fmt.Sprint(tab.Searches)},
 		{"table_displacements", fmt.Sprint(tab.Displacements)},
 		{"table_path_restarts", fmt.Sprint(tab.PathRestarts)},
