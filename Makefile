@@ -7,7 +7,7 @@ GO ?= go
 # mid-flight; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check build vet lint cuckoovet test race bench bench-smoke fuzz chaos loadgen-smoke metrics-smoke
+.PHONY: check build vet lint cuckoovet test race bench bench-smoke bench-txn fuzz chaos loadgen-smoke metrics-smoke
 
 check: build vet lint race
 
@@ -57,6 +57,13 @@ bench:
 # CI uploads each run's file as an artifact for diffing).
 bench-smoke:
 	$(GO) run ./cmd/cuckoobench -exp all -scale small -out results/BENCH_ci.json
+
+# The cuckootxn acceptance benchmark (docs/TRANSACTIONS.md): split-counter
+# INCR vs naive locked INCR under zipf s=1.2 skew, median of 3 runs. The
+# committed baseline lives at results/BENCH_txn.json; this regenerates it
+# in place so a perf regression shows up as a diff.
+bench-txn:
+	$(GO) run ./cmd/cuckoobench -exp txnzipf -scale small -repeat 3 -out results/BENCH_txn.json
 
 # Native Go fuzzing of the server text-protocol codec. The corpus seeds
 # live in the test; 30s is the CI budget — run longer locally with

@@ -52,6 +52,9 @@ type Reply struct {
 	Value string
 	// TTL is the remaining lifetime for TTL hits; -1 means no expiry.
 	TTL time.Duration
+	// Conflict is true when a CAS was rejected because the stored value
+	// differed from the expected one (reply CONFLICT).
+	Conflict bool
 	// Err is a per-request server error (*ServerError); transport errors
 	// are returned by Flush itself instead.
 	Err error
@@ -77,6 +80,8 @@ const (
 	opSet
 	opDel
 	opTTL
+	opIncr // INCR/DECR/ADD/MAXUPDATE: all reply OK or ERR
+	opCAS  // OK, MISS, or CONFLICT
 )
 
 // Dial connects to a cuckood server with no deadlines configured.
@@ -267,6 +272,8 @@ func (c *Conn) readReply(op opCode) (Reply, error) {
 		return Reply{Found: true}, nil
 	case line == "MISS":
 		return Reply{}, nil
+	case line == "CONFLICT":
+		return Reply{Conflict: true}, nil
 	case strings.HasPrefix(line, "VALUE "):
 		return Reply{Found: true, Value: line[len("VALUE "):]}, nil
 	case strings.HasPrefix(line, "TTL "):

@@ -299,6 +299,57 @@ func (cl *Cluster) Del(key string) (bool, error) {
 	return found || found2, err
 }
 
+// ErrCrossNodeTxn is returned by Cluster.ExecTxn when the transaction's
+// keys do not share a primary node: MULTI…EXEC is single-node atomicity,
+// and silently splitting it would break exactly the guarantee it exists
+// to give.
+var ErrCrossNodeTxn = errors.New("client: transaction keys span multiple primary nodes")
+
+// Incr routes a counter update to the key's primary node, never the
+// alternate: unlike SET, a counter must have a single authoritative home,
+// because deltas applied to two copies can never be merged back. It is
+// also never retried (see Pool.Incr).
+func (cl *Cluster) Incr(key string, delta int64) error {
+	pri, _ := cl.candidates(key)
+	return pri.pool.Incr(key, delta)
+}
+
+// MaxUpdate routes a monotonic-max update to the key's primary node
+// (same single-home rule as Incr).
+func (cl *Cluster) MaxUpdate(key string, val int64) error {
+	pri, _ := cl.candidates(key)
+	return pri.pool.MaxUpdate(key, val)
+}
+
+// CAS routes a compare-and-set to the key's primary node. A key whose
+// live copy sits on the alternate (after a spill) reports a miss here
+// rather than racing two copies.
+func (cl *Cluster) CAS(key, old, newVal string) (stored, found bool, err error) {
+	pri, _ := cl.candidates(key)
+	return pri.pool.CAS(key, old, newVal)
+}
+
+// ExecTxn runs a MULTI…EXEC transaction on the single node that is
+// primary for every key it touches. Transactions spanning keys with
+// different primaries fail with ErrCrossNodeTxn before anything is sent —
+// the caller can shard the work or hash-tag its keys onto one node.
+func (cl *Cluster) ExecTxn(t *Txn) ([]Reply, error) {
+	if err := t.Err(); err != nil {
+		return nil, err
+	}
+	keys := t.Keys()
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	pi, _ := cl.ring.Candidates(keys[0])
+	for _, k := range keys[1:] {
+		if p, _ := cl.ring.Candidates(k); p != pi {
+			return nil, fmt.Errorf("%w (%q and %q)", ErrCrossNodeTxn, keys[0], k)
+		}
+	}
+	return cl.nodes[pi].pool.ExecTxn(t)
+}
+
 // NodeStatus is one node's view in Status: its CLUSTER figures plus the
 // client-side spill/fallback counters. Err is set (and the numeric
 // fields zero) when the probe failed.

@@ -42,11 +42,12 @@ import (
 func main() {
 	var (
 		// Server mode.
-		listen = flag.String("listen", "127.0.0.1:11300", "listen address (server mode)")
-		shards = flag.Int("shards", 8, "cache shards (rounded up to a power of two)")
-		slots  = flag.Uint64("slots", 1<<16, "slot capacity per shard (bounded; evicts when full)")
-		sweep  = flag.Duration("sweep", time.Second, "TTL sweep interval (<0 disables)")
-		drain  = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+		listen   = flag.String("listen", "127.0.0.1:11300", "listen address (server mode)")
+		shards   = flag.Int("shards", 8, "cache shards (rounded up to a power of two)")
+		slots    = flag.Uint64("slots", 1<<16, "slot capacity per shard (bounded; evicts when full)")
+		sweep    = flag.Duration("sweep", time.Second, "TTL sweep interval (<0 disables)")
+		txnPhase = flag.Duration("txn-phase", 50*time.Millisecond, "split-counter phase tick: hot-key delta reconcile interval (<0 disables)")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 
 		// Robustness (docs/ROBUSTNESS.md).
 		maxConns    = flag.Int("max-conns", 0, "max concurrent connections; extras are shed with ERR busy at accept (0 = unlimited)")
@@ -71,6 +72,8 @@ func main() {
 		batch    = flag.Int("batch", 16, "pipeline depth (1 = no pipelining)")
 		dist     = flag.String("dist", "uniform", "key distribution: uniform or zipf")
 		theta    = flag.Float64("theta", 0.99, "zipf skew (0,1)")
+		zipfS    = flag.Float64("zipf-s", 0, "heavy-skew zipf exponent s > 1 (e.g. 1.2); overrides -dist/-theta when set")
+		workload = flag.String("workload", "mixed", "operation shape: mixed (GET/SET), incr (hot counters), or txn (MULTI…EXEC batches)")
 		setFrac  = flag.Float64("set", 0.1, "fraction of SET operations")
 		keys     = flag.Uint64("keys", 1<<20, "key universe size")
 		valSize  = flag.Int("valsize", 32, "value size in bytes")
@@ -83,7 +86,8 @@ func main() {
 	if *lg {
 		runLoadgen(loadgen.Config{
 			Addr: *addr, Conns: *conns, OpsPerConn: *ops, Batch: *batch,
-			Dist: *dist, Theta: *theta, SetFrac: *setFrac, Keys: *keys,
+			Dist: *dist, Theta: *theta, ZipfS: *zipfS, Workload: *workload,
+			SetFrac: *setFrac, Keys: *keys,
 			ValueSize: *valSize, TTL: *ttl, Seed: *seed, RingSeed: *ringSeed,
 		})
 		return
@@ -106,18 +110,19 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Addr:            *listen,
-		Shards:          *shards,
-		SlotsPerShard:   *slots,
-		SweepInterval:   *sweep,
-		SlowOpThreshold: *slowOp,
-		Logger:          logger,
-		MaxConns:        *maxConns,
-		MaxInflight:     *maxInflight,
-		IOTimeout:       *ioTimeout,
-		IdleTimeout:     *idleTimeout,
-		SnapshotPath:    *snapshot,
-		FaultPlan:       plan,
+		Addr:             *listen,
+		Shards:           *shards,
+		SlotsPerShard:    *slots,
+		SweepInterval:    *sweep,
+		TxnPhaseInterval: *txnPhase,
+		SlowOpThreshold:  *slowOp,
+		Logger:           logger,
+		MaxConns:         *maxConns,
+		MaxInflight:      *maxInflight,
+		IOTimeout:        *ioTimeout,
+		IdleTimeout:      *idleTimeout,
+		SnapshotPath:     *snapshot,
+		FaultPlan:        plan,
 	})
 	if err != nil {
 		fatal("startup failed", err)

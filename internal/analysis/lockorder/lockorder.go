@@ -199,7 +199,7 @@ func (w *walker) expr(held []string, e ast.Expr) []string {
 			held = append(held, key)
 		case "Unlock":
 			held = remove(held, key)
-		case "LockPair", "LockAll":
+		case "LockPair", "LockAll", "LockOrdered":
 			if len(held) > 0 {
 				w.pass.Reportf(call.Pos(),
 					"%s on %s while stripe lock %s is held; release it first (§4.4)",

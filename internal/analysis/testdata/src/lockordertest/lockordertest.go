@@ -39,6 +39,17 @@ func badDeferredUnlockDoesNotRelease(t *table, a, b uint64) {
 	t.locks.Unlock(b)
 }
 
+func badOrderedWhileHeld(t *table, a, b uint64) {
+	t.locks.Lock(a)
+	t.locks.LockOrdered([]uint64{a, b}) // want `LockOrdered on t\.locks while stripe lock`
+	t.locks.Unlock(a)
+}
+
+func goodOrdered(t *table, a, b uint64) {
+	held := t.locks.LockOrdered([]uint64{a, b})
+	t.locks.UnlockOrdered(held)
+}
+
 func goodPair(t *table, a, b uint64) {
 	l1, l2 := t.locks.LockPair(a, b)
 	t.locks.UnlockPair(l1, l2)

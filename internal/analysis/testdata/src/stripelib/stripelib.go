@@ -28,6 +28,11 @@ func (s *Stripe) UnlockPair(i, j uint64) {}
 func (s *Stripe) LockAll()   {}
 func (s *Stripe) UnlockAll() {}
 
+// LockOrdered acquires a whole set of stripes in ascending index order.
+func (s *Stripe) LockOrdered(idxs []uint64) []uint64 { return idxs }
+
+func (s *Stripe) UnlockOrdered(idxs []uint64) {}
+
 // Snapshot returns stripe i's version for an optimistic read.
 func (s *Stripe) Snapshot(i uint64) uint64 { return s.words[i] }
 

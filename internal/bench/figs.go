@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"naive", "Naive concurrency control fails (§2.3)", Naive},
 		{"probes", "Probe-layer signals: path lengths, lock contention, grows", Probes},
 		{"zipf", "Skewed (zipf) workloads: extension beyond the paper's uniform keys", Zipf},
+		{"txnzipf", "Hot-counter INCR at zipf s=1.2: naive locked vs split counters (cuckootxn)", TxnZipf},
 		{"churn", "Steady-state delete+insert at fixed occupancy (§6.3's second use mode)", Churn},
 	}
 }

@@ -46,6 +46,16 @@ type Config struct {
 	Dist string
 	// Theta is the Zipf skew in (0,1) (default 0.99, YCSB's default).
 	Theta float64
+	// ZipfS, when > 1, selects the heavy-skew Zipf sampler with exponent
+	// s (workload.ZipfSKeys) instead of Dist/Theta: at s=1.2 a handful of
+	// keys absorb most of the stream, the regime the server's split
+	// counters target. Zero keeps the Dist/Theta behavior.
+	ZipfS float64
+	// Workload selects the operation shape: "mixed" (default; GETs with a
+	// SetFrac fraction of SETs), "incr" (every op is INCR key 1 — the
+	// hot-counter workload), or "txn" (each batch ships as one MULTI…EXEC
+	// transaction of INCRs).
+	Workload string
 	// ValueSize is the SET payload length in bytes (default 32).
 	ValueSize int
 	// TTL, when positive, is attached to every SET.
@@ -83,6 +93,18 @@ func (c *Config) setDefaults() error {
 	if c.Theta == 0 {
 		c.Theta = 0.99
 	}
+	if c.ZipfS != 0 && c.ZipfS <= 1 {
+		return fmt.Errorf("loadgen: -zipf-s must be > 1, got %v", c.ZipfS)
+	}
+	if c.Workload == "" {
+		c.Workload = "mixed"
+	}
+	if c.Workload != "mixed" && c.Workload != "incr" && c.Workload != "txn" {
+		return fmt.Errorf("loadgen: unknown workload %q (want mixed, incr or txn)", c.Workload)
+	}
+	if c.Workload == "txn" && c.Batch > 64 {
+		c.Batch = 64 // server-side MULTI queue bound (maxTxnOps)
+	}
 	if c.ValueSize == 0 {
 		c.ValueSize = 32
 	}
@@ -116,8 +138,12 @@ func (r *Result) Throughput() float64 {
 
 // Print renders a human-readable summary.
 func (r *Result) Print(w io.Writer) {
-	fmt.Fprintf(w, "loadgen: %d conns x %d ops, batch=%d, dist=%s, %.0f%% SET, %d keys\n",
-		r.Config.Conns, r.Config.OpsPerConn, r.Config.Batch, r.Config.Dist,
+	dist := r.Config.Dist
+	if r.Config.ZipfS > 1 {
+		dist = fmt.Sprintf("zipf(s=%g)", r.Config.ZipfS)
+	}
+	fmt.Fprintf(w, "loadgen: %s workload, %d conns x %d ops, batch=%d, dist=%s, %.0f%% SET, %d keys\n",
+		r.Config.Workload, r.Config.Conns, r.Config.OpsPerConn, r.Config.Batch, dist,
 		r.Config.SetFrac*100, r.Config.Keys)
 	fmt.Fprintf(w, "  %d ops in %v = %.2f Kreq/s (%.3f Mreq/s)\n",
 		r.Ops, r.Duration.Round(time.Millisecond), r.Throughput()/1e3, r.Throughput()/1e6)
@@ -223,10 +249,17 @@ func runConn(cfg Config, id int, st *connStats) {
 
 	seed := cfg.Seed ^ uint64(id)*0x9E3779B97F4A7C15
 	var keys workload.KeyGen
-	if cfg.Dist == "zipf" {
+	switch {
+	case cfg.ZipfS > 1:
+		keys = workload.NewZipfSKeys(seed, cfg.Keys, cfg.ZipfS)
+	case cfg.Dist == "zipf":
 		keys = workload.NewZipfKeys(seed, cfg.Keys, cfg.Theta)
-	} else {
+	default:
 		keys = uniformUniverse{rnd: workload.NewRand(seed), n: cfg.Keys}
+	}
+	if cfg.Workload == "txn" {
+		runConnTxn(cfg, ring, conns, keys, st)
+		return
 	}
 	opRnd := workload.NewRand(seed + 1)
 	val := make([]byte, cfg.ValueSize)
@@ -246,7 +279,8 @@ func runConn(cfg Config, id int, st *connStats) {
 			isSet[i] = isSet[i][:0]
 		}
 		for b := 0; b < batch; b++ {
-			set := opRnd.Float64() < cfg.SetFrac
+			incr := cfg.Workload == "incr"
+			set := !incr && opRnd.Float64() < cfg.SetFrac
 			var k uint64
 			if set {
 				k = keys.NextKey()
@@ -260,16 +294,21 @@ func runConn(cfg Config, id int, st *connStats) {
 				target, _ = ring.Candidates(key)
 			}
 			var err error
-			if set {
+			switch {
+			case incr:
+				err = conns[target].QueueIncr(key, 1)
+			case set:
 				err = conns[target].QueueSet(key, value, cfg.TTL)
-			} else {
+			default:
 				err = conns[target].QueueGet(key)
 			}
 			if err != nil {
 				st.err = err
 				return
 			}
-			isSet[target] = append(isSet[target], set)
+			// Counter updates account like SETs: ops and errors only, no
+			// hit-ratio contribution.
+			isSet[target] = append(isSet[target], set || incr)
 		}
 		t0 := time.Now()
 		for ci, conn := range conns {
@@ -294,6 +333,53 @@ func runConn(cfg Config, id int, st *connStats) {
 					st.hits++
 				default:
 					st.misses++
+				}
+			}
+		}
+		st.lat.Record(uint64(time.Since(t0)))
+	}
+}
+
+// runConnTxn issues the "txn" workload: each batch becomes one MULTI…EXEC
+// transaction of INCRs per touched node, so the batch RTT measures the
+// server's OCC commit path instead of the pipelined fast path. In cluster
+// mode keys group by primary node — MULTI…EXEC is single-node atomicity,
+// so one transaction per node is what a correct client would ship.
+func runConnTxn(cfg Config, ring *cluster.Ring, conns []*client.Conn, keys workload.KeyGen, st *connStats) {
+	keyBuf := make([]byte, 0, 24)
+	for sent := 0; sent < cfg.OpsPerConn; {
+		batch := cfg.Batch
+		if rem := cfg.OpsPerConn - sent; batch > rem {
+			batch = rem
+		}
+		txns := make([]*client.Txn, len(conns))
+		for b := 0; b < batch; b++ {
+			keyBuf = strconv.AppendUint(keyBuf[:0], keys.ExistingKey(), 16)
+			key := "k" + string(keyBuf)
+			target := 0
+			if ring != nil {
+				target, _ = ring.Candidates(key)
+			}
+			if txns[target] == nil {
+				txns[target] = client.NewTxn()
+			}
+			txns[target].Incr(key, 1)
+		}
+		t0 := time.Now()
+		for ci, txn := range txns {
+			if txn == nil {
+				continue
+			}
+			reps, err := conns[ci].ExecTxn(txn)
+			if err != nil {
+				st.err = err
+				return
+			}
+			sent += len(reps)
+			st.ops += uint64(len(reps))
+			for _, rep := range reps {
+				if rep.Err != nil {
+					st.errors++
 				}
 			}
 		}

@@ -169,3 +169,61 @@ func TestRunTTLWorkload(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+func TestRunIncrWorkload(t *testing.T) {
+	s := startServer(t)
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:       s.Addr().String(),
+		Conns:      2,
+		OpsPerConn: 1000,
+		Batch:      16,
+		Workload:   "incr",
+		Keys:       1 << 8,
+		ZipfS:      1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Ops, uint64(2*1000); got != want {
+		t.Fatalf("Ops = %d, want %d", got, want)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors", res.Errors)
+	}
+	// Every op was an INCR over a 256-key universe: each touched key must
+	// now hold a positive integer, and the hot ranks a large one.
+	if v, ok := s.Cache().Get("k" + "0"); ok && v == "" {
+		t.Fatalf("empty counter value %q", v)
+	}
+}
+
+func TestRunTxnWorkload(t *testing.T) {
+	s := startServer(t)
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:       s.Addr().String(),
+		Conns:      2,
+		OpsPerConn: 500,
+		Batch:      8,
+		Workload:   "txn",
+		Keys:       1 << 8,
+		Dist:       "zipf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Ops, uint64(2*500); got != want {
+		t.Fatalf("Ops = %d, want %d", got, want)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors", res.Errors)
+	}
+}
+
+func TestRunRejectsBadWorkloadAndZipfS(t *testing.T) {
+	if _, err := loadgen.Run(loadgen.Config{Workload: "chaos"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := loadgen.Run(loadgen.Config{ZipfS: 0.5}); err == nil {
+		t.Fatal("zipf-s <= 1 accepted")
+	}
+}

@@ -165,6 +165,45 @@ func (s *Stripe) UnlockPair(i, j uint64) {
 	s.Unlock(j)
 }
 
+// LockOrdered acquires every stripe index in idxs following the paper's
+// ascending-order deadlock-avoidance rule (§4.4), generalized from the
+// two-stripe LockPair to the arbitrary stripe sets a multi-key
+// transaction commit touches. idxs is sorted in place and deduplicated;
+// the returned slice (a prefix of idxs) holds the distinct indexes that
+// were locked and must be handed back to UnlockOrdered unchanged.
+func (s *Stripe) LockOrdered(idxs []uint64) []uint64 {
+	idxs = sortDedup(idxs)
+	for _, i := range idxs {
+		s.Lock(i)
+	}
+	return idxs
+}
+
+// UnlockOrdered releases the stripes acquired by LockOrdered.
+func (s *Stripe) UnlockOrdered(idxs []uint64) {
+	for _, i := range idxs {
+		s.Unlock(i)
+	}
+}
+
+// sortDedup sorts idxs ascending and removes duplicates in place. The
+// sets are transaction-sized (a handful of stripes), so an insertion
+// sort beats the allocation and indirection of sort.Slice.
+func sortDedup(idxs []uint64) []uint64 {
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	out := idxs[:0]
+	for i, v := range idxs {
+		if i == 0 || v != idxs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // Snapshot returns the version of stripe i for an optimistic read. ok is
 // false when a writer currently holds the stripe, in which case the caller
 // should retry rather than read data that is being modified.

@@ -1,0 +1,278 @@
+// Package txn is cuckootxn, the read-modify-write subsystem layered over
+// the cache: atomic single-key verbs (INCR/DECR/ADD/MAXUPDATE/CAS),
+// multi-key transactions with optimistic concurrency control, and
+// Doppel-style split counters for contended commutative updates.
+//
+// The design reuses the paper's central trick one level up. §4.2 gives
+// every bucket stripe a combined lock/version word so readers validate
+// instead of locking (Eq. 1); cuckootxn keeps a second, per-key stripe
+// table of the same words and turns them into an OCC read set: a
+// transaction records the stripe versions it read, re-checks them under
+// sorted stripe locks at commit, and retries on mismatch. The §4.4
+// ascending-order rule that LockPair applies to a displacement's two
+// buckets generalizes to LockOrdered over a commit's whole stripe set.
+//
+// For commutative verbs on skewed workloads, even perfect stripes melt:
+// every INCR of one hot key serializes on one word. Doppel (Narula et
+// al., OSDI 2014) splits such keys: during a split phase, commutative
+// updates land in per-shard delta slots and the canonical value is
+// reconciled on read or at phase ticks. Because a split op cannot
+// observe the value, the commutative verbs reply OK without returning
+// the new count — that contract is what makes the split legal.
+//
+// Lock hierarchy (outermost first): key stripe → backing-store internals
+// (table bucket stripes, eviction-ring mutexes) and split-shard mutexes.
+// Split-shard mutexes and the backing store are never held while a key
+// stripe is being acquired, and multi-stripe acquisition happens only
+// through spinlock.LockOrdered, so the hierarchy is cycle-free.
+package txn
+
+import (
+	"errors"
+	"hash/maphash"
+	"strconv"
+
+	"cuckoohash/internal/spinlock"
+)
+
+// KV is the backing store the transaction layer mediates access to. The
+// contract: every mutation of a key routed through this interface happens
+// while the Store holds that key's stripe (the Store guarantees this),
+// so stripe versions invalidate optimistic readers exactly when the
+// underlying value may have changed. Load must return only live values.
+type KV interface {
+	Load(key string) (val string, ok bool)
+	// Store writes val. When keepTTL is set the entry's current expiry is
+	// preserved (counter updates must not clobber a TTL); otherwise
+	// expireAt (unix nanoseconds, 0 = never) becomes the new expiry.
+	Store(key, val string, expireAt int64, keepTTL bool) error
+	Delete(key string) bool
+}
+
+// ErrNotInteger is returned when an arithmetic verb lands on a value that
+// does not parse as a signed 64-bit integer.
+var ErrNotInteger = errors.New("value is not an integer")
+
+// Config tunes a Store. The zero value picks usable defaults.
+type Config struct {
+	// Stripes is the per-key version/lock table size (power of two,
+	// default 1024). More stripes mean fewer false OCC conflicts.
+	Stripes int
+	// SplitShards is the number of padded delta shards hot keys split
+	// across (power of two, default 16).
+	SplitShards int
+	// PromoteAfter is how many contended stripe acquisitions a key
+	// accumulates before it is promoted to split mode. Negative disables
+	// splitting entirely (every op takes the stripe). Default 8.
+	PromoteAfter int
+	// MaxRetries bounds OCC commit retries before a transaction falls
+	// back to pessimistic stripe-ordered locking. Default 8.
+	MaxRetries int
+}
+
+func (c *Config) setDefaults() {
+	if c.Stripes == 0 {
+		c.Stripes = 1024
+	}
+	if c.SplitShards == 0 {
+		c.SplitShards = 16
+	}
+	if c.PromoteAfter == 0 {
+		c.PromoteAfter = 8
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+}
+
+// Store runs atomic verbs and transactions against a KV. All methods are
+// safe for concurrent use.
+type Store struct {
+	kv    KV
+	seed  maphash.Seed
+	locks *spinlock.Stripe
+	split *splitTable
+	cfg   Config
+	stats storeStats
+}
+
+// New creates a transaction layer over kv.
+func New(kv KV, cfg Config) *Store {
+	cfg.setDefaults()
+	if cfg.Stripes&(cfg.Stripes-1) != 0 || cfg.Stripes <= 0 {
+		panic("txn: Stripes must be a positive power of two")
+	}
+	s := &Store{
+		kv:    kv,
+		seed:  maphash.MakeSeed(),
+		locks: spinlock.NewStripe(cfg.Stripes),
+		cfg:   cfg,
+	}
+	s.split = newSplitTable(cfg.SplitShards)
+	s.stats.init(cfg.MaxRetries)
+	return s
+}
+
+// stripeFor maps a key to its version/lock stripe.
+func (s *Store) stripeFor(key string) uint64 {
+	return s.locks.IndexFor(maphash.String(s.seed, key))
+}
+
+// WithLock runs fn while holding key's stripe, first folding any pending
+// split deltas so fn observes the reconciled value. Every out-of-band
+// mutation of the backing store (plain SET/DEL, TTL expiry, eviction,
+// cluster migration removal) must run through here: the version bump on
+// unlock is what invalidates concurrent optimistic read sets.
+func (s *Store) WithLock(key string, fn func()) {
+	i := s.stripeFor(key)
+	s.locks.Lock(i)
+	s.reconcileIfHotLocked(key)
+	fn()
+	s.locks.Unlock(i)
+}
+
+// Set writes key=val with the given absolute expiry under the key's
+// stripe, reconciling pending deltas first (they serialize before the
+// overwrite). It returns the backing store's error unchanged so callers
+// can drive eviction-and-retry outside the stripe.
+func (s *Store) Set(key, val string, expireAt int64) error {
+	var err error
+	s.WithLock(key, func() { err = s.kv.Store(key, val, expireAt, false) })
+	return err
+}
+
+// Delete removes key under its stripe. Pending deltas are folded first,
+// then discarded with the entry; deltas that arrive afterwards serialize
+// after the delete and re-create the counter from zero.
+func (s *Store) Delete(key string) bool {
+	var ok bool
+	s.WithLock(key, func() { ok = s.kv.Delete(key) })
+	return ok
+}
+
+// Incr atomically adds delta to the signed 64-bit integer stored at key
+// (a missing key counts from zero; int64 arithmetic wraps on overflow).
+// hint spreads split-mode updates across delta shards — pass a stable
+// per-worker value such as a connection id. The new count is not
+// returned: during a split phase no single core knows it, which is
+// exactly the property that lets hot counters scale (Doppel).
+func (s *Store) Incr(key string, delta int64, hint uint64) error {
+	if e, ok := s.split.lookup(key); ok && e.class == classAdd {
+		if s.split.add(e, delta, hint) {
+			return nil
+		}
+		// Demoted between the lookup and the slot write: fall through to
+		// the stripe path like any cold key.
+	}
+	i := s.stripeFor(key)
+	if !s.locks.TryLock(i) {
+		if s.cfg.PromoteAfter > 0 {
+			s.noteContention(key, classAdd)
+		}
+		s.locks.Lock(i)
+	}
+	s.reconcileIfHotLocked(key)
+	err := s.applyAddLocked(key, delta)
+	s.locks.Unlock(i)
+	return err
+}
+
+// MaxUpdate atomically raises the integer at key to n if n is larger
+// (a missing key is treated as having no value, so n is stored). Like
+// Incr it is commutative and split-eligible, and returns no value.
+func (s *Store) MaxUpdate(key string, n int64, hint uint64) error {
+	if e, ok := s.split.lookup(key); ok && e.class == classMax {
+		if s.split.max(e, n, hint) {
+			return nil
+		}
+		// Demoted between the lookup and the slot write: stripe path.
+	}
+	i := s.stripeFor(key)
+	if !s.locks.TryLock(i) {
+		if s.cfg.PromoteAfter > 0 {
+			s.noteContention(key, classMax)
+		}
+		s.locks.Lock(i)
+	}
+	s.reconcileIfHotLocked(key)
+	err := s.applyMaxLocked(key, n)
+	s.locks.Unlock(i)
+	return err
+}
+
+// CASResult is the outcome of a CAS.
+type CASResult int
+
+const (
+	// CASStored: the value matched old and was replaced.
+	CASStored CASResult = iota
+	// CASMiss: the key does not exist.
+	CASMiss
+	// CASConflict: the current value differs from old.
+	CASConflict
+)
+
+// CAS replaces key's value with newVal only if it currently equals old.
+// CAS observes the value, so it is never split; it always takes the
+// stripe and reconciles pending deltas first.
+func (s *Store) CAS(key, old, newVal string) (CASResult, error) {
+	res, err := CASMiss, error(nil)
+	s.WithLock(key, func() {
+		cur, ok := s.kv.Load(key)
+		switch {
+		case !ok:
+			res = CASMiss
+		case cur != old:
+			res = CASConflict
+			s.stats.casConflicts.Add(1)
+		default:
+			res = CASStored
+			err = s.kv.Store(key, newVal, 0, true)
+		}
+	})
+	return res, err
+}
+
+// applyAddLocked performs the read-modify-write of an arithmetic add.
+// Caller holds key's stripe.
+func (s *Store) applyAddLocked(key string, delta int64) error {
+	cur, ok := s.kv.Load(key)
+	var n int64
+	if ok {
+		v, err := strconv.ParseInt(cur, 10, 64)
+		if err != nil {
+			return ErrNotInteger
+		}
+		n = v
+	}
+	return s.kv.Store(key, strconv.FormatInt(n+delta, 10), 0, true)
+}
+
+// applyMaxLocked performs the read-modify-write of MAXUPDATE. Caller
+// holds key's stripe.
+func (s *Store) applyMaxLocked(key string, n int64) error {
+	cur, ok := s.kv.Load(key)
+	if ok {
+		v, err := strconv.ParseInt(cur, 10, 64)
+		if err != nil {
+			return ErrNotInteger
+		}
+		if v >= n {
+			return nil
+		}
+	}
+	return s.kv.Store(key, strconv.FormatInt(n, 10), 0, true)
+}
+
+// ReconcileKey folds key's pending split deltas into the backing store
+// if the key is hot; a cold key costs one atomic load. Read paths call
+// this so a GET observes every acknowledged commutative update.
+func (s *Store) ReconcileKey(key string) {
+	if _, ok := s.split.lookup(key); !ok {
+		return
+	}
+	i := s.stripeFor(key)
+	s.locks.Lock(i)
+	s.reconcileIfHotLocked(key)
+	s.locks.Unlock(i)
+}

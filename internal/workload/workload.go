@@ -6,7 +6,11 @@
 // generation itself never causes cross-core traffic (principle P1).
 package workload
 
-import "cuckoohash/internal/hashfn"
+import (
+	"math/rand"
+
+	"cuckoohash/internal/hashfn"
+)
 
 // Rand is a xorshift128+ pseudo-random generator: tiny state, no
 // allocation, statistically strong enough for key generation, and far
@@ -270,3 +274,38 @@ func (z *ZipfKeys) NextKey() uint64 {
 // ExistingKey is identical to NextKey for Zipf workloads: the popular keys
 // are the existing ones.
 func (z *ZipfKeys) ExistingKey() uint64 { return z.NextKey() }
+
+// ZipfSKeys generates keys with Zipf exponent s > 1 over universe [0, n),
+// the heavy-skew regime the Gray approximation in ZipfKeys cannot reach
+// (its theta is capped below 1). At s = 1.2 a handful of ranks absorb
+// most of the stream — the hot-counter workload the txn subsystem's
+// split counters are built for (docs/TRANSACTIONS.md). Backed by
+// math/rand's rejection-inversion Zipf sampler, seeded deterministically.
+type ZipfSKeys struct {
+	z *rand.Zipf
+}
+
+// NewZipfSKeys creates a generator over [0, n) with exponent s > 1.
+func NewZipfSKeys(seed uint64, n uint64, s float64) *ZipfSKeys {
+	if n == 0 {
+		panic("workload: zipf universe must be non-empty")
+	}
+	if s <= 1 {
+		panic("workload: zipf exponent s must be > 1 (use ZipfKeys for theta < 1)")
+	}
+	//nolint:gosec // deterministic workload generation, not cryptography
+	r := rand.New(rand.NewSource(int64(hashfn.SplitMix64(seed))))
+	return &ZipfSKeys{z: rand.NewZipf(r, s, 1, n-1)}
+}
+
+// NextKey draws a rank and scrambles it over the hash space, so the hot
+// ranks do not cluster in adjacent table buckets.
+func (z *ZipfSKeys) NextKey() uint64 { return hashfn.SplitMix64(z.z.Uint64()) }
+
+// ExistingKey is identical to NextKey: the popular keys are the existing
+// ones.
+func (z *ZipfSKeys) ExistingKey() uint64 { return z.NextKey() }
+
+// Rank returns the unscrambled rank of the next draw; benchmarks that
+// need to know which key is hottest (rank 0) use this directly.
+func (z *ZipfSKeys) Rank() uint64 { return z.z.Uint64() }

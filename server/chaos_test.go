@@ -20,6 +20,7 @@ package server
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -234,4 +235,110 @@ func TestChaosRestartRestoresAcknowledgedWrites(t *testing.T) {
 		}
 	}
 	t.Logf("restart preserved all %d acknowledged writes", len(acked))
+}
+
+// TestChaosCounterExactness hammers a small hot keyset with INCRs through
+// the fault plan. INCR is not idempotent, so the client never retries it
+// (docs/TRANSACTIONS.md); each attempt therefore applies at most once, and
+// each acknowledged attempt applied exactly once. Per key the stored value
+// must satisfy
+//
+//	acked_k <= value_k <= attempts_k
+//
+// — below the lower bound an acknowledged INCR was lost, above the upper
+// bound one was double-applied. The bound is then re-checked after a
+// drain + snapshot + restart: the shutdown path must fold every pending
+// split-counter delta into the table before the snapshot is cut.
+func TestChaosCounterExactness(t *testing.T) {
+	const hotKeys = 4
+	snap := t.TempDir() + "/counters.snap"
+	plan := chaosPlan(0xC047E8)
+	s1 := startChaosServer(t, plan, snap)
+
+	workers := 4
+	perWorker := chaosScale(150, 600, t)
+	acked := make([]int64, hotKeys)
+	attempts := make([]int64, hotKeys)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := chaosPool(s1.Addr().String(), uint64(w+11))
+			defer p.Close()
+			myAcked := make([]int64, hotKeys)
+			myAttempts := make([]int64, hotKeys)
+			for i := 0; i < perWorker; i++ {
+				k := i % hotKeys
+				myAttempts[k]++
+				if err := p.Incr(fmt.Sprintf("ctr%d", k), 1); err == nil {
+					myAcked[k]++
+				}
+			}
+			mu.Lock()
+			for k := 0; k < hotKeys; k++ {
+				acked[k] += myAcked[k]
+				attempts[k] += myAttempts[k]
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	if plan.Fired() == 0 {
+		t.Fatal("fault plan never fired; the chaos test tested nothing")
+	}
+	var totalAcked, totalAttempts int64
+	for k := 0; k < hotKeys; k++ {
+		totalAcked += acked[k]
+		totalAttempts += attempts[k]
+	}
+	if totalAcked == 0 {
+		t.Fatal("no INCR acknowledged")
+	}
+	t.Logf("faults fired=%d; INCRs acked=%d / attempted=%d",
+		plan.Fired(), totalAcked, totalAttempts)
+
+	// Exactness audit on a clean transport, before and after restart.
+	plan.Disarm()
+	audit := func(s *Server, when string) []int64 {
+		t.Helper()
+		p := client.NewPool(s.Addr().String(), 2)
+		defer p.Close()
+		vals := make([]int64, hotKeys)
+		for k := 0; k < hotKeys; k++ {
+			key := fmt.Sprintf("ctr%d", k)
+			v, ok, err := p.Get1(key)
+			if err != nil {
+				t.Fatalf("%s audit GET %s: %v", when, key, err)
+			}
+			if ok {
+				n, perr := strconv.ParseInt(v, 10, 64)
+				if perr != nil {
+					t.Fatalf("%s audit: %s holds non-integer %q", when, key, v)
+				}
+				vals[k] = n
+			}
+			if vals[k] < acked[k] || vals[k] > attempts[k] {
+				t.Fatalf("%s audit: %s = %d, want %d <= value <= %d (acked INCR lost or double-applied)",
+					when, key, vals[k], acked[k], attempts[k])
+			}
+		}
+		return vals
+	}
+	before := audit(s1, "pre-restart")
+
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := startChaosServer(t, nil, snap)
+	after := audit(s2, "post-restart")
+	for k := 0; k < hotKeys; k++ {
+		if after[k] != before[k] {
+			t.Fatalf("ctr%d changed across snapshot restart: %d -> %d",
+				k, before[k], after[k])
+		}
+	}
+	t.Logf("counter exactness held across %d keys and a snapshot restart", hotKeys)
 }

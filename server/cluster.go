@@ -179,16 +179,18 @@ func (c *Cache) selectForMigrate(ring *cluster.Ring, mode, dest, self string, ma
 
 // removeIfUnchanged deletes key only if its entry still equals the one
 // observed at migration-selection time, so a concurrent SET that landed
-// in between survives. The check-then-delete window is unsynchronized;
-// see the Migrate comment for why that is acceptable here.
+// in between survives. The check and delete run under the key's txn
+// stripe, which both closes the check-then-delete window against
+// concurrent SETs and bumps the version for transactional readers.
 func (c *Cache) removeIfUnchanged(key string, want entry) bool {
-	si := c.shardFor(key)
-	sh := c.shards[si]
-	cur, ok := sh.table.Get(key)
-	if !ok || cur != want {
-		return false
-	}
-	return sh.table.Delete(key)
+	sh := c.shards[c.shardFor(key)]
+	removed := false
+	c.txn.WithLock(key, func() {
+		if cur, ok := sh.table.Get(key); ok && cur == want {
+			removed = sh.table.Delete(key)
+		}
+	})
+	return removed
 }
 
 // sendHandoff dials dest, pushes one HANDOFF frame (length-prefixed

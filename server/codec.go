@@ -6,6 +6,8 @@ import (
 	"errors"
 	"strconv"
 	"time"
+
+	"cuckoohash/internal/txn"
 )
 
 // The wire protocol (docs/PROTOCOL.md) is memcached-style text lines. One
@@ -31,6 +33,16 @@ const (
 	opCluster
 	opMigrate
 	opHandoff
+	// Transaction verbs (docs/TRANSACTIONS.md): atomic read-modify-write
+	// singles plus the MULTI…EXEC/DISCARD queueing envelope.
+	opIncr
+	opDecr
+	opAdd
+	opMaxUpdate
+	opCAS
+	opMulti
+	opExec
+	opDiscard
 	// opBad marks a line that failed to parse; it is never dispatched, only
 	// reported in logs.
 	opBad opCode = 0xff
@@ -59,6 +71,22 @@ func (o opCode) String() string {
 		return "MIGRATE"
 	case opHandoff:
 		return "HANDOFF"
+	case opIncr:
+		return "INCR"
+	case opDecr:
+		return "DECR"
+	case opAdd:
+		return "ADD"
+	case opMaxUpdate:
+		return "MAXUPDATE"
+	case opCAS:
+		return "CAS"
+	case opMulti:
+		return "MULTI"
+	case opExec:
+		return "EXEC"
+	case opDiscard:
+		return "DISCARD"
 	}
 	return "INVALID"
 }
@@ -78,6 +106,11 @@ type request struct {
 	// copied out of the read buffer — migrations are rare admin
 	// operations, so the allocations are off the hot path.
 	mig *migrateArgs
+	// delta is the INCR/DECR/ADD operand or the MAXUPDATE target.
+	delta int64
+	// old is the CAS expected value; like key/val it aliases the read
+	// buffer. val holds the CAS replacement.
+	old []byte
 }
 
 // migrateArgs are the parsed operands of a MIGRATE line:
@@ -110,6 +143,8 @@ var (
 
 	errBadPayload = errors.New("handoff payload must be 1.." + handoffMaxStr + " bytes")
 	errBadMigrate = errors.New("migrate wants: MIGRATE <home|shed> <dest> <self> <seed> <max> <ring-csv>")
+
+	errBadDelta = errors.New("delta must be a signed 64-bit integer")
 )
 
 // nextToken splits the first space-separated token off line.
@@ -172,8 +207,83 @@ func parseRequest(line []byte) (request, error) {
 		return parseHandoff(rest)
 	case asciiEqualFold(cmd, "MIGRATE"):
 		return parseMigrate(rest)
+	case asciiEqualFold(cmd, "INCR"):
+		return parseCounter(opIncr, rest, false)
+	case asciiEqualFold(cmd, "DECR"):
+		return parseCounter(opDecr, rest, false)
+	case asciiEqualFold(cmd, "ADD"):
+		return parseCounter(opAdd, rest, true)
+	case asciiEqualFold(cmd, "MAXUPDATE"):
+		return parseCounter(opMaxUpdate, rest, true)
+	case asciiEqualFold(cmd, "CAS"):
+		return parseCAS(rest)
+	case asciiEqualFold(cmd, "MULTI"):
+		if len(rest) != 0 {
+			return request{}, errBadArgs
+		}
+		return request{op: opMulti}, nil
+	case asciiEqualFold(cmd, "EXEC"):
+		if len(rest) != 0 {
+			return request{}, errBadArgs
+		}
+		return request{op: opExec}, nil
+	case asciiEqualFold(cmd, "DISCARD"):
+		if len(rest) != 0 {
+			return request{}, errBadArgs
+		}
+		return request{op: opDiscard}, nil
 	}
 	return request{}, errUnknownCmd
+}
+
+// parseCounter parses the arithmetic verbs:
+//
+//	INCR <key> [delta]   DECR <key> [delta]   (delta defaults to 1)
+//	ADD <key> <delta>    MAXUPDATE <key> <n>  (operand required)
+//
+// delta is a signed 64-bit integer; DECR negates it at parse time so the
+// dispatch layer sees a single add-delta operation.
+func parseCounter(op opCode, rest []byte, operandRequired bool) (request, error) {
+	key, rest2 := nextToken(rest)
+	if len(key) == 0 {
+		return request{}, errBadArgs
+	}
+	if len(key) > maxKeyLen {
+		return request{}, errKeyTooLong
+	}
+	delta := int64(1)
+	tok, extra := nextToken(rest2)
+	if len(tok) != 0 {
+		if extra != nil {
+			return request{}, errBadArgs
+		}
+		d, err := strconv.ParseInt(string(tok), 10, 64)
+		if err != nil {
+			return request{}, errBadDelta
+		}
+		delta = d
+	} else if operandRequired {
+		return request{}, errBadArgs
+	}
+	if op == opDecr {
+		delta = -delta
+	}
+	return request{op: op, key: key, delta: delta}, nil
+}
+
+// parseCAS parses CAS <key> <old> <new>. old is a single token (a CAS
+// against a value containing spaces is not expressible in this text
+// protocol); new is the rest of the line and may contain spaces.
+func parseCAS(rest []byte) (request, error) {
+	key, rest2 := nextToken(rest)
+	old, newVal := nextToken(rest2)
+	if len(key) == 0 || len(old) == 0 || newVal == nil {
+		return request{}, errBadArgs
+	}
+	if len(key) > maxKeyLen {
+		return request{}, errKeyTooLong
+	}
+	return request{op: opCAS, key: key, old: old, val: newVal}, nil
 }
 
 // handoffMaxBytes bounds one HANDOFF bulk payload. A length past it is a
@@ -310,6 +420,38 @@ func writeCluster(w *bufio.Writer, lines []Stat) {
 		w.WriteByte('\n')
 	}
 	w.WriteString("END\n")
+}
+
+func writeConflict(w *bufio.Writer) {
+	w.WriteString("CONFLICT\n")
+}
+
+func writeQueued(w *bufio.Writer) {
+	w.WriteString("QUEUED\n")
+}
+
+// writeExecResults renders an EXEC reply: a header naming the result
+// count, then one reply line per queued op in queue order.
+func writeExecResults(w *bufio.Writer, results []txn.Result) {
+	w.WriteString("EXEC ")
+	w.WriteString(strconv.Itoa(len(results)))
+	w.WriteByte('\n')
+	for i := range results {
+		switch results[i].Status {
+		case txn.StatusOK:
+			writeOK(w)
+		case txn.StatusValue:
+			writeValue(w, results[i].Value)
+		case txn.StatusMiss:
+			writeMiss(w)
+		case txn.StatusConflict:
+			writeConflict(w)
+		default:
+			w.WriteString("ERR ")
+			w.WriteString(results[i].Err)
+			w.WriteByte('\n')
+		}
+	}
 }
 
 func writeMigrated(w *bufio.Writer, count int) {

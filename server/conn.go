@@ -6,7 +6,10 @@ import (
 	"io"
 	"net"
 	"os"
+	"strconv"
 	"time"
+
+	"cuckoohash/internal/txn"
 )
 
 const (
@@ -22,14 +25,33 @@ var errLineTooLong = errors.New("request line too long")
 // was rejected without executing and may be retried after backoff.
 var errBusy = errors.New("busy")
 
+// maxTxnOps bounds one MULTI's queue so a client cannot grow server-side
+// state without limit; past it the transaction is poisoned and EXEC fails.
+const maxTxnOps = 64
+
 // connState is the per-connection request-loop state. latShard pins the
 // connection to one shard of the sampled-latency histogram (assigned from
 // the monotonically increasing connection count), so latency recording
-// never shares a cache line with another connection.
+// never shares a cache line with another connection. It doubles as the
+// split-counter shard hint, for the same reason it exists at all: it is
+// this connection's stable, collision-spread identity.
 type connState struct {
 	remote   string
 	latShard uint64
 	reqCount uint64
+
+	// MULTI state. Queued ops copy their keys/values out of the read
+	// buffer (the buffer is recycled long before EXEC). txnBad poisons
+	// the transaction on any queue-time error; EXEC then refuses to run
+	// a partial op list.
+	inTxn  bool
+	txnBad bool
+	txnOps []txn.Op
+}
+
+// resetTxn drops all MULTI state, e.g. after EXEC or DISCARD.
+func (cs *connState) resetTxn() {
+	cs.inTxn, cs.txnBad, cs.txnOps = false, false, nil
 }
 
 // handleConn runs one connection's request loop. The loop is the
@@ -124,7 +146,7 @@ func (s *Server) serveBatchHead(line []byte, r *bufio.Reader, w *bufio.Writer, c
 		if sample {
 			start = time.Now()
 		}
-		req, quit := s.serveRequest(line, r, w)
+		req, quit := s.serveRequest(line, r, w, cs)
 		if sample {
 			dur := time.Since(start)
 			s.cache.stats.recordLatency(cs.latShard, uint64(dur))
@@ -157,14 +179,30 @@ func (s *Server) serveBatchHead(line []byte, r *bufio.Reader, w *bufio.Writer, c
 // It reads from r only for a HANDOFF payload (the bulk bytes follow the
 // request line). It returns the parsed request so the caller can
 // attribute slow-op traces.
-func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer) (req request, quit bool) {
+func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer, cs *connState) (req request, quit bool) {
 	req, err := parseRequest(line)
 	if err != nil {
+		// A parse failure inside MULTI poisons the transaction: EXEC
+		// must not run an op list the client thinks is longer.
+		if cs.inTxn {
+			cs.txnBad = true
+		}
 		writeErr(w, err)
 		// An oversized HANDOFF length is fatal to the connection: the
 		// payload bytes are already behind the line and cannot be skipped,
 		// so the stream would desynchronize into garbage commands.
 		return request{op: opBad}, errors.Is(err, errBadPayload)
+	}
+	// MULTI queueing happens before the in-flight gate: a queued op
+	// touches only this connection's buffer, never the cache. EXEC,
+	// DISCARD, and MULTI itself fall through to dispatch (a nested MULTI
+	// is an error, but — like Redis — not one that aborts the queue).
+	if cs.inTxn && req.op != opExec && req.op != opDiscard && req.op != opMulti {
+		if req.op == opQuit {
+			return req, true
+		}
+		s.queueTxnOp(w, cs, req)
+		return req, false
 	}
 	// In-flight limit: cache-touching ops past MaxInflight fail fast with
 	// "ERR busy" (retryable; the request did not execute) instead of
@@ -172,7 +210,8 @@ func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer) (re
 	// can always observe an overloaded server, QUIT so drains always
 	// work, and CLUSTER so rebalance decisions can be made while the
 	// node is overloaded — which is exactly when they matter.
-	if s.inflight != nil && req.op != opStats && req.op != opQuit && req.op != opCluster {
+	if s.inflight != nil && req.op != opStats && req.op != opQuit && req.op != opCluster &&
+		req.op != opMulti && req.op != opDiscard {
 		select {
 		case s.inflight <- struct{}{}:
 			defer func() { <-s.inflight }()
@@ -223,10 +262,109 @@ func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer) (re
 			s.log.Warn("handoff payload truncated", "err", err)
 			return req, true
 		}
+	case opIncr, opDecr, opAdd:
+		if err := s.cache.Incr(string(req.key), req.delta, cs.latShard); err != nil {
+			writeErr(w, err)
+		} else {
+			writeOK(w)
+		}
+	case opMaxUpdate:
+		if err := s.cache.MaxUpdate(string(req.key), req.delta, cs.latShard); err != nil {
+			writeErr(w, err)
+		} else {
+			writeOK(w)
+		}
+	case opCAS:
+		res, err := s.cache.CAS(string(req.key), string(req.old), string(req.val))
+		switch {
+		case err != nil:
+			writeErr(w, err)
+		case res == txn.CASStored:
+			writeOK(w)
+		case res == txn.CASMiss:
+			writeMiss(w)
+		default:
+			writeConflict(w)
+		}
+	case opMulti:
+		if cs.inTxn {
+			writeErr(w, errNestedMulti)
+		} else {
+			cs.inTxn = true
+			writeOK(w)
+		}
+	case opExec:
+		switch {
+		case !cs.inTxn:
+			writeErr(w, errNoMulti)
+		case cs.txnBad:
+			cs.resetTxn()
+			writeErr(w, errTxnAborted)
+		default:
+			writeExecResults(w, s.cache.Exec(cs.txnOps))
+			cs.resetTxn()
+		}
+	case opDiscard:
+		if !cs.inTxn {
+			writeErr(w, errNoMulti)
+		} else {
+			cs.resetTxn()
+			writeOK(w)
+		}
 	case opQuit:
 		return req, true
 	}
 	return req, false
+}
+
+var (
+	errNestedMulti = errors.New("MULTI calls cannot be nested")
+	errNoMulti     = errors.New("no MULTI in progress")
+	errTxnAborted  = errors.New("transaction aborted by a queue-time error")
+	errTxnTooLong  = errors.New("transaction exceeds " + strconv.Itoa(maxTxnOps) + " ops")
+	errNotInTxn    = errors.New("command is not allowed inside MULTI")
+)
+
+// queueTxnOp buffers one request of an open MULTI. Keys and values are
+// copied out of the read buffer here — the buffer is long recycled by
+// the time EXEC runs. Any rejection poisons the transaction so a partial
+// op list can never commit.
+func (s *Server) queueTxnOp(w *bufio.Writer, cs *connState, req request) {
+	if cs.txnBad {
+		writeErr(w, errTxnAborted)
+		return
+	}
+	if len(cs.txnOps) >= maxTxnOps {
+		cs.txnBad = true
+		writeErr(w, errTxnTooLong)
+		return
+	}
+	op := txn.Op{Key: string(req.key)}
+	switch req.op {
+	case opGet:
+		op.Kind = txn.OpGet
+	case opSet:
+		op.Kind, op.Val = txn.OpSet, string(req.val)
+	case opSetEx:
+		op.Kind, op.Val = txn.OpSet, string(req.val)
+		op.ExpireAt = time.Now().Add(req.ttl).UnixNano()
+	case opDel:
+		op.Kind = txn.OpDel
+	case opIncr, opDecr, opAdd:
+		op.Kind, op.Delta = txn.OpIncr, req.delta
+	case opMaxUpdate:
+		op.Kind, op.Delta = txn.OpMax, req.delta
+	case opCAS:
+		op.Kind, op.Old, op.Val = txn.OpCAS, string(req.old), string(req.val)
+	default:
+		// Admin and bulk verbs (STATS, CLUSTER, MIGRATE, HANDOFF, MULTI)
+		// have no transactional meaning; reject and poison.
+		cs.txnBad = true
+		writeErr(w, errNotInTxn)
+		return
+	}
+	cs.txnOps = append(cs.txnOps, op)
+	writeQueued(w)
 }
 
 // readLine returns the next \n-terminated line with the terminator (and a

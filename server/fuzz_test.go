@@ -38,6 +38,29 @@ func FuzzParseCommand(f *testing.F) {
 		" ",
 		"\x00\xff",
 		"SET k\x00 v",
+		// Transaction verbs (docs/TRANSACTIONS.md).
+		"INCR k",
+		"INCR k 5",
+		"DECR k 3",
+		"DECR k -9223372036854775808", // negating MinInt64 overflows
+		"ADD k -42",
+		"ADD k",                       // operand required
+		"INCR k 9223372036854775807",  // MaxInt64
+		"INCR k 9223372036854775808",  // MaxInt64+1: must be rejected
+		"INCR k -9223372036854775809", // MinInt64-1: must be rejected
+		"INCR k 0x10",
+		"INCR k 1 2",
+		"MAXUPDATE k 100",
+		"MAXUPDATE k +7",
+		"CAS k old new",
+		"CAS k old new value with spaces",
+		"CAS k old", // new value required
+		"CAS k",     // truncated
+		"MULTI",
+		"MULTI extra", // no operands allowed
+		"EXEC",
+		"EXEC 3",
+		"DISCARD",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -50,7 +73,8 @@ func FuzzParseCommand(f *testing.F) {
 		}
 		req, err := parseRequest(line)
 		if err != nil {
-			if req.op != 0 || req.key != nil || req.val != nil || req.mig != nil || req.payload != 0 {
+			if req.op != 0 || req.key != nil || req.val != nil || req.old != nil ||
+				req.delta != 0 || req.mig != nil || req.payload != 0 {
 				t.Fatalf("error %v returned alongside non-zero request %+v", err, req)
 			}
 			return
@@ -71,8 +95,27 @@ func FuzzParseCommand(f *testing.F) {
 			if req.ttl < time.Millisecond {
 				t.Fatalf("SETEX accepted non-positive ttl %v", req.ttl)
 			}
-		case opStats, opQuit, opCluster:
+		case opStats, opQuit, opCluster, opMulti, opExec, opDiscard:
 			// No operands to validate.
+		case opIncr, opDecr, opAdd, opMaxUpdate:
+			if len(req.key) == 0 || len(req.key) > maxKeyLen {
+				t.Fatalf("%s accepted key of length %d", req.op, len(req.key))
+			}
+			if req.old != nil || req.val != nil {
+				t.Fatalf("counter verb parsed with CAS operands %+v", req)
+			}
+			// Any int64 delta is legal (DECR MinInt64 wraps back to itself);
+			// the parse itself succeeding is the invariant.
+		case opCAS:
+			if len(req.key) == 0 || len(req.key) > maxKeyLen {
+				t.Fatalf("CAS accepted key of length %d", len(req.key))
+			}
+			if len(req.old) == 0 || req.val == nil {
+				t.Fatalf("CAS accepted bad operands %+v", req)
+			}
+			if bytes.ContainsRune(req.old, ' ') {
+				t.Fatalf("CAS old value %q contains a space; old must be a single token", req.old)
+			}
 		case opHandoff:
 			if req.payload == 0 || req.payload > handoffMaxBytes {
 				t.Fatalf("HANDOFF accepted payload length %d", req.payload)
@@ -93,7 +136,7 @@ func FuzzParseCommand(f *testing.F) {
 		}
 		// Zero-copy contract: accepted keys and values are byte ranges of
 		// the input line, so their content must appear in it verbatim.
-		for _, b := range [][]byte{req.key, req.val} {
+		for _, b := range [][]byte{req.key, req.val, req.old} {
 			if len(b) > 0 && !bytes.Contains(line, b) {
 				t.Fatalf("operand %q not present in input line %q", b, line)
 			}

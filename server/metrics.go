@@ -62,6 +62,42 @@ func (s *Server) Collect(m *obs.Metrics) {
 
 	s.collectLatency(m)
 	s.collectTable(m)
+	s.collectTxn(m)
+}
+
+// collectTxn exports the transaction subsystem's counters: OCC commit and
+// abort traffic, the per-commit retry distribution, and the Doppel-style
+// split-counter lifecycle (docs/TRANSACTIONS.md).
+func (s *Server) collectTxn(m *obs.Metrics) {
+	tx := s.cache.Txn().StatsSnapshot()
+
+	m.Counter("cuckood_txn_commits_total", "EXEC transactions committed (optimistic or pessimistic).", float64(tx.Commits))
+	m.Counter("cuckood_txn_aborts_total", "Optimistic EXEC attempts aborted by stripe-version validation.", float64(tx.Aborts))
+	m.Counter("cuckood_txn_fallbacks_total", "EXEC transactions that exhausted optimistic retries and committed via the stripe-ordered pessimistic path.", float64(tx.Fallbacks))
+	m.Counter("cuckood_txn_cas_conflicts_total", "CAS operations rejected because the current value differed.", float64(tx.CASConflicts))
+	m.Counter("cuckood_txn_split_ops_total", "Commutative updates absorbed by per-shard split counters instead of the key's stripe.", float64(tx.SplitOps))
+	m.Counter("cuckood_txn_split_reconciles_total", "Hot-key delta reconciliations folded into the table.", float64(tx.Reconciles))
+	m.Counter("cuckood_txn_split_promotions_total", "Keys promoted to split-counter mode after stripe contention.", float64(tx.Promotions))
+	m.Counter("cuckood_txn_split_demotions_total", "Hot keys demoted back to the direct path after going idle.", float64(tx.Demotions))
+	m.Gauge("cuckood_txn_hot_keys", "Keys currently in split-counter mode.", float64(tx.HotKeys))
+
+	// RetryHist[i] counts commits that needed exactly i optimistic retries;
+	// the final bucket counts pessimistic fallbacks and maps to +Inf.
+	n := len(tx.RetryHist)
+	hb := make([]obs.HistBucket, 0, n-1)
+	var cum, total uint64
+	var sum float64
+	for i, c := range tx.RetryHist {
+		total += c
+		sum += float64(uint64(i) * c)
+		if i < n-1 {
+			cum += c
+			hb = append(hb, obs.HistBucket{UpperBound: float64(i), Count: cum})
+		}
+	}
+	m.Histogram("cuckood_txn_retries",
+		"Optimistic retries per committed EXEC (+Inf bucket = pessimistic fallback).",
+		hb, total, sum)
 }
 
 // collectLatency exports the sampled request-service-time histogram. The

@@ -187,8 +187,7 @@ func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
 		if e.expired(now) {
 			continue
 		}
-		si := c.shardFor(rec.key)
-		if err := c.shards[si].set(rec.key, e, func(string) {}); err != nil {
+		if err := c.setEntry(rec.key, e); err != nil {
 			// A shard smaller than the snapshot's origin can fill up; the
 			// remaining records are dropped silently — a cache restore is
 			// best-effort by definition.

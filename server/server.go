@@ -60,6 +60,11 @@ type Config struct {
 	// SnapshotPath, when set, persists the cache there on drain and
 	// restores it on Listen, so a restart keeps the keyspace warm.
 	SnapshotPath string
+	// TxnPhaseInterval is the split-counter phase tick (docs/TRANSACTIONS.md):
+	// how often hot-key deltas are reconciled into the table and cooled-off
+	// keys demoted back to the direct path. Default 50ms; negative disables
+	// the ticker (reconciliation then happens only on reads and drains).
+	TxnPhaseInterval time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -74,6 +79,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.SweepInterval == 0 {
 		c.SweepInterval = time.Second
+	}
+	if c.TxnPhaseInterval == 0 {
+		c.TxnPhaseInterval = 50 * time.Millisecond
 	}
 }
 
@@ -142,6 +150,9 @@ func (s *Server) Listen() error {
 	}
 	if s.cfg.SweepInterval > 0 {
 		go s.cache.sweeper(s.cfg.SweepInterval, s.sweepStop)
+	}
+	if s.cfg.TxnPhaseInterval > 0 {
+		go s.txnPhaseTicker(s.cfg.TxnPhaseInterval, s.sweepStop)
 	}
 	s.log.Info("listening",
 		"addr", ln.Addr().String(),
@@ -283,6 +294,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.log.Info("drain complete")
+		s.cache.txn.ReconcileAll()
 		s.saveSnapshotOnce()
 		return nil
 	case <-ctx.Done():
@@ -295,8 +307,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 		s.log.Warn("drain deadline expired; connections closed hard",
 			"conns", remaining)
+		s.cache.txn.ReconcileAll()
 		s.saveSnapshotOnce()
 		return ctx.Err()
+	}
+}
+
+// txnPhaseTicker runs the split-counter phase clock: every interval it
+// folds pending hot-key deltas into the table and demotes keys that have
+// gone cold, so a key that stops being contended returns to the direct
+// (read-your-write-fresh) path within a couple of ticks.
+func (s *Server) txnPhaseTicker(interval time.Duration, stop chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.cache.txn.Tick()
+		case <-stop:
+			return
+		}
 	}
 }
 

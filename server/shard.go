@@ -19,11 +19,17 @@ import (
 	"time"
 
 	"cuckoohash/generic"
+	"cuckoohash/internal/txn"
 )
 
 // ErrServerFull is reported to a client when a SET cannot find room even
 // after evicting; the connection itself stays up.
 var ErrServerFull = errors.New("server: cache full")
+
+// errShardFull is the internal no-room-without-eviction signal from the
+// txn-layer backing store; Cache-level write loops turn it into eviction
+// attempts (outside any stripe) and eventually into ErrServerFull.
+var errShardFull = errors.New("server: shard full")
 
 // maxEvictTries bounds how many victims one SET may evict before giving
 // up. Each eviction frees at least one slot, so a handful of tries is
@@ -51,6 +57,13 @@ type Cache struct {
 	stats  *stats
 	log    *slog.Logger
 	failOp func(op, key string) error // fault-injection hook; nil in production
+
+	// txn is the cuckootxn layer (internal/txn): per-key version/lock
+	// stripes, atomic verbs, OCC transactions, and split counters. Every
+	// mutation of the shards — including plain SET/DEL, TTL expiry,
+	// eviction, and migration removal — runs under the key's stripe so
+	// the version bump invalidates concurrent transactional read sets.
+	txn *txn.Store
 }
 
 // shard is one cuckoo table plus a FIFO ring of inserted keys used as the
@@ -97,7 +110,55 @@ func NewCache(shards int, slotsPerShard uint64) (*Cache, error) {
 			ring:  make([]string, t.Cap()),
 		}
 	}
+	c.txn = txn.New(cacheKV{c}, txn.Config{})
 	return c, nil
+}
+
+// Txn exposes the transaction layer, e.g. for metrics and tests.
+func (c *Cache) Txn() *txn.Store { return c.txn }
+
+// cacheKV adapts the sharded cuckoo tables to txn.KV. Its methods do raw
+// table operations only — no eviction, no stripe management — because the
+// txn layer calls them while already holding the key's stripe.
+type cacheKV struct{ c *Cache }
+
+func (k cacheKV) Load(key string) (string, bool) {
+	e, ok := k.c.shards[k.c.shardFor(key)].table.Get(key)
+	if !ok || e.expired(time.Now().UnixNano()) {
+		return "", false
+	}
+	return e.val, true
+}
+
+func (k cacheKV) Store(key, val string, expireAt int64, keepTTL bool) error {
+	sh := k.c.shards[k.c.shardFor(key)]
+	if keepTTL {
+		// Counter updates inherit the entry's current expiry; a fresh
+		// counter never expires until a SETEX says otherwise.
+		expireAt = 0
+		if cur, ok := sh.table.Get(key); ok && !cur.expired(time.Now().UnixNano()) {
+			expireAt = cur.expireAt
+		}
+	}
+	e := entry{val: val, expireAt: expireAt}
+	switch err := sh.table.Insert(key, e); err {
+	case nil:
+		sh.pushRing(key)
+		return nil
+	case generic.ErrExists:
+		// Overwrite in place; no new slot is consumed, so the ring keeps
+		// its existing record for this key.
+		return sh.table.Upsert(key, e)
+	default:
+		// ErrFull: the caller must evict outside the stripe and retry —
+		// deleting victims here would mutate other keys' entries without
+		// bumping their stripe versions.
+		return errShardFull
+	}
+}
+
+func (k cacheKV) Delete(key string) bool {
+	return k.c.shards[k.c.shardFor(key)].table.Delete(key)
 }
 
 // setLogger swaps the cache's logger; called before the cache is shared.
@@ -153,44 +214,139 @@ func (c *Cache) Set(key, val string, ttl time.Duration) error {
 	if ttl > 0 {
 		expireAt = time.Now().Add(ttl).UnixNano()
 	}
-	si := c.shardFor(key)
-	s := c.shards[si]
-	e := entry{val: val, expireAt: expireAt}
-	err := s.set(key, e, func(victim string) {
-		c.stats.evictions.Add(si, 1)
-		// Eviction only happens when a shard is full, so this is off the
-		// fast path even at debug verbosity.
-		c.log.Debug("evicted entry", "shard", si, "key", victim)
-	})
+	err := c.setEntry(key, entry{val: val, expireAt: expireAt})
 	if err == nil {
-		c.stats.sets.Add(si, 1)
+		c.stats.sets.Add(c.shardFor(key), 1)
 	}
 	return err
 }
 
-func (s *shard) set(key string, e entry, onEvict func(victim string)) error {
+// setEntry is the write loop shared by SET and snapshot/handoff loads:
+// attempt the insert under the key's stripe; on a full shard, evict
+// victims outside the stripe (each under its own stripe, so versions
+// stay honest) and retry. Escalate — evicting one entry frees a slot
+// *somewhere*, but not necessarily one reachable from this key's two
+// candidate buckets, so each retry evicts one more victim than the last
+// to open up the cuckoo graph.
+func (c *Cache) setEntry(key string, e entry) error {
+	si := c.shardFor(key)
 	for tries := 0; ; tries++ {
-		err := s.table.Insert(key, e)
-		switch err {
-		case nil:
-			s.pushRing(key)
-			return nil
-		case generic.ErrExists:
-			// Overwrite in place; no new slot is consumed, so the ring
-			// keeps its existing record for this key.
-			return s.table.Upsert(key, e)
+		err := c.txn.Set(key, e.val, e.expireAt)
+		if !errors.Is(err, errShardFull) {
+			return err
 		}
-		// ErrFull: free room and retry. Escalate — evicting one entry
-		// frees a slot *somewhere*, but not necessarily one reachable
-		// from this key's two candidate buckets, so each retry evicts
-		// one more victim than the last to open up the cuckoo graph.
 		if tries >= maxEvictTries {
 			return ErrServerFull
 		}
 		for n := 0; n <= tries; n++ {
-			if !s.evictOne(onEvict) {
+			if !c.evictOne(si) {
 				return ErrServerFull
 			}
+		}
+	}
+}
+
+// Incr atomically adds delta to the counter at key (missing keys count
+// from zero), evicting on a full shard like SET. hint spreads split-mode
+// updates across delta shards; pass a stable per-connection value. The
+// new count is intentionally not returned — see txn.Store.Incr.
+func (c *Cache) Incr(key string, delta int64, hint uint64) error {
+	if f := c.failOp; f != nil {
+		if err := f("INCR", key); err != nil {
+			return err
+		}
+	}
+	si := c.shardFor(key)
+	for tries := 0; ; tries++ {
+		err := c.txn.Incr(key, delta, hint)
+		if !errors.Is(err, errShardFull) {
+			if err == nil {
+				c.stats.incrs.Add(si, 1)
+			}
+			return err
+		}
+		if tries >= maxEvictTries {
+			return ErrServerFull
+		}
+		for n := 0; n <= tries; n++ {
+			if !c.evictOne(si) {
+				return ErrServerFull
+			}
+		}
+	}
+}
+
+// MaxUpdate atomically raises the counter at key to n if larger.
+func (c *Cache) MaxUpdate(key string, n int64, hint uint64) error {
+	si := c.shardFor(key)
+	for tries := 0; ; tries++ {
+		err := c.txn.MaxUpdate(key, n, hint)
+		if !errors.Is(err, errShardFull) {
+			if err == nil {
+				c.stats.incrs.Add(si, 1)
+			}
+			return err
+		}
+		if tries >= maxEvictTries {
+			return ErrServerFull
+		}
+		for n := 0; n <= tries; n++ {
+			if !c.evictOne(si) {
+				return ErrServerFull
+			}
+		}
+	}
+}
+
+// CAS replaces key's value only if it currently equals old. A store on
+// an existing key consumes no new slot, so no eviction loop is needed.
+func (c *Cache) CAS(key, old, newVal string) (txn.CASResult, error) {
+	c.stats.cass.Add(c.shardFor(key), 1)
+	return c.txn.CAS(key, old, newVal)
+}
+
+// Exec runs a MULTI/EXEC transaction. A write that lands on a full shard
+// cannot evict at commit time (the commit holds the transaction's
+// stripes; deleting a victim there would bump other keys' versions
+// mid-validation), and the whole transaction cannot be re-run after a
+// partial apply — so full-shard failures are repaired afterwards on the
+// per-op evict-and-retry paths instead.
+func (c *Cache) Exec(ops []txn.Op) []txn.Result {
+	res, _ := c.txn.Exec(ops)
+	c.repairFullWrites(ops, res)
+	return res
+}
+
+// repairFullWrites re-applies transaction writes that failed at commit
+// because their shard had no reachable free slot. Every op kind that can
+// allocate a slot is safe to apply late: SET is blind (last writer wins)
+// and INCR/MAXUPDATE are commutative, so an application just after the
+// commit point is indistinguishable from the same op racing the
+// transaction — and strictly better than the hard error it replaces.
+// CAS only overwrites in place and GET/DEL never insert, so they cannot
+// fail this way. When one key carries several buffered ops, the commit
+// marked all of them failed and none applied, so re-running each in
+// queue order rebuilds the same final value the transaction computed.
+func (c *Cache) repairFullWrites(ops []txn.Op, res []txn.Result) {
+	for i := range res {
+		if res[i].Status != txn.StatusErr || res[i].Err != errShardFull.Error() {
+			continue
+		}
+		var err error
+		switch ops[i].Kind {
+		case txn.OpSet:
+			err = c.setEntry(ops[i].Key, entry{val: ops[i].Val, expireAt: ops[i].ExpireAt})
+		case txn.OpIncr:
+			err = c.Incr(ops[i].Key, ops[i].Delta, 0)
+		case txn.OpMax:
+			err = c.MaxUpdate(ops[i].Key, ops[i].Delta, 0)
+		default:
+			continue
+		}
+		if err == nil {
+			res[i] = txn.Result{Status: txn.StatusOK}
+		} else {
+			res[i] = txn.Result{Status: txn.StatusErr, Err: err.Error()}
 		}
 	}
 }
@@ -209,23 +365,39 @@ func (s *shard) pushRing(key string) {
 	s.mu.Unlock()
 }
 
+// popVictim removes and returns the oldest eviction-ring record.
+func (s *shard) popVictim() (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.head == s.tail {
+		return "", false
+	}
+	i := s.head % uint64(len(s.ring))
+	victim := s.ring[i]
+	s.ring[i] = "" // release the string for the GC
+	s.head++
+	return victim, true
+}
+
 // evictOne deletes the oldest ring entry that is still present, reporting
 // whether a slot was freed. Stale records (keys already deleted or
-// re-inserted elsewhere in the ring) are skipped for free.
-func (s *shard) evictOne(onEvict func(victim string)) bool {
+// re-inserted elsewhere in the ring) are skipped for free. The delete
+// runs under the victim's stripe — never the inserting key's — so the
+// victim's version bump is honest and no two stripes are ever held.
+func (c *Cache) evictOne(si int) bool {
+	s := c.shards[si]
 	for {
-		s.mu.Lock()
-		if s.head == s.tail {
-			s.mu.Unlock()
+		victim, ok := s.popVictim()
+		if !ok {
 			return false
 		}
-		i := s.head % uint64(len(s.ring))
-		victim := s.ring[i]
-		s.ring[i] = "" // release the string for the GC
-		s.head++
-		s.mu.Unlock()
-		if s.table.Delete(victim) {
-			onEvict(victim)
+		removed := false
+		c.txn.WithLock(victim, func() { removed = s.table.Delete(victim) })
+		if removed {
+			c.stats.evictions.Add(si, 1)
+			// Eviction only happens when a shard is full, so this is off
+			// the fast path even at debug verbosity.
+			c.log.Debug("evicted entry", "shard", si, "key", victim)
 			return true
 		}
 	}
@@ -235,6 +407,10 @@ func (s *shard) evictOne(onEvict func(victim string)) bool {
 // and reported as misses, so a key never outlives its TTL from a client's
 // point of view even if the sweeper has not run yet.
 func (c *Cache) Get(key string) (string, bool) {
+	// Fold pending split deltas first so a read observes every
+	// acknowledged commutative update (costs one atomic load when no
+	// keys are split, which is the common state).
+	c.txn.ReconcileKey(key)
 	si := c.shardFor(key)
 	s := c.shards[si]
 	c.stats.gets.Add(si, 1)
@@ -275,27 +451,38 @@ func (c *Cache) Delete(key string) bool {
 	si := c.shardFor(key)
 	s := c.shards[si]
 	c.stats.dels.Add(si, 1)
-	// An expired-but-unswept entry must look deleted-as-miss, not OK.
-	e, ok := s.table.Get(key)
-	if ok && e.expired(time.Now().UnixNano()) {
-		c.expireKey(si, key)
-		return false
-	}
-	return s.table.Delete(key)
+	ok := false
+	c.txn.WithLock(key, func() {
+		e, found := s.table.Get(key)
+		switch {
+		case !found:
+		case e.expired(time.Now().UnixNano()):
+			// An expired-but-unswept entry must look deleted-as-miss,
+			// not OK.
+			if s.table.Delete(key) {
+				c.stats.expired.Add(si, 1)
+			}
+		default:
+			ok = s.table.Delete(key)
+		}
+	})
+	return ok
 }
 
-// expireKey removes an entry observed to be expired, re-checking under a
-// fresh read so a concurrent re-SET of the same key is (almost) never
-// deleted. The residual race — key re-set between the check and the
-// delete — loses one freshly cached value, which a cache may do. It
-// reports whether an entry was actually removed.
+// expireKey removes an entry observed to be expired, re-checking under
+// the key's stripe so a concurrent re-SET of the same key is never
+// deleted (the re-SET holds the same stripe). It reports whether an
+// entry was actually removed.
 func (c *Cache) expireKey(si int, key string) bool {
 	s := c.shards[si]
-	if e, ok := s.table.Get(key); ok && e.expired(time.Now().UnixNano()) {
-		if s.table.Delete(key) {
-			c.stats.expired.Add(si, 1)
-			return true
+	removed := false
+	c.txn.WithLock(key, func() {
+		if e, ok := s.table.Get(key); ok && e.expired(time.Now().UnixNano()) {
+			removed = s.table.Delete(key)
 		}
+	})
+	if removed {
+		c.stats.expired.Add(si, 1)
 	}
-	return false
+	return removed
 }

@@ -32,6 +32,8 @@ type stats struct {
 	misses    *metrics.OpCounter
 	sets      *metrics.OpCounter
 	dels      *metrics.OpCounter
+	incrs     *metrics.OpCounter // INCR/DECR/ADD/MAXUPDATE applied
+	cass      *metrics.OpCounter // CAS attempts (conflicts counted by txn)
 	expired   *metrics.OpCounter
 	evictions *metrics.OpCounter
 
@@ -70,6 +72,8 @@ func newStats(shards int) *stats {
 		misses:    metrics.NewOpCounter(shards),
 		sets:      metrics.NewOpCounter(shards),
 		dels:      metrics.NewOpCounter(shards),
+		incrs:     metrics.NewOpCounter(shards),
+		cass:      metrics.NewOpCounter(shards),
 		expired:   metrics.NewOpCounter(shards),
 		evictions: metrics.NewOpCounter(shards),
 		lat:       metrics.NewShardedHistogram(latencyShards),
@@ -138,6 +142,7 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 	}
 	lat := st.lat.Snapshot() // lock-free merge of the per-connection shards
 	tab, lock := c.tableTotals()
+	tx := c.txn.StatsSnapshot()
 
 	out := []Stat{
 		{"entries", fmt.Sprint(c.Len())},
@@ -149,6 +154,8 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 		{"hit_ratio", fmt.Sprintf("%.4f", ratio)},
 		{"sets", fmt.Sprint(st.sets.Total())},
 		{"dels", fmt.Sprint(st.dels.Total())},
+		{"incrs", fmt.Sprint(st.incrs.Total())},
+		{"cas_ops", fmt.Sprint(st.cass.Total())},
 		{"expired", fmt.Sprint(st.expired.Total())},
 		{"evictions", fmt.Sprint(st.evictions.Total())},
 		{"conns_active", fmt.Sprint(st.connsActive.Load())},
@@ -174,6 +181,15 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 		{"cluster_handoffs", fmt.Sprint(st.handoffs.Load())},
 		{"cluster_handoff_rejects", fmt.Sprint(st.handoffRejects.Load())},
 		{"cluster_migrate_failures", fmt.Sprint(st.migrateFails.Load())},
+		{"txn_commits", fmt.Sprint(tx.Commits)},
+		{"txn_aborts", fmt.Sprint(tx.Aborts)},
+		{"txn_fallbacks", fmt.Sprint(tx.Fallbacks)},
+		{"txn_cas_conflicts", fmt.Sprint(tx.CASConflicts)},
+		{"txn_split_ops", fmt.Sprint(tx.SplitOps)},
+		{"txn_split_reconciles", fmt.Sprint(tx.Reconciles)},
+		{"txn_split_promotions", fmt.Sprint(tx.Promotions)},
+		{"txn_split_demotions", fmt.Sprint(tx.Demotions)},
+		{"txn_hot_keys", fmt.Sprint(tx.HotKeys)},
 		{"table_searches", fmt.Sprint(tab.Searches)},
 		{"table_displacements", fmt.Sprint(tab.Displacements)},
 		{"table_path_restarts", fmt.Sprint(tab.PathRestarts)},
