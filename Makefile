@@ -88,13 +88,16 @@ loadgen-smoke:
 	exit $$STATUS
 
 # End-to-end smoke of the admin endpoint: serve with -admin, drive a tiny
-# load, then scrape /metrics and assert the key series are present.
+# traced zipf load, then scrape /metrics and assert the key series —
+# including the cuckootrace stage/hot-key ones — are present, and that
+# /debug/flight dumps records. -slow-op is 1ms, not 1ns: slow ops are
+# never sampled away, so a 1ns threshold would log all 5000 requests.
 metrics-smoke:
 	$(GO) build -o ./cuckood.smoke ./cmd/cuckood
-	./cuckood.smoke -listen 127.0.0.1:11378 -admin 127.0.0.1:11379 -slow-op 1ns & \
+	./cuckood.smoke -listen 127.0.0.1:11378 -admin 127.0.0.1:11379 -slow-op 1ms & \
 	CUCKOOD_PID=$$!; \
 	sleep 1; \
-	./cuckood.smoke -loadgen -addr 127.0.0.1:11378 -conns 2 -ops 5000 -batch 16; \
+	./cuckood.smoke -loadgen -addr 127.0.0.1:11378 -conns 2 -ops 5000 -batch 16 -dist zipf -trace; \
 	STATUS=$$?; \
 	if [ $$STATUS -eq 0 ]; then \
 		SCRAPE=$$(curl -fsS http://127.0.0.1:11379/metrics) || STATUS=$$?; \
@@ -106,11 +109,16 @@ metrics-smoke:
 		              cuckood_misses_total \
 		              cuckood_evictions_total \
 		              cuckood_slow_requests_total \
-		              cuckood_request_duration_seconds_bucket; do \
+		              cuckood_request_duration_seconds_bucket \
+		              cuckood_stage_seconds_bucket \
+		              cuckood_hot_key_count; do \
 			echo "$$SCRAPE" | grep -q "$$series" || { echo "MISSING $$series"; STATUS=1; }; \
 		done; \
 		curl -fsS http://127.0.0.1:11379/debug/vars >/dev/null || STATUS=1; \
 		curl -fsS http://127.0.0.1:11379/debug/pprof/ >/dev/null || STATUS=1; \
+		FLIGHT=$$(curl -fsS http://127.0.0.1:11379/debug/flight) || STATUS=$$?; \
+		echo "$$FLIGHT" | grep -q "verb=" || { echo "EMPTY /debug/flight"; STATUS=1; }; \
+		echo "$$FLIGHT" | grep -q "trace=" || { echo "NO trace= in /debug/flight"; STATUS=1; }; \
 	fi; \
 	kill -INT $$CUCKOOD_PID; wait $$CUCKOOD_PID || STATUS=$$?; \
 	rm -f ./cuckood.smoke; \

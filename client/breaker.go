@@ -48,6 +48,9 @@ func (s BreakerState) String() string {
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
+	// onOpen, when set, is invoked (outside the breaker's lock) each time
+	// the breaker trips to open — the hook behind Options.OnBreakerOpen.
+	onOpen func()
 
 	mu          sync.Mutex
 	state       BreakerState
@@ -125,13 +128,24 @@ func (b *breaker) allow() bool {
 
 // record feeds one operation outcome into the state machine. Transport
 // failures and dial failures count; server-level errors on a healthy
-// connection are successes from the breaker's point of view.
+// connection are successes from the breaker's point of view. The onOpen
+// hook fires after the lock is released, so a callback is free to read
+// breaker state (snapshot, Pool.Stats) without deadlocking.
 func (b *breaker) record(success bool) {
 	if !b.enabled() {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	tripped := b.recordLocked(success)
+	b.mu.Unlock()
+	if tripped && b.onOpen != nil {
+		b.onOpen()
+	}
+}
+
+// recordLocked applies one outcome under b.mu and reports whether it
+// tripped the breaker open.
+func (b *breaker) recordLocked(success bool) bool {
 	if success {
 		switch b.state {
 		case BreakerHalfOpen:
@@ -143,21 +157,24 @@ func (b *breaker) record(success bool) {
 		}
 		b.state = BreakerClosed
 		b.consecFails = 0
-		return
+		return false
 	}
 	b.consecFails++
 	switch b.state {
 	case BreakerHalfOpen:
 		// The probe failed: straight back to open for another cooldown.
 		b.trip()
+		return true
 	case BreakerClosed:
 		if b.consecFails >= b.threshold {
 			b.trip()
+			return true
 		}
 	case BreakerOpen:
 		// A straggler failure from before the trip; stay open.
 		b.reopenAt = time.Now().Add(b.cooldown)
 	}
+	return false
 }
 
 // trip moves to open; callers hold b.mu.

@@ -71,6 +71,7 @@ type Conn struct {
 	closed    bool
 	broken    error         // sticky transport failure; nil while healthy
 	ioTimeout time.Duration // per-Flush deadline; 0 = none
+	trace     string        // wire trace ID prefixed to queued requests; "" = untraced
 }
 
 type opCode uint8
@@ -153,6 +154,7 @@ func (c *Conn) QueueGet(key string) error {
 	if err := validKey(key); err != nil {
 		return err
 	}
+	c.writeTrace()
 	c.w.WriteString("GET ")
 	c.w.WriteString(key)
 	c.w.WriteByte('\n')
@@ -172,6 +174,7 @@ func (c *Conn) QueueSet(key, val string, ttl time.Duration) error {
 	if strings.ContainsAny(val, "\r\n") {
 		return fmt.Errorf("client: value for %q contains newline", key)
 	}
+	c.writeTrace()
 	if ttl <= 0 {
 		c.w.WriteString("SET ")
 		c.w.WriteString(key)
@@ -197,6 +200,7 @@ func (c *Conn) QueueDel(key string) error {
 	if err := validKey(key); err != nil {
 		return err
 	}
+	c.writeTrace()
 	c.w.WriteString("DEL ")
 	c.w.WriteString(key)
 	c.w.WriteByte('\n')
@@ -212,6 +216,7 @@ func (c *Conn) QueueTTL(key string) error {
 	if err := validKey(key); err != nil {
 		return err
 	}
+	c.writeTrace()
 	c.w.WriteString("TTL ")
 	c.w.WriteString(key)
 	c.w.WriteByte('\n')
@@ -390,27 +395,41 @@ func (c *Conn) Stats() (map[string]string, error) {
 	}
 }
 
+// Health-check failure reasons, indexed into Pool's per-reason counters
+// and exported as cuckood_client_health_check_failures_total{reason}.
+const (
+	healthBroken   = iota // sticky transport error from an earlier failure
+	healthClosed          // the Conn was closed while pooled
+	healthBuffered        // unsolicited buffered bytes: pipeline desync
+	healthSocket          // the socket probe saw EOF/error (server went away)
+	healthReasonCount
+)
+
+// healthReasons names each failure class for the metric's reason label.
+var healthReasons = [healthReasonCount]string{"broken", "closed", "buffered", "socket"}
+
 // healthCheck probes a pooled idle connection before it is handed out:
 // broken or closed conns, unsolicited buffered bytes (pipeline desync),
-// and sockets the server has since closed are all rejected. The probe is
-// one non-blocking MSG_PEEK syscall (see probeSocket), so a healthy
-// checkout stays cheap.
-func (c *Conn) healthCheck() error {
+// and sockets the server has since closed are all rejected, with the
+// failure class reported for per-reason accounting. The probe is one
+// non-blocking MSG_PEEK syscall (see probeSocket), so a healthy checkout
+// stays cheap.
+func (c *Conn) healthCheck() (int, error) {
 	if c.broken != nil {
-		return c.broken
+		return healthBroken, c.broken
 	}
 	if c.closed {
-		return ErrClosed
+		return healthClosed, ErrClosed
 	}
 	if c.r.Buffered() > 0 {
-		return c.fail(errors.New("unsolicited data buffered"))
+		return healthBuffered, c.fail(errors.New("unsolicited data buffered"))
 	}
 	if sc, ok := c.nc.(syscall.Conn); ok {
 		if err := probeSocket(sc); err != nil {
-			return c.fail(err)
+			return healthSocket, c.fail(err)
 		}
 	}
-	return nil
+	return 0, nil
 }
 
 // Options configures a Pool's sizing and fault-tolerance behavior. The
@@ -447,6 +466,11 @@ type Options struct {
 	BreakerCooldown time.Duration
 	// Seed makes retry jitter deterministic for tests (0 = time-seeded).
 	Seed uint64
+	// OnBreakerOpen, when set, is called each time the circuit breaker
+	// trips open (closed→open or a failed half-open probe). It runs on the
+	// goroutine that recorded the tripping failure, outside the breaker's
+	// lock; use it to dump diagnostics the moment an address goes dark.
+	OnBreakerOpen func()
 	// DialFunc overrides the transport dial, e.g. to inject faults in
 	// chaos tests. It receives the dial timeout already resolved.
 	DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
@@ -496,6 +520,10 @@ type Pool struct {
 	budgetDenied   atomic.Uint64 // retries suppressed by an empty budget
 	timeouts       atomic.Uint64 // transport errors that were deadline timeouts
 	busyErrs       atomic.Uint64 // server busy rejections observed
+
+	// healthFails counts checkout health-check failures by reason,
+	// indexed by the health* constants.
+	healthFails [healthReasonCount]atomic.Uint64
 }
 
 // PoolStats is a point-in-time snapshot of a Pool's connection accounting,
@@ -518,6 +546,12 @@ type PoolStats struct {
 	// HealthCheckDiscards counts idle connections rejected by the checkout
 	// health check (already counted in Discards as well).
 	HealthCheckDiscards uint64
+	// HealthCheckFailures breaks HealthCheckDiscards down by failure class
+	// ("broken", "closed", "buffered", "socket").
+	HealthCheckFailures map[string]uint64
+	// RetryBudgetTokens is the retry token bucket's current level (its
+	// configured max while retries are disabled — nothing is spending).
+	RetryBudgetTokens float64
 	// Retries counts operation retry attempts.
 	Retries uint64
 	// RetryBudgetDenied counts retries suppressed by an exhausted budget.
@@ -540,6 +574,10 @@ func (p *Pool) Stats() PoolStats {
 	idle := len(p.free)
 	p.mu.Unlock()
 	state, opens, closes, denied := p.brk.snapshot()
+	hf := make(map[string]uint64, healthReasonCount)
+	for i, name := range healthReasons {
+		hf[name] = p.healthFails[i].Load()
+	}
 	// A checked-out connection holds a sem slot; idle ones do not.
 	return PoolStats{
 		Capacity:            cap(p.sem),
@@ -549,6 +587,8 @@ func (p *Pool) Stats() PoolStats {
 		DialFailures:        p.dialFails.Load(),
 		Discards:            p.discards.Load(),
 		HealthCheckDiscards: p.healthDiscards.Load(),
+		HealthCheckFailures: hf,
+		RetryBudgetTokens:   p.budgetLevel(),
 		Retries:             p.retries.Load(),
 		RetryBudgetDenied:   p.budgetDenied.Load(),
 		Timeouts:            p.timeouts.Load(),
@@ -573,7 +613,11 @@ func NewPoolWith(addr string, opt Options) *Pool {
 		addr: addr,
 		opt:  opt,
 		sem:  make(chan struct{}, opt.Size),
-		brk:  &breaker{threshold: opt.BreakerThreshold, cooldown: opt.BreakerCooldown},
+		brk: &breaker{
+			threshold: opt.BreakerThreshold,
+			cooldown:  opt.BreakerCooldown,
+			onOpen:    opt.OnBreakerOpen,
+		},
 	}
 	if opt.MaxRetries > 0 {
 		p.backoff = newBackoff(opt.BackoffBase, opt.BackoffMax, opt.Seed)
@@ -606,12 +650,14 @@ func (p *Pool) Get() (*Conn, error) {
 		if c == nil {
 			break
 		}
-		if c.healthCheck() == nil {
+		reason, err := c.healthCheck()
+		if err == nil {
 			return c, nil
 		}
 		c.Close()
 		p.discards.Add(1)
 		p.healthDiscards.Add(1)
+		p.healthFails[reason].Add(1)
 	}
 	nc, err := p.opt.DialFunc(p.addr, p.opt.DialTimeout)
 	if err != nil {
@@ -774,8 +820,14 @@ func (p *Pool) CollectWith(m *obs.Metrics, labels ...string) {
 	m.Counter("cuckood_client_dial_failures_total", "Dial attempts that failed.", float64(st.DialFailures), labels...)
 	m.Counter("cuckood_client_discards_total", "Connections closed instead of pooled.", float64(st.Discards), labels...)
 	m.Counter("cuckood_client_health_discards_total", "Idle connections rejected by the checkout health check.", float64(st.HealthCheckDiscards), labels...)
+	for _, reason := range healthReasons {
+		m.Counter("cuckood_client_health_check_failures_total",
+			"Checkout health-check failures by class: broken, closed, buffered (pipeline desync), socket (peer went away).",
+			float64(st.HealthCheckFailures[reason]), append([]string{"reason", reason}, labels...)...)
+	}
 	m.Counter("cuckood_client_retries_total", "Operation retry attempts.", float64(st.Retries), labels...)
 	m.Counter("cuckood_client_retry_budget_denied_total", "Retries suppressed by an exhausted retry budget.", float64(st.RetryBudgetDenied), labels...)
+	m.Gauge("cuckood_client_retry_budget_tokens", "Retry token bucket level; near zero means retries are being rationed.", st.RetryBudgetTokens, labels...)
 	m.Counter("cuckood_client_timeouts_total", "Transport failures that were deadline timeouts.", float64(st.Timeouts), labels...)
 	m.Counter("cuckood_client_busy_rejections_total", "Server ERR busy overload rejections observed.", float64(st.BusyRejections), labels...)
 	m.Gauge("cuckood_client_breaker_state", "Circuit breaker position: 0 closed, 1 open, 2 half-open.", float64(st.BreakerState), labels...)
@@ -788,6 +840,19 @@ func (p *Pool) CollectWith(m *obs.Metrics, labels ...string) {
 			"Circuit breaker state transitions by edge.",
 			float64(n), append([]string{"from", e.from, "to", e.to}, labels...)...)
 	}
+}
+
+// budgetLevel returns the retry budget's current token count, or its
+// configured maximum when retries are disabled (no budget exists, so
+// nothing is ever denied).
+func (p *Pool) budgetLevel() float64 {
+	if p.budget == nil {
+		if p.opt.RetryBudgetMax > 0 {
+			return p.opt.RetryBudgetMax
+		}
+		return 20
+	}
+	return p.budget.level()
 }
 
 // release puts c back unless err was a transport failure, and keeps the

@@ -92,6 +92,7 @@ func (c *Conn) Migrate(mode, dest, self string, seed uint64, max int, ring strin
 		c.nc.SetDeadline(time.Now().Add(d))
 		defer c.nc.SetDeadline(time.Time{})
 	}
+	c.writeTrace()
 	fmt.Fprintf(c.w, "MIGRATE %s %s %s %d %d %s\n", mode, dest, self, seed, max, ring)
 	if err := c.w.Flush(); err != nil {
 		return 0, c.fail(err)

@@ -106,6 +106,15 @@ func (b *retryBudget) take() bool {
 	return true
 }
 
+// level returns the remaining token count, for metrics export: a gauge
+// trending toward zero means retries are being rationed and the pool is
+// about to degrade to single attempts.
+func (b *retryBudget) level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
 // success refills part of a token after a successful operation.
 func (b *retryBudget) success() {
 	b.mu.Lock()

@@ -132,7 +132,8 @@ func TestPoolHealthCheckDiscardsDeadIdleConns(t *testing.T) {
 		if c.Err() != nil {
 			t.Fatalf("Get handed out a broken conn: %v", c.Err())
 		}
-		healthy := c.healthCheck() == nil
+		_, herr := c.healthCheck()
+		healthy := herr == nil
 		p.Put(c)
 		if !healthy || p.Stats().HealthCheckDiscards > 0 {
 			break

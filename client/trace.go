@@ -1,0 +1,267 @@
+package client
+
+// Client-side request tracing (docs/OBSERVABILITY.md). A trace ID is an
+// opaque token the client mints and prepends to request lines as
+// "TRACE <id> "; the server stamps it on slow-op logs, flight-recorder
+// entries, and the cuckood_slow_trace_seconds exemplar series, and
+// forwards it across MIGRATE→HANDOFF hops — so one user-visible request
+// keeps one ID across every connection, retry, spill, and node it
+// touches.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxTraceIDLen mirrors the server's limit on TRACE tokens (codec.go).
+const maxTraceIDLen = 64
+
+var traceIDGen struct {
+	mu  sync.Mutex
+	rng splitmix64
+}
+
+// NewTraceID mints a 16-hex-digit trace ID. IDs are process-unique with
+// overwhelming probability (64 random bits), cheap, and wire-safe; callers
+// that already have a correlation token (a span ID, a request UUID) can
+// pass their own to SetTrace instead.
+func NewTraceID() string {
+	traceIDGen.mu.Lock()
+	if traceIDGen.rng.state == 0 {
+		traceIDGen.rng.state = uint64(time.Now().UnixNano())
+	}
+	id := traceIDGen.rng.next()
+	traceIDGen.mu.Unlock()
+	var buf [16]byte
+	const hex = "0123456789abcdef"
+	for i := 15; i >= 0; i-- {
+		buf[i] = hex[id&0xf]
+		id >>= 4
+	}
+	return string(buf[:])
+}
+
+// SetTrace attaches a trace ID to the connection: every request queued
+// afterwards carries a "TRACE <id> " wire prefix until the ID is replaced
+// or cleared with SetTrace(""). The ID must be a single protocol token of
+// at most 64 bytes.
+func (c *Conn) SetTrace(id string) error {
+	if id != "" && (len(id) > maxTraceIDLen || strings.ContainsAny(id, " \r\n")) {
+		return fmt.Errorf("client: invalid trace ID %q (one token, at most %d bytes)", id, maxTraceIDLen)
+	}
+	c.trace = id
+	return nil
+}
+
+// Trace returns the connection's current trace ID ("" when untraced).
+func (c *Conn) Trace() string { return c.trace }
+
+// writeTrace emits the TRACE prefix for one request line, if an ID is set.
+func (c *Conn) writeTrace() {
+	if c.trace != "" {
+		c.w.WriteString("TRACE ")
+		c.w.WriteString(c.trace)
+		c.w.WriteByte(' ')
+	}
+}
+
+// HotKey is one entry of the server's hot-key top-K sketch: an
+// approximate touch count for one of the most frequently requested keys.
+// Counts come from a space-saving sketch over sampled requests, so they
+// overestimate by at most the sketch's per-key error.
+type HotKey struct {
+	Key   string
+	Count uint64
+}
+
+// HotKeys fetches the server's n hottest keys (n <= 0 asks for the
+// server default of 10). Like Stats, it needs an empty pipeline: the
+// multi-line reply cannot interleave with pending request replies.
+func (c *Conn) HotKeys(n int) ([]HotKey, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.broken != nil {
+		return nil, c.broken
+	}
+	if len(c.pending) > 0 {
+		return nil, errors.New("client: HotKeys with requests still queued")
+	}
+	if c.ioTimeout > 0 {
+		c.nc.SetDeadline(time.Now().Add(c.ioTimeout))
+		defer c.nc.SetDeadline(time.Time{})
+	}
+	c.writeTrace()
+	if n > 0 {
+		c.w.WriteString("HOTKEYS ")
+		c.w.WriteString(strconv.Itoa(n))
+		c.w.WriteByte('\n')
+	} else {
+		c.w.WriteString("HOTKEYS\n")
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, c.fail(err)
+	}
+	var out []HotKey
+	for {
+		line, err := c.readRawLine()
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		if line == "END" {
+			return out, nil
+		}
+		if msg, ok := strings.CutPrefix(line, "ERR "); ok {
+			return nil, &ServerError{Msg: msg}
+		}
+		rest, ok := strings.CutPrefix(line, "HOTKEY ")
+		if !ok {
+			return nil, c.fail(fmt.Errorf("client: malformed HOTKEYS line %q", line))
+		}
+		countStr, key, ok := strings.Cut(rest, " ")
+		if !ok {
+			return nil, c.fail(fmt.Errorf("client: malformed HOTKEYS line %q", line))
+		}
+		count, perr := strconv.ParseUint(countStr, 10, 64)
+		if perr != nil {
+			return nil, c.fail(fmt.Errorf("client: malformed HOTKEYS line %q", line))
+		}
+		out = append(out, HotKey{Key: key, Count: count})
+	}
+}
+
+// GetTraced is Get1 with a trace ID: every attempt — including retries
+// after transport failures — carries the same ID, so the server-side
+// flight records of a retried request correlate.
+func (p *Pool) GetTraced(key, trace string) (string, bool, error) {
+	var v string
+	var ok bool
+	err := p.do(true, func(c *Conn) error {
+		if err := c.SetTrace(trace); err != nil {
+			return err
+		}
+		defer c.SetTrace("")
+		var err error
+		v, ok, err = c.Get(key)
+		return err
+	})
+	return v, ok, err
+}
+
+// SetTraced is Set with a trace ID (same retry policy: only when
+// Options.RetrySets opted SETs in). All attempts share the ID.
+func (p *Pool) SetTraced(key, val string, ttl time.Duration, trace string) error {
+	return p.do(p.opt.RetrySets, func(c *Conn) error {
+		if err := c.SetTrace(trace); err != nil {
+			return err
+		}
+		defer c.SetTrace("")
+		return c.Set(key, val, ttl)
+	})
+}
+
+// HotKeys is the pooled one-shot form of Conn.HotKeys.
+func (p *Pool) HotKeys(n int) ([]HotKey, error) {
+	var out []HotKey
+	err := p.do(true, func(c *Conn) error {
+		var err error
+		out, err = c.HotKeys(n)
+		return err
+	})
+	return out, err
+}
+
+// GetTraced is Cluster.Get with a trace ID: the primary read and any
+// alternate fallthrough carry the same ID, so a cross-node read shows up
+// as one trace on both nodes' recorders.
+func (cl *Cluster) GetTraced(key, trace string) (string, bool, error) {
+	pri, alt := cl.candidates(key)
+	v, ok, err := pri.pool.GetTraced(key, trace)
+	if ok && err == nil {
+		return v, true, nil
+	}
+	if alt == pri {
+		return v, ok, err
+	}
+	alt.altReads.Add(1)
+	v2, ok2, err2 := alt.pool.GetTraced(key, trace)
+	if ok2 && err2 == nil {
+		alt.altHits.Add(1)
+		return v2, true, nil
+	}
+	if err != nil {
+		return "", false, err
+	}
+	return v2, ok2, err2
+}
+
+// SetTraced is Cluster.Set with a trace ID carried across the spill to
+// the alternate node, mirroring SetWhere's routing.
+func (cl *Cluster) SetTraced(key, val string, ttl time.Duration, trace string) error {
+	pri, alt := cl.candidates(key)
+	first, second := pri, alt
+	if pri != alt && cl.spillWanted(pri, alt) {
+		first, second = alt, pri
+		alt.spills.Add(1)
+	}
+	err := first.pool.SetTraced(key, val, ttl, trace)
+	if err == nil {
+		return nil
+	}
+	if second == first {
+		return err
+	}
+	second.spills.Add(1)
+	if err2 := second.pool.SetTraced(key, val, ttl, trace); err2 == nil {
+		return nil
+	}
+	return err
+}
+
+// HotKeys merges every node's top-K sketch into one cluster-wide ranking
+// of up to n keys. A key hot on several nodes (after spills or
+// migrations) has its per-node counts summed. The first node error is
+// returned after querying all nodes; partial results are still ranked.
+func (cl *Cluster) HotKeys(n int) ([]HotKey, error) {
+	counts := make(map[string]uint64)
+	var firstErr error
+	for _, node := range cl.nodes {
+		items, err := node.pool.HotKeys(n)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hotkeys %s: %w", node.addr, err)
+			}
+			continue
+		}
+		for _, it := range items {
+			counts[it.Key] += it.Count
+		}
+	}
+	out := make([]HotKey, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, HotKey{Key: k, Count: c})
+	}
+	sortHotKeys(out)
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out, firstErr
+}
+
+// sortHotKeys orders by count descending, then key ascending for
+// deterministic ties.
+func sortHotKeys(hk []HotKey) {
+	for i := 1; i < len(hk); i++ {
+		for j := i; j > 0; j-- {
+			if hk[j-1].Count > hk[j].Count ||
+				(hk[j-1].Count == hk[j].Count && hk[j-1].Key <= hk[j].Key) {
+				break
+			}
+			hk[j-1], hk[j] = hk[j], hk[j-1]
+		}
+	}
+}

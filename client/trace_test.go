@@ -1,0 +1,309 @@
+package client
+
+// White-box tests for client-side tracing (docs/OBSERVABILITY.md):
+// trace-ID minting and validation, the TRACE wire prefix, traced pooled
+// ops, HOTKEYS parsing, and the breaker-open callback.
+
+import (
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cuckoohash/internal/obs"
+)
+
+func TestNewTraceIDFormatAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("NewTraceID() = %q, want 16 hex digits", id)
+		}
+		for _, r := range id {
+			if !strings.ContainsRune("0123456789abcdef", r) {
+				t.Fatalf("NewTraceID() = %q contains non-hex %q", id, r)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID() repeated %q within 1000 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConnSetTraceValidation(t *testing.T) {
+	s := startBackend(t)
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, bad := range []string{
+		strings.Repeat("x", maxTraceIDLen+1),
+		"has space",
+		"has\nnewline",
+		"has\rreturn",
+	} {
+		if err := c.SetTrace(bad); err == nil {
+			t.Errorf("SetTrace(%q) accepted", bad)
+		}
+	}
+	if err := c.SetTrace(strings.Repeat("x", maxTraceIDLen)); err != nil {
+		t.Errorf("SetTrace at the length limit rejected: %v", err)
+	}
+	if err := c.SetTrace("tok1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Trace(); got != "tok1" {
+		t.Errorf("Trace() = %q, want tok1", got)
+	}
+	if err := c.SetTrace(""); err != nil {
+		t.Fatalf("clearing the trace failed: %v", err)
+	}
+	if got := c.Trace(); got != "" {
+		t.Errorf("Trace() after clear = %q, want empty", got)
+	}
+}
+
+// TestConnTraceReachesServerFlight drives traced and untraced requests
+// over one connection and checks the server's flight recorder saw exactly
+// the IDs the client set — the end-to-end proof the wire prefix works and
+// never leaks onto later requests.
+func TestConnTraceReachesServerFlight(t *testing.T) {
+	s := startBackend(t)
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.SetTrace("trace-one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("traced-key", "v", 0); err != nil {
+		t.Fatal(err)
+	}
+	c.SetTrace("")
+	if _, _, err := c.Get("traced-key"); err != nil {
+		t.Fatal(err)
+	}
+
+	var tracedVerb, untracedGet string
+	for _, rec := range s.Flight().Snapshot() {
+		switch rec.Trace() {
+		case "trace-one":
+			tracedVerb = rec.Verb
+		case "":
+			if rec.Verb == "GET" {
+				untracedGet = rec.Verb
+			}
+		}
+	}
+	if tracedVerb != "SET" {
+		t.Errorf("traced flight record verb = %q, want SET", tracedVerb)
+	}
+	if untracedGet != "GET" {
+		t.Error("cleared trace leaked onto the GET flight record")
+	}
+}
+
+func TestPoolTracedOps(t *testing.T) {
+	s := startBackend(t)
+	p := NewPool(s.Addr().String(), 2)
+	defer p.Close()
+
+	id := NewTraceID()
+	if err := p.SetTraced("tk", "tv", 0, id); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := p.GetTraced("tk", id)
+	if err != nil || !ok || v != "tv" {
+		t.Fatalf("GetTraced = %q, %v, %v", v, ok, err)
+	}
+	// The traced helpers clear the ID before the conn goes back to the
+	// pool: a follow-up plain op must be untraced on the wire.
+	if _, _, err := p.Get1("tk"); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range s.Flight().Snapshot() {
+		if rec.Verb == "GET" && rec.Trace() != id && rec.Trace() != "" {
+			t.Errorf("unexpected trace %q on a GET record", rec.Trace())
+		}
+	}
+	traced := 0
+	for _, rec := range s.Flight().Snapshot() {
+		if rec.Trace() == id {
+			traced++
+		}
+	}
+	if traced != 2 {
+		t.Errorf("flight shows %d records with trace %s, want 2 (SET + GET)", traced, id)
+	}
+
+	// An invalid trace ID fails the op client-side, before any I/O.
+	if err := p.SetTraced("tk", "tv", 0, "bad trace"); err == nil {
+		t.Error("SetTraced with a spacey trace ID succeeded")
+	}
+}
+
+func TestConnHotKeysParsesReply(t *testing.T) {
+	s := startBackend(t)
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// No traffic yet: empty ranking, no error.
+	hk, err := c.HotKeys(0)
+	if err != nil {
+		t.Fatalf("HotKeys on idle server: %v", err)
+	}
+	if len(hk) != 0 {
+		t.Fatalf("idle HotKeys = %v, want empty", hk)
+	}
+
+	// 32 GETs of one key: server-side sampling (1 in 16) touches the
+	// sketch on requests 0 and 16, both for "hot".
+	for i := 0; i < 32; i++ {
+		if _, _, err := c.Get("hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hk, err = c.HotKeys(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hk) != 1 || hk[0].Key != "hot" || hk[0].Count != 2 {
+		t.Fatalf("HotKeys = %v, want [{hot 2}]", hk)
+	}
+
+	// HotKeys needs an empty pipeline.
+	if err := c.QueueGet("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.HotKeys(0); err == nil {
+		t.Error("HotKeys with a pending pipeline succeeded")
+	}
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnBreakerOpenCallback(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listening: dials fail fast
+
+	var opens atomic.Int32
+	p := NewPoolWith(addr, Options{
+		Size:             2,
+		DialTimeout:      200 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute,
+		OnBreakerOpen:    func() { opens.Add(1) },
+	})
+	defer p.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := p.Get1("k"); err == nil {
+			t.Fatal("Get1 against a dead address succeeded")
+		}
+	}
+	if got := opens.Load(); got != 1 {
+		t.Fatalf("OnBreakerOpen fired %d times after the trip, want 1", got)
+	}
+	// Denied fast-fails while open must not re-fire the callback.
+	p.Get1("k")
+	if got := opens.Load(); got != 1 {
+		t.Fatalf("OnBreakerOpen fired %d times after a denied op, want 1", got)
+	}
+}
+
+func TestPoolStatsAndCollectExportTraceSeries(t *testing.T) {
+	s := startBackend(t)
+	p := NewPool(s.Addr().String(), 2)
+	defer p.Close()
+	if err := p.Set("k", "v", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	st := p.Stats()
+	// Retries are off by default, so the gauge reports the configured
+	// budget ceiling.
+	if st.RetryBudgetTokens != 20 {
+		t.Errorf("RetryBudgetTokens = %v, want 20 (default ceiling)", st.RetryBudgetTokens)
+	}
+	if st.HealthCheckFailures == nil {
+		t.Fatal("HealthCheckFailures map is nil")
+	}
+	for _, reason := range healthReasons {
+		if _, ok := st.HealthCheckFailures[reason]; !ok {
+			t.Errorf("HealthCheckFailures missing reason %q", reason)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	reg.Register(p)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"cuckood_client_retry_budget_tokens 20",
+		`cuckood_client_health_check_failures_total{reason="broken"} 0`,
+		`cuckood_client_health_check_failures_total{reason="closed"} 0`,
+		`cuckood_client_health_check_failures_total{reason="buffered"} 0`,
+		`cuckood_client_health_check_failures_total{reason="socket"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Collect output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHealthCheckFailureReasonCounted kills an idle pooled socket and
+// checks the next checkout attributes the discard to a concrete reason.
+func TestHealthCheckFailureReasonCounted(t *testing.T) {
+	s := startBackend(t)
+	p := NewPool(s.Addr().String(), 1)
+	defer p.Close()
+	if err := p.Set("k", "v", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // the idle socket is now half-dead
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p.Get1("k") // checkout health-checks the idle conn
+		total := uint64(0)
+		for _, n := range p.Stats().HealthCheckFailures {
+			total += n
+		}
+		if total > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no health-check failure reason was counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSortHotKeysOrdering(t *testing.T) {
+	hk := []HotKey{{"b", 2}, {"a", 2}, {"z", 9}, {"m", 1}}
+	sortHotKeys(hk)
+	want := []HotKey{{"z", 9}, {"a", 2}, {"b", 2}, {"m", 1}}
+	for i := range want {
+		if hk[i] != want[i] {
+			t.Fatalf("sortHotKeys = %v, want %v", hk, want)
+		}
+	}
+}

@@ -32,6 +32,7 @@ func (c *Conn) QueueIncr(key string, delta int64) error {
 	if err := validKey(key); err != nil {
 		return err
 	}
+	c.writeTrace()
 	c.w.WriteString("INCR ")
 	c.w.WriteString(key)
 	c.w.WriteByte(' ')
@@ -50,6 +51,7 @@ func (c *Conn) QueueMaxUpdate(key string, val int64) error {
 	if err := validKey(key); err != nil {
 		return err
 	}
+	c.writeTrace()
 	c.w.WriteString("MAXUPDATE ")
 	c.w.WriteString(key)
 	c.w.WriteByte(' ')
@@ -75,6 +77,7 @@ func (c *Conn) QueueCAS(key, old, newVal string) error {
 	if strings.ContainsAny(newVal, "\r\n") {
 		return fmt.Errorf("client: value for %q contains newline", key)
 	}
+	c.writeTrace()
 	c.w.WriteString("CAS ")
 	c.w.WriteString(key)
 	c.w.WriteByte(' ')
@@ -260,6 +263,9 @@ func (c *Conn) ExecTxn(t *Txn) ([]Reply, error) {
 		c.w.WriteString(line)
 		c.w.WriteByte('\n')
 	}
+	// The trace rides on the EXEC line: that is the request whose span
+	// covers the transaction's OCC retries and commit.
+	c.writeTrace()
 	c.w.WriteString("EXEC\n")
 	if err := c.w.Flush(); err != nil {
 		return nil, c.fail(err)

@@ -5,6 +5,7 @@
 //	cuckooctl -nodes 10.0.0.1:11300,10.0.0.2:11300,10.0.0.3:11300 status
 //	cuckooctl -nodes ... rebalance
 //	cuckooctl -nodes ... drain 10.0.0.2:11300
+//	cuckooctl -nodes ... -top 20 hotkeys
 //
 // The node list (order included) and -seed define key placement; every
 // client and cuckooctl invocation against the same cluster must agree on
@@ -23,7 +24,7 @@ import (
 
 func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(),
-		"usage: cuckooctl -nodes <addr,addr,...> [flags] <status|rebalance|drain <addr>>\n\nflags:\n")
+		"usage: cuckooctl -nodes <addr,addr,...> [flags] <status|rebalance|drain <addr>|hotkeys>\n\nflags:\n")
 	flag.PrintDefaults()
 }
 
@@ -35,6 +36,7 @@ func main() {
 		rounds    = flag.Int("rounds", 32, "rebalance: maximum shed rounds")
 		batch     = flag.Int("batch", 512, "rebalance: keys to shed per round")
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-operation IO timeout (migrations get at least 30s)")
+		top       = flag.Int("top", 10, "hotkeys: how many keys to show, merged across all nodes")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -60,6 +62,8 @@ func main() {
 			fatal(fmt.Errorf("drain wants exactly one node address"))
 		}
 		err = runDrain(ring, flag.Arg(1))
+	case "hotkeys":
+		err = runHotKeys(ring, *top)
 	default:
 		fatal(fmt.Errorf("unknown command %q", cmd))
 	}
@@ -135,6 +139,27 @@ func runDrain(cl *client.Cluster, addr string) error {
 		return err
 	}
 	fmt.Printf("drained %d keys off %s; node is safe to stop\n", moved, addr)
+	return nil
+}
+
+// runHotKeys prints the cluster-wide hottest keys: every node's HOTKEYS
+// top-K sketch, merged by key with counts summed. Counts are approximate
+// (space-saving sketch over sampled requests) but the ranking of truly
+// hot keys is reliable.
+func runHotKeys(cl *client.Cluster, top int) error {
+	items, err := cl.HotKeys(top)
+	if len(items) > 0 {
+		fmt.Printf("%-12s %s\n", "COUNT", "KEY")
+		for _, it := range items {
+			fmt.Printf("%-12d %s\n", it.Count, it.Key)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		fmt.Println("no hot keys tracked yet (the sketch fills from sampled requests)")
+	}
 	return nil
 }
 

@@ -62,7 +62,7 @@ func main() {
 		admin     = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/vars, /debug/pprof/ (empty disables)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, or error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
-		slowOp    = flag.Duration("slow-op", 0, "slow-request threshold; sampled requests at or over it are counted and logged (0 disables)")
+		slowOp    = flag.Duration("slow-op", 0, "slow-request threshold; every request at or over it is counted and logged with its trace ID and stage breakdown (0 disables)")
 
 		// Loadgen mode.
 		lg       = flag.Bool("loadgen", false, "run the load generator instead of the server")
@@ -80,6 +80,7 @@ func main() {
 		ttl      = flag.Duration("ttl", 0, "TTL attached to every SET (0 = none)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		ringSeed = flag.Uint64("ring-seed", 0, "cluster ring placement seed when -addr lists several nodes; must match the cluster's clients")
+		trace    = flag.Bool("trace", false, "attach a fresh TRACE id to each request batch (loadgen mode)")
 	)
 	flag.Parse()
 
@@ -89,6 +90,7 @@ func main() {
 			Dist: *dist, Theta: *theta, ZipfS: *zipfS, Workload: *workload,
 			SetFrac: *setFrac, Keys: *keys,
 			ValueSize: *valSize, TTL: *ttl, Seed: *seed, RingSeed: *ringSeed,
+			Trace: *trace,
 		})
 		return
 	}
@@ -143,9 +145,9 @@ func main() {
 		}
 		logger.Info("admin endpoint up",
 			"addr", adminLn.Addr().String(),
-			"paths", "/metrics /debug/vars /debug/pprof/")
+			"paths", "/metrics /debug/vars /debug/pprof/ /debug/flight")
 		go func() {
-			if err := http.Serve(adminLn, obs.NewAdminMux(reg)); err != nil {
+			if err := http.Serve(adminLn, obs.NewAdminMux(reg, srv.Flight())); err != nil {
 				// The listener is never closed deliberately, so any error
 				// here is real — but not fatal to the cache itself.
 				logger.Error("admin endpoint failed", "err", err)

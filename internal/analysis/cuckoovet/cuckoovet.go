@@ -9,6 +9,7 @@ import (
 	"cuckoohash/internal/analysis/atomicfield"
 	"cuckoohash/internal/analysis/htmpure"
 	"cuckoohash/internal/analysis/lockorder"
+	"cuckoohash/internal/analysis/obscheck"
 	"cuckoohash/internal/analysis/padcheck"
 	"cuckoohash/internal/analysis/seqlock"
 )
@@ -22,5 +23,6 @@ func Analyzers() []*analysis.Analyzer {
 		padcheck.Analyzer,
 		seqlock.Analyzer,
 		htmpure.Analyzer,
+		obscheck.Analyzer,
 	}
 }

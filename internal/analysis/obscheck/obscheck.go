@@ -1,0 +1,137 @@
+// Package obscheck machine-checks the tracing layer's zero-cost-when-idle
+// contract (internal/obs, docs/OBSERVABILITY.md).
+//
+// A Span sits on every connection's per-request fast path: when the
+// request is unsampled and no slow-op threshold is armed, its methods
+// must cost a couple of branches — no allocation, no clock read, no I/O.
+// The contract is easy to state and easy to erode one edit at a time, so
+// this analyzer enforces it structurally on every method of a span-shaped
+// type (any type with Arm, Begin and End methods):
+//
+//   - the allocating built-ins (make, new, append) are banned outright —
+//     a span is fixed-size scratch, and one append on the record path is
+//     an allocation per request at full load;
+//   - calls into the time package must come after an early-return guard
+//     (an if statement that can return), the Begin/End idiom that keeps
+//     the unarmed path off the clock;
+//   - I/O and logging packages are banned outright — a span records, it
+//     never reports; rendering belongs to slow-path free functions.
+//
+// Methods that legitimately allocate (formatting a summary, say) belong
+// off the span type as free functions taking the span's data, which also
+// keeps this rule trivially checkable.
+package obscheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cuckoohash/internal/analysis"
+	"cuckoohash/internal/analysis/checkutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obscheck",
+	Doc: "flag allocation, unguarded clock reads and I/O in span methods: " +
+		"the per-request tracing scratch must be free when unarmed",
+	Run: run,
+}
+
+// ioPkgs are packages whose calls have no business on the record path at
+// all, guarded or not.
+var ioPkgs = []string{
+	"fmt", "os", "io", "bufio", "net", "log", "log/slog",
+}
+
+// isSpanType recognizes the tracing scratch structurally, the same way
+// htmpure recognizes a transaction handle: any type carrying the
+// Arm/Begin/End triple is held to the contract.
+func isSpanType(t types.Type) bool {
+	return checkutil.HasMethods(t, "Arm", "Begin", "End")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isSpanType(sig.Recv().Type()) {
+				continue
+			}
+			checkMethod(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkMethod walks one span method. Statements are visited in source
+// order; a time-package call is legal only once an early-return guard
+// (an if statement containing a return) has run — the nil/unarmed check
+// that makes the clock read conditional.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl) {
+	guarded := false
+	for _, stmt := range fd.Body.List {
+		checkStmt(pass, fd.Name.Name, stmt, guarded)
+		if ifReturns(stmt) {
+			guarded = true
+		}
+	}
+}
+
+// ifReturns reports whether stmt is an if statement that can return
+// early (directly or in a nested branch).
+func ifReturns(stmt ast.Stmt) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ifs, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func checkStmt(pass *analysis.Pass, method string, stmt ast.Stmt, guarded bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch name := checkutil.BuiltinName(pass.TypesInfo, call); name {
+		case "make", "new", "append":
+			pass.Reportf(call.Pos(),
+				"allocation (%s) in span method %s: the per-request record path must not allocate; move slow-path rendering to a free function",
+				name, method)
+			return true
+		}
+		fn := checkutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if checkutil.PkgPathIn(fn, "time") && !guarded {
+			// Report the outermost time call only; descending would flag
+			// time.Now().UnixNano() twice for one clock read.
+			pass.Reportf(call.Pos(),
+				"span method %s reads the clock (time.%s) before an armed guard: unarmed spans must return without touching time.Now",
+				method, fn.Name())
+			return false
+		}
+		if checkutil.PkgPathIn(fn, ioPkgs...) {
+			pass.Reportf(call.Pos(),
+				"call to %s.%s in span method %s: spans record, they never report; I/O belongs on the slow path",
+				fn.Pkg().Name(), fn.Name(), method)
+		}
+		return true
+	})
+}

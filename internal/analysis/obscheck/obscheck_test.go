@@ -1,0 +1,14 @@
+package obscheck_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/analysistest"
+	"cuckoohash/internal/analysis/obscheck"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t,
+		[]string{analysistest.Dir("obslib"), analysistest.Dir("obschecktest")},
+		obscheck.Analyzer)
+}

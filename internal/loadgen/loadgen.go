@@ -66,6 +66,11 @@ type Config struct {
 	// several nodes; it must match what the cluster's clients use, or the
 	// generated load lands on the wrong primaries.
 	RingSeed uint64
+	// Trace, when true, stamps every batch with a fresh wire trace ID
+	// (client.NewTraceID), exercising the server's end-to-end tracing:
+	// slow-op logs, flight records, and the slow-trace exemplar series all
+	// carry the generator's IDs.
+	Trace bool
 }
 
 func (c *Config) setDefaults() error {
@@ -278,6 +283,12 @@ func runConn(cfg Config, id int, st *connStats) {
 		for i := range isSet {
 			isSet[i] = isSet[i][:0]
 		}
+		if cfg.Trace {
+			id := client.NewTraceID()
+			for _, conn := range conns {
+				conn.SetTrace(id)
+			}
+		}
 		for b := 0; b < batch; b++ {
 			incr := cfg.Workload == "incr"
 			set := !incr && opRnd.Float64() < cfg.SetFrac
@@ -351,6 +362,12 @@ func runConnTxn(cfg Config, ring *cluster.Ring, conns []*client.Conn, keys workl
 		batch := cfg.Batch
 		if rem := cfg.OpsPerConn - sent; batch > rem {
 			batch = rem
+		}
+		if cfg.Trace {
+			id := client.NewTraceID()
+			for _, conn := range conns {
+				conn.SetTrace(id)
+			}
 		}
 		txns := make([]*client.Txn, len(conns))
 		for b := 0; b < batch; b++ {

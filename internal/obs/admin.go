@@ -14,11 +14,14 @@ import (
 //	/metrics       Prometheus text exposition of reg
 //	/debug/vars    expvar JSON snapshot (includes vars from PublishExpvar)
 //	/debug/pprof/  the standard net/http/pprof profile index
+//	/debug/flight  the flight recorder's recent-operation dump
 //
-// The mux is deliberately separate from the data-plane listener so that
-// scrapes, profiles and heap dumps never compete with cache traffic for the
-// protocol accept loop.
-func NewAdminMux(reg *Registry) *http.ServeMux {
+// flight may be nil (no recorder wired up); the endpoint then reports
+// that instead of 404ing, so probes stay stable. The mux is deliberately
+// separate from the data-plane listener so that scrapes, profiles and
+// heap dumps never compete with cache traffic for the protocol accept
+// loop.
+func NewAdminMux(reg *Registry, flight *Flight) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -27,8 +30,16 @@ func NewAdminMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if flight == nil {
+			fmt.Fprint(w, "flight recorder disabled\n")
+			return
+		}
+		flight.WriteTo(w)
+	})
 	mux.HandleFunc("/{$}", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprint(w, "cuckood admin\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "cuckood admin\n\n/metrics\n/debug/vars\n/debug/pprof/\n/debug/flight\n")
 	})
 	return mux
 }

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopK is a space-saving top-K sketch (Metwally et al., "Efficient
+// computation of frequent and top-k elements in data streams"): it
+// tracks at most k counters; a new key evicts the current minimum and
+// inherits its count as overestimation error. For a zipf-skewed stream
+// the true heavy hitters are guaranteed to be present once their
+// frequency exceeds N/k.
+//
+// Touch is called on the sampled request path only, so a mutex is fine;
+// the map-hit fast path does not allocate (the m[string(b)] lookup
+// compiles to a no-copy probe).
+type TopK struct {
+	mu sync.Mutex
+	k  int
+	m  map[string]*tkEntry
+}
+
+type tkEntry struct {
+	key   string
+	count uint64
+	err   uint64
+}
+
+// NewTopK returns a sketch tracking at most k keys.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		k = 1
+	}
+	return &TopK{k: k, m: make(map[string]*tkEntry, k)}
+}
+
+// Touch counts one occurrence of key. The []byte form avoids a string
+// allocation when the key is already tracked (the common case for the
+// heavy hitters the sketch exists to find).
+func (t *TopK) Touch(key []byte) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if e, ok := t.m[string(key)]; ok {
+		e.count++
+		t.mu.Unlock()
+		return
+	}
+	if len(t.m) < t.k {
+		k := string(key)
+		t.m[k] = &tkEntry{key: k, count: 1}
+		t.mu.Unlock()
+		return
+	}
+	// Evict the minimum; the newcomer inherits its count as error bound.
+	var min *tkEntry
+	for _, e := range t.m {
+		if min == nil || e.count < min.count {
+			min = e
+		}
+	}
+	delete(t.m, min.key)
+	k := string(key)
+	t.m[k] = &tkEntry{key: k, count: min.count + 1, err: min.count}
+	t.mu.Unlock()
+}
+
+// TopKItem is one sketch entry: Count overestimates the true frequency
+// by at most Err.
+type TopKItem struct {
+	Key   string
+	Count uint64
+	Err   uint64
+}
+
+// Items returns the tracked keys sorted by count descending (ties by
+// key, so output is deterministic).
+func (t *TopK) Items() []TopKItem {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TopKItem, 0, len(t.m))
+	for _, e := range t.m {
+		out = append(out, TopKItem{Key: e.key, Count: e.count, Err: e.err})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// MergeTopK folds several sketches' items into one ranking, summing
+// counts for keys present in more than one (each conn-shard sketch sees
+// a disjoint slice of traffic, so summing is exact for tracked keys).
+func MergeTopK(sketches []*TopK) []TopKItem {
+	acc := map[string]*TopKItem{}
+	for _, t := range sketches {
+		for _, it := range t.Items() {
+			if e, ok := acc[it.Key]; ok {
+				e.Count += it.Count
+				e.Err += it.Err
+			} else {
+				c := it
+				acc[it.Key] = &c
+			}
+		}
+	}
+	out := make([]TopKItem, 0, len(acc))
+	for _, e := range acc {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

@@ -88,30 +88,7 @@ type cell struct {
 // every stripe up front (ascending order, the §4.4 LockPair discipline
 // generalized) and cannot abort.
 func (s *Store) Exec(ops []Op) ([]Result, ExecInfo) {
-	if len(ops) == 0 {
-		return nil, ExecInfo{}
-	}
-	// Split counters trade read freshness for commutativity; a
-	// transaction's read set must be exact, so hot keys fold first.
-	if s.split.hotCount.Load() > 0 {
-		for i := range ops {
-			s.ReconcileKey(ops[i].Key)
-		}
-	}
-	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
-		res, ok := s.tryExec(ops)
-		if ok {
-			s.stats.commits.Add(1)
-			s.stats.recordRetries(attempt)
-			return res, ExecInfo{Retries: attempt}
-		}
-		s.stats.aborts.Add(1)
-	}
-	res := s.execPessimistic(ops)
-	s.stats.commits.Add(1)
-	s.stats.fallbacks.Add(1)
-	s.stats.recordRetries(s.cfg.MaxRetries + 1)
-	return res, ExecInfo{Retries: s.cfg.MaxRetries + 1, Pessimistic: true}
+	return s.ExecSpan(ops, nil)
 }
 
 // tryExec is one optimistic attempt: versioned reads, private execution,

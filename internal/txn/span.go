@@ -1,0 +1,155 @@
+package txn
+
+import "cuckoohash/internal/obs"
+
+// This file holds the span-instrumented variants of the Store verbs.
+// The plain verbs in txn.go delegate here with a nil span, which the
+// obs.Span contract makes free: Begin on a nil or unarmed span returns
+// 0 without reading the clock, and End on a zero start is a no-op. The
+// split gives cuckootrace per-stage attribution (stripe-lock wait vs
+// table probe vs OCC retry) without changing any existing signature.
+
+// WithLockSpan is WithLock with the stripe acquisition attributed to
+// rec as StageLock.
+func (s *Store) WithLockSpan(key string, rec *obs.Span, fn func()) {
+	i := s.stripeFor(key)
+	t0 := rec.Begin()
+	s.locks.Lock(i)
+	rec.End(obs.StageLock, t0)
+	s.reconcileIfHotLocked(key)
+	fn()
+	s.locks.Unlock(i)
+}
+
+// SetSpan is Set with lock wait and store time attributed to rec.
+func (s *Store) SetSpan(key, val string, expireAt int64, rec *obs.Span) error {
+	var err error
+	s.WithLockSpan(key, rec, func() {
+		t0 := rec.Begin()
+		err = s.kv.Store(key, val, expireAt, false)
+		rec.End(obs.StageProbe, t0)
+	})
+	return err
+}
+
+// DeleteSpan is Delete with lock wait and removal attributed to rec.
+func (s *Store) DeleteSpan(key string, rec *obs.Span) bool {
+	var ok bool
+	s.WithLockSpan(key, rec, func() {
+		t0 := rec.Begin()
+		ok = s.kv.Delete(key)
+		rec.End(obs.StageProbe, t0)
+	})
+	return ok
+}
+
+// IncrSpan is Incr with stripe wait (StageLock) and the read-modify-
+// write (StageProbe) attributed to rec. The split fast path records
+// nothing: it is a single padded atomic add with no lock or probe.
+func (s *Store) IncrSpan(key string, delta int64, hint uint64, rec *obs.Span) error {
+	if e, ok := s.split.lookup(key); ok && e.class == classAdd {
+		if s.split.add(e, delta, hint) {
+			return nil
+		}
+		// Demoted between the lookup and the slot write: fall through to
+		// the stripe path like any cold key.
+	}
+	i := s.stripeFor(key)
+	t0 := rec.Begin()
+	if !s.locks.TryLock(i) {
+		if s.cfg.PromoteAfter > 0 {
+			s.noteContention(key, classAdd)
+		}
+		s.locks.Lock(i)
+	}
+	rec.End(obs.StageLock, t0)
+	s.reconcileIfHotLocked(key)
+	t1 := rec.Begin()
+	err := s.applyAddLocked(key, delta)
+	rec.End(obs.StageProbe, t1)
+	s.locks.Unlock(i)
+	return err
+}
+
+// MaxUpdateSpan is MaxUpdate with the same attribution as IncrSpan.
+func (s *Store) MaxUpdateSpan(key string, n int64, hint uint64, rec *obs.Span) error {
+	if e, ok := s.split.lookup(key); ok && e.class == classMax {
+		if s.split.max(e, n, hint) {
+			return nil
+		}
+		// Demoted between the lookup and the slot write: stripe path.
+	}
+	i := s.stripeFor(key)
+	t0 := rec.Begin()
+	if !s.locks.TryLock(i) {
+		if s.cfg.PromoteAfter > 0 {
+			s.noteContention(key, classMax)
+		}
+		s.locks.Lock(i)
+	}
+	rec.End(obs.StageLock, t0)
+	s.reconcileIfHotLocked(key)
+	t1 := rec.Begin()
+	err := s.applyMaxLocked(key, n)
+	rec.End(obs.StageProbe, t1)
+	s.locks.Unlock(i)
+	return err
+}
+
+// CASSpan is CAS with lock wait and the compare-and-store attributed
+// to rec.
+func (s *Store) CASSpan(key, old, newVal string, rec *obs.Span) (CASResult, error) {
+	res, err := CASMiss, error(nil)
+	s.WithLockSpan(key, rec, func() {
+		t0 := rec.Begin()
+		cur, ok := s.kv.Load(key)
+		switch {
+		case !ok:
+			res = CASMiss
+		case cur != old:
+			res = CASConflict
+			s.stats.casConflicts.Add(1)
+		default:
+			res = CASStored
+			err = s.kv.Store(key, newVal, 0, true)
+		}
+		rec.End(obs.StageProbe, t0)
+	})
+	return res, err
+}
+
+// ExecSpan is Exec with each failed optimistic attempt attributed as
+// StageTxnRetry and the committing attempt (optimistic or pessimistic)
+// as StageProbe, so a transaction's span shows how much of its latency
+// was wasted work.
+func (s *Store) ExecSpan(ops []Op, rec *obs.Span) ([]Result, ExecInfo) {
+	if len(ops) == 0 {
+		return nil, ExecInfo{}
+	}
+	// Split counters trade read freshness for commutativity; a
+	// transaction's read set must be exact, so hot keys fold first.
+	if s.split.hotCount.Load() > 0 {
+		for i := range ops {
+			s.ReconcileKey(ops[i].Key)
+		}
+	}
+	for attempt := 0; attempt <= s.cfg.MaxRetries; attempt++ {
+		t0 := rec.Begin()
+		res, ok := s.tryExec(ops)
+		if ok {
+			rec.End(obs.StageProbe, t0)
+			s.stats.commits.Add(1)
+			s.stats.recordRetries(attempt)
+			return res, ExecInfo{Retries: attempt}
+		}
+		rec.End(obs.StageTxnRetry, t0)
+		s.stats.aborts.Add(1)
+	}
+	t0 := rec.Begin()
+	res := s.execPessimistic(ops)
+	rec.End(obs.StageProbe, t0)
+	s.stats.commits.Add(1)
+	s.stats.fallbacks.Add(1)
+	s.stats.recordRetries(s.cfg.MaxRetries + 1)
+	return res, ExecInfo{Retries: s.cfg.MaxRetries + 1, Pessimistic: true}
+}

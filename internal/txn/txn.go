@@ -124,11 +124,7 @@ func (s *Store) stripeFor(key string) uint64 {
 // cluster migration removal) must run through here: the version bump on
 // unlock is what invalidates concurrent optimistic read sets.
 func (s *Store) WithLock(key string, fn func()) {
-	i := s.stripeFor(key)
-	s.locks.Lock(i)
-	s.reconcileIfHotLocked(key)
-	fn()
-	s.locks.Unlock(i)
+	s.WithLockSpan(key, nil, fn)
 }
 
 // Set writes key=val with the given absolute expiry under the key's
@@ -136,18 +132,14 @@ func (s *Store) WithLock(key string, fn func()) {
 // overwrite). It returns the backing store's error unchanged so callers
 // can drive eviction-and-retry outside the stripe.
 func (s *Store) Set(key, val string, expireAt int64) error {
-	var err error
-	s.WithLock(key, func() { err = s.kv.Store(key, val, expireAt, false) })
-	return err
+	return s.SetSpan(key, val, expireAt, nil)
 }
 
 // Delete removes key under its stripe. Pending deltas are folded first,
 // then discarded with the entry; deltas that arrive afterwards serialize
 // after the delete and re-create the counter from zero.
 func (s *Store) Delete(key string) bool {
-	var ok bool
-	s.WithLock(key, func() { ok = s.kv.Delete(key) })
-	return ok
+	return s.DeleteSpan(key, nil)
 }
 
 // Incr atomically adds delta to the signed 64-bit integer stored at key
@@ -157,47 +149,14 @@ func (s *Store) Delete(key string) bool {
 // returned: during a split phase no single core knows it, which is
 // exactly the property that lets hot counters scale (Doppel).
 func (s *Store) Incr(key string, delta int64, hint uint64) error {
-	if e, ok := s.split.lookup(key); ok && e.class == classAdd {
-		if s.split.add(e, delta, hint) {
-			return nil
-		}
-		// Demoted between the lookup and the slot write: fall through to
-		// the stripe path like any cold key.
-	}
-	i := s.stripeFor(key)
-	if !s.locks.TryLock(i) {
-		if s.cfg.PromoteAfter > 0 {
-			s.noteContention(key, classAdd)
-		}
-		s.locks.Lock(i)
-	}
-	s.reconcileIfHotLocked(key)
-	err := s.applyAddLocked(key, delta)
-	s.locks.Unlock(i)
-	return err
+	return s.IncrSpan(key, delta, hint, nil)
 }
 
 // MaxUpdate atomically raises the integer at key to n if n is larger
 // (a missing key is treated as having no value, so n is stored). Like
 // Incr it is commutative and split-eligible, and returns no value.
 func (s *Store) MaxUpdate(key string, n int64, hint uint64) error {
-	if e, ok := s.split.lookup(key); ok && e.class == classMax {
-		if s.split.max(e, n, hint) {
-			return nil
-		}
-		// Demoted between the lookup and the slot write: stripe path.
-	}
-	i := s.stripeFor(key)
-	if !s.locks.TryLock(i) {
-		if s.cfg.PromoteAfter > 0 {
-			s.noteContention(key, classMax)
-		}
-		s.locks.Lock(i)
-	}
-	s.reconcileIfHotLocked(key)
-	err := s.applyMaxLocked(key, n)
-	s.locks.Unlock(i)
-	return err
+	return s.MaxUpdateSpan(key, n, hint, nil)
 }
 
 // CASResult is the outcome of a CAS.
@@ -216,21 +175,7 @@ const (
 // CAS observes the value, so it is never split; it always takes the
 // stripe and reconciles pending deltas first.
 func (s *Store) CAS(key, old, newVal string) (CASResult, error) {
-	res, err := CASMiss, error(nil)
-	s.WithLock(key, func() {
-		cur, ok := s.kv.Load(key)
-		switch {
-		case !ok:
-			res = CASMiss
-		case cur != old:
-			res = CASConflict
-			s.stats.casConflicts.Add(1)
-		default:
-			res = CASStored
-			err = s.kv.Store(key, newVal, 0, true)
-		}
-	})
-	return res, err
+	return s.CASSpan(key, old, newVal, nil)
 }
 
 // applyAddLocked performs the read-modify-write of an arithmetic add.

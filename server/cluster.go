@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"cuckoohash/internal/cluster"
+	"cuckoohash/internal/obs"
 )
 
 // migrateIOTimeout bounds the outbound side of one MIGRATE: the dial of
@@ -79,7 +80,11 @@ func (s *Server) clusterInfo() []Stat {
 // synchronous: selection, bulk transfer, and local deletion all complete
 // before it returns, so the MIGRATED count a client reads is already
 // reflected in the migrated_out counter.
-func (s *Server) Migrate(a *migrateArgs) (int, error) {
+// trace, when non-nil, is the requesting client's wire trace ID: it is
+// forwarded on the HANDOFF hop and stamped on this node's migration
+// logs, so one traced request is one trace ID across every node it
+// touches.
+func (s *Server) Migrate(a *migrateArgs, trace []byte) (int, error) {
 	ring, err := cluster.Parse(a.ring, a.seed)
 	if err != nil {
 		return 0, err
@@ -105,10 +110,11 @@ func (s *Server) Migrate(a *migrateArgs) (int, error) {
 	}
 
 	start := time.Now()
-	loaded, err := sendHandoff(a.dest, buf.Bytes())
+	loaded, err := sendHandoff(a.dest, buf.Bytes(), trace)
 	if err != nil {
 		s.cache.stats.migrateFails.Add(1)
-		s.log.Warn("migrate failed", "dest", a.dest, "keys", len(recs), "err", err)
+		s.log.Warn("migrate failed", "dest", a.dest, "keys", len(recs),
+			"trace", string(trace), "err", err)
 		return 0, fmt.Errorf("handoff to %s: %w", a.dest, err)
 	}
 
@@ -131,6 +137,7 @@ func (s *Server) Migrate(a *migrateArgs) (int, error) {
 		"selected", len(recs),
 		"applied_on_dest", loaded,
 		"moved", moved,
+		"trace", string(trace),
 		"dur", time.Since(start))
 	return moved, nil
 }
@@ -195,7 +202,9 @@ func (c *Cache) removeIfUnchanged(key string, want entry) bool {
 
 // sendHandoff dials dest, pushes one HANDOFF frame (length-prefixed
 // snapshot payload), and returns the count the peer reports applying.
-func sendHandoff(dest string, payload []byte) (int, error) {
+// A non-nil trace is forwarded as the request's TRACE prefix so the
+// receiving node's slow-op logs and flight records carry the same ID.
+func sendHandoff(dest string, payload []byte, trace []byte) (int, error) {
 	nc, err := net.DialTimeout("tcp", dest, migrateIOTimeout)
 	if err != nil {
 		return 0, err
@@ -204,6 +213,11 @@ func sendHandoff(dest string, payload []byte) (int, error) {
 	nc.SetDeadline(time.Now().Add(migrateIOTimeout))
 
 	w := bufio.NewWriterSize(nc, 64<<10)
+	if len(trace) > 0 {
+		w.WriteString("TRACE ")
+		w.Write(trace)
+		w.WriteByte(' ')
+	}
 	w.WriteString("HANDOFF ")
 	w.WriteString(strconv.Itoa(len(payload)))
 	w.WriteByte('\n')
@@ -228,12 +242,16 @@ func sendHandoff(dest string, payload []byte) (int, error) {
 // connection is closed by the caller); a payload that arrives but fails
 // validation is answered with ERR and the connection stays usable — the
 // stream is back in sync at the next line either way.
-func (s *Server) applyHandoff(r *bufio.Reader, w *bufio.Writer, n uint64) error {
+func (s *Server) applyHandoff(r *bufio.Reader, w *bufio.Writer, n uint64, sp *obs.Span) error {
 	buf := make([]byte, n)
+	t0 := sp.Begin()
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return err
 	}
+	sp.End(obs.StageRead, t0)
+	t0 = sp.Begin()
 	loaded, err := s.cache.LoadSnapshot(bytes.NewReader(buf))
+	sp.End(obs.StageProbe, t0)
 	if err != nil {
 		s.cache.stats.handoffRejects.Add(1)
 		writeErr(w, err)

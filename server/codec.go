@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"cuckoohash/internal/obs"
 	"cuckoohash/internal/txn"
 )
 
@@ -43,6 +44,9 @@ const (
 	opMulti
 	opExec
 	opDiscard
+	// Observability verbs (docs/OBSERVABILITY.md): the server-measured
+	// hot-key top-K.
+	opHotKeys
 	// opBad marks a line that failed to parse; it is never dispatched, only
 	// reported in logs.
 	opBad opCode = 0xff
@@ -87,6 +91,8 @@ func (o opCode) String() string {
 		return "EXEC"
 	case opDiscard:
 		return "DISCARD"
+	case opHotKeys:
+		return "HOTKEYS"
 	}
 	return "INVALID"
 }
@@ -111,6 +117,10 @@ type request struct {
 	// old is the CAS expected value; like key/val it aliases the read
 	// buffer. val holds the CAS replacement.
 	old []byte
+	// trace is the wire trace ID from an optional "TRACE <id>" prefix
+	// (docs/OBSERVABILITY.md); nil when the request is untraced. Like
+	// key/val it aliases the read buffer.
+	trace []byte
 }
 
 // migrateArgs are the parsed operands of a MIGRATE line:
@@ -145,6 +155,9 @@ var (
 	errBadMigrate = errors.New("migrate wants: MIGRATE <home|shed> <dest> <self> <seed> <max> <ring-csv>")
 
 	errBadDelta = errors.New("delta must be a signed 64-bit integer")
+
+	errBadTrace   = errors.New("trace wants: TRACE <id (1..64 bytes)> <command...>")
+	errBadHotKeys = errors.New("hotkeys wants: HOTKEYS [count (1.." + hotKeysMaxStr + ")]")
 )
 
 // nextToken splits the first space-separated token off line.
@@ -157,9 +170,30 @@ func nextToken(line []byte) (tok, rest []byte) {
 
 // parseRequest parses one protocol line (already stripped of \r\n).
 func parseRequest(line []byte) (request, error) {
+	return parseRequest1(line, true)
+}
+
+// parseRequest1 is parseRequest with the TRACE prefix gated: the prefix
+// is legal exactly once, at the start of the line.
+func parseRequest1(line []byte, allowTrace bool) (request, error) {
 	cmd, rest := nextToken(line)
 	if len(cmd) == 0 {
 		return request{}, errEmpty
+	}
+	if asciiEqualFold(cmd, "TRACE") {
+		if !allowTrace {
+			return request{}, errBadTrace
+		}
+		id, rest2 := nextToken(rest)
+		if len(id) == 0 || len(id) > maxTraceIDLen || rest2 == nil {
+			return request{}, errBadTrace
+		}
+		req, err := parseRequest1(rest2, false)
+		if err != nil {
+			return request{}, err
+		}
+		req.trace = id
+		return req, nil
 	}
 	switch {
 	case asciiEqualFold(cmd, "GET"):
@@ -232,8 +266,39 @@ func parseRequest(line []byte) (request, error) {
 			return request{}, errBadArgs
 		}
 		return request{op: opDiscard}, nil
+	case asciiEqualFold(cmd, "HOTKEYS"):
+		return parseHotKeys(rest)
 	}
 	return request{}, errUnknownCmd
+}
+
+// maxTraceIDLen mirrors obs.MaxTraceIDLen without importing obs into
+// the codec; a compile-time assertion in conn.go keeps them equal.
+const maxTraceIDLen = 64
+
+// hotKeysMax bounds the HOTKEYS count operand: the server tracks only a
+// few dozen keys per sketch, so asking for more is a client bug.
+const (
+	hotKeysMax    = 128
+	hotKeysMaxStr = "128"
+)
+
+// parseHotKeys parses HOTKEYS [count]; count defaults to 10 and rides
+// in req.delta.
+func parseHotKeys(rest []byte) (request, error) {
+	n := int64(10)
+	tok, extra := nextToken(rest)
+	if len(tok) != 0 {
+		if extra != nil {
+			return request{}, errBadHotKeys
+		}
+		v, err := strconv.ParseInt(string(tok), 10, 64)
+		if err != nil || v < 1 || v > hotKeysMax {
+			return request{}, errBadHotKeys
+		}
+		n = v
+	}
+	return request{op: opHotKeys, delta: n}, nil
 }
 
 // parseCounter parses the arithmetic verbs:
@@ -464,4 +529,19 @@ func writeHandoff(w *bufio.Writer, loaded int) {
 	w.WriteString("HANDOFF ")
 	w.WriteString(strconv.Itoa(loaded))
 	w.WriteByte('\n')
+}
+
+// writeHotKeys renders a HOTKEYS reply: one "HOTKEY <count> <key>" line
+// per tracked key, hottest first, then END. count precedes key because
+// keys may contain spaces-free tokens of any content while count is
+// always a single integer — parsers split twice and take the rest.
+func writeHotKeys(w *bufio.Writer, items []obs.TopKItem) {
+	for i := range items {
+		w.WriteString("HOTKEY ")
+		w.WriteString(strconv.FormatUint(items[i].Count, 10))
+		w.WriteByte(' ')
+		w.WriteString(items[i].Key)
+		w.WriteByte('\n')
+	}
+	w.WriteString("END\n")
 }

@@ -9,8 +9,13 @@ import (
 	"strconv"
 	"time"
 
+	"cuckoohash/internal/obs"
 	"cuckoohash/internal/txn"
 )
+
+// Compile-time: the codec's TRACE id bound equals the span scratch size,
+// so an accepted trace ID always fits the per-connection span.
+var _ = [1]struct{}{}[maxTraceIDLen-obs.MaxTraceIDLen]
 
 const (
 	connReadBuf  = 64 << 10
@@ -40,6 +45,13 @@ type connState struct {
 	latShard uint64
 	reqCount uint64
 
+	// span is this connection's cuckootrace scratch: stage timings and
+	// the wire trace ID of the request in flight. Armed per request by
+	// serveBatchHead; disarmed spans never read the clock.
+	span obs.Span
+	// outcome classifies the request in flight for the flight recorder.
+	outcome obs.Outcome
+
 	// MULTI state. Queued ops copy their keys/values out of the read
 	// buffer (the buffer is recycled long before EXEC). txnBad poisons
 	// the transaction on any queue-time error; EXEC then refuses to run
@@ -67,6 +79,17 @@ func (s *Server) handleConn(nc net.Conn) {
 		remote:   nc.RemoteAddr().String(),
 		latShard: s.cache.stats.connsTotal.Add(1),
 	}
+	// A handler panic is exactly the incident the flight recorder exists
+	// for: dump the recent-operation tail before re-panicking so the
+	// crash log shows what the server was doing, not just where it died.
+	defer func() {
+		if p := recover(); p != nil {
+			s.log.Error("panic in connection handler",
+				"remote", cs.remote, "panic", p,
+				"recent_ops", s.flight.Summary(flightDumpOps))
+			panic(p)
+		}
+	}()
 	s.cache.stats.connsActive.Add(1)
 	defer s.cache.stats.connsActive.Add(-1)
 
@@ -139,28 +162,62 @@ func (s *Server) armReadDeadline(nc net.Conn, d time.Duration) {
 // serveBatchHead processes line and then every further request already
 // buffered, returning true if the client asked to quit.
 func (s *Server) serveBatchHead(line []byte, r *bufio.Reader, w *bufio.Writer, cs *connState) bool {
+	st := s.cache.stats
 	for {
 		sample := cs.reqCount&latencySampleMask == 0
 		cs.reqCount++
-		var start time.Time
-		if sample {
-			start = time.Now()
+		// The span runs whenever it can matter: on sampled requests (they
+		// feed the latency and stage histograms) and on *every* request
+		// when a slow-op threshold is armed — a request over -slow-op must
+		// never be dropped by sampling; it is the rare event the operator
+		// asked to see. With no threshold, 15 of 16 requests never read
+		// the clock.
+		timed := sample || s.slowOp > 0
+		if timed {
+			cs.span.Arm()
+		} else {
+			cs.span.Disarm()
 		}
+		start := cs.span.Now()
+		cs.outcome = obs.OutcomeOK
 		req, quit := s.serveRequest(line, r, w, cs)
-		if sample {
-			dur := time.Since(start)
-			s.cache.stats.recordLatency(cs.latShard, uint64(dur))
-			if s.slowOp > 0 && dur >= s.slowOp {
-				s.cache.stats.slowOps.Add(1)
+		var durNs int64
+		if timed {
+			durNs = cs.span.Now() - start
+			cs.span.Finish(durNs)
+			if sample {
+				st.recordLatency(cs.latShard, uint64(durNs))
+				st.stages.RecordSpan(verbClassOf(req.op), cs.latShard, &cs.span)
+				if len(req.key) > 0 {
+					st.touchHot(cs.latShard, req.key)
+				}
+			}
+			if s.slowOp > 0 && time.Duration(durNs) >= s.slowOp {
+				st.slowOps.Add(1)
+				st.slowTraces.Note(cs.span.TraceBytes(), req.op.String(), float64(durNs)/1e9)
 				// req.key aliases the read buffer; string() copies it
 				// before the next read can clobber it.
 				s.log.Warn("slow request",
 					"op", req.op.String(),
 					"key", string(req.key),
-					"dur", dur,
+					"dur", time.Duration(durNs),
+					"trace", cs.span.TraceString(),
+					"stages", obs.SummarizeStages(cs.span.Stages()),
 					"remote", cs.remote)
 			}
 		}
+		// The flight recorder sees every request, timed or not: an
+		// untimed record still carries verb, outcome, key hash and trace,
+		// which is what incident dumps need most.
+		rec := obs.FlightRecord{
+			Verb:    req.op.String(),
+			Outcome: cs.outcome,
+			KeyHash: hashKey(req.key),
+			TotalNs: durNs,
+			Stages:  cs.span.Stages(),
+		}
+		rec.SetTrace(req.trace)
+		s.flight.Record(cs.latShard, &rec)
 		if quit {
 			return true
 		}
@@ -180,18 +237,26 @@ func (s *Server) serveBatchHead(line []byte, r *bufio.Reader, w *bufio.Writer, c
 // request line). It returns the parsed request so the caller can
 // attribute slow-op traces.
 func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer, cs *connState) (req request, quit bool) {
+	t0 := cs.span.Begin()
 	req, err := parseRequest(line)
+	cs.span.End(obs.StageParse, t0)
 	if err != nil {
 		// A parse failure inside MULTI poisons the transaction: EXEC
 		// must not run an op list the client thinks is longer.
 		if cs.inTxn {
 			cs.txnBad = true
 		}
+		cs.outcome = obs.OutcomeBad
 		writeErr(w, err)
 		// An oversized HANDOFF length is fatal to the connection: the
 		// payload bytes are already behind the line and cannot be skipped,
 		// so the stream would desynchronize into garbage commands.
 		return request{op: opBad}, errors.Is(err, errBadPayload)
+	}
+	if req.trace != nil {
+		// Works even on a disarmed span: trace propagation (slow logs,
+		// flight records, MIGRATE hops) must survive unsampled requests.
+		cs.span.SetTrace(req.trace)
 	}
 	// MULTI queueing happens before the in-flight gate: a queued op
 	// touches only this connection's buffer, never the cache. EXEC,
@@ -210,32 +275,39 @@ func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer, cs 
 	// can always observe an overloaded server, QUIT so drains always
 	// work, and CLUSTER so rebalance decisions can be made while the
 	// node is overloaded — which is exactly when they matter.
+	// HOTKEYS is exempt like STATS: it only folds the sketches, never
+	// touches the cache, and is most useful exactly when the server is
+	// overloaded by a hot key.
 	if s.inflight != nil && req.op != opStats && req.op != opQuit && req.op != opCluster &&
-		req.op != opMulti && req.op != opDiscard {
+		req.op != opMulti && req.op != opDiscard && req.op != opHotKeys {
+		t0 = cs.span.Begin()
 		select {
 		case s.inflight <- struct{}{}:
+			cs.span.End(obs.StageDispatch, t0)
 			defer func() { <-s.inflight }()
 		default:
+			cs.span.End(obs.StageDispatch, t0)
 			s.cache.stats.busyRejected.Add(1)
+			cs.outcome = obs.OutcomeBusy
 			writeErr(w, errBusy)
 			return req, false
 		}
 	}
 	switch req.op {
 	case opGet:
-		if v, ok := s.cache.Get(string(req.key)); ok {
+		if v, ok := s.cache.GetTraced(string(req.key), &cs.span); ok {
 			writeValue(w, v)
 		} else {
 			writeMiss(w)
 		}
 	case opSet, opSetEx:
-		if err := s.cache.Set(string(req.key), string(req.val), req.ttl); err != nil {
-			writeErr(w, err)
+		if err := s.cache.SetTraced(string(req.key), string(req.val), req.ttl, &cs.span); err != nil {
+			s.replyErr(w, cs, err)
 		} else {
 			writeOK(w)
 		}
 	case opDel:
-		if s.cache.Delete(string(req.key)) {
+		if s.cache.DeleteTraced(string(req.key), &cs.span) {
 			writeOK(w)
 		} else {
 			writeMiss(w)
@@ -250,35 +322,38 @@ func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer, cs 
 		writeStats(w, s.cache.Snapshot(s.cache.stats))
 	case opCluster:
 		writeCluster(w, s.clusterInfo())
+	case opHotKeys:
+		writeHotKeys(w, s.cache.stats.HotKeys(int(req.delta)))
 	case opMigrate:
-		if n, err := s.Migrate(req.mig); err != nil {
-			writeErr(w, err)
+		if n, err := s.Migrate(req.mig, req.trace); err != nil {
+			s.replyErr(w, cs, err)
 		} else {
 			writeMigrated(w, n)
 		}
 	case opHandoff:
-		if err := s.applyHandoff(r, w, req.payload); err != nil {
+		if err := s.applyHandoff(r, w, req.payload, &cs.span); err != nil {
 			// The payload never arrived in full; the stream is undefined.
 			s.log.Warn("handoff payload truncated", "err", err)
+			cs.outcome = obs.OutcomeErr
 			return req, true
 		}
 	case opIncr, opDecr, opAdd:
-		if err := s.cache.Incr(string(req.key), req.delta, cs.latShard); err != nil {
-			writeErr(w, err)
+		if err := s.cache.IncrTraced(string(req.key), req.delta, cs.latShard, &cs.span); err != nil {
+			s.replyErr(w, cs, err)
 		} else {
 			writeOK(w)
 		}
 	case opMaxUpdate:
-		if err := s.cache.MaxUpdate(string(req.key), req.delta, cs.latShard); err != nil {
-			writeErr(w, err)
+		if err := s.cache.MaxUpdateTraced(string(req.key), req.delta, cs.latShard, &cs.span); err != nil {
+			s.replyErr(w, cs, err)
 		} else {
 			writeOK(w)
 		}
 	case opCAS:
-		res, err := s.cache.CAS(string(req.key), string(req.old), string(req.val))
+		res, err := s.cache.CASTraced(string(req.key), string(req.old), string(req.val), &cs.span)
 		switch {
 		case err != nil:
-			writeErr(w, err)
+			s.replyErr(w, cs, err)
 		case res == txn.CASStored:
 			writeOK(w)
 		case res == txn.CASMiss:
@@ -288,7 +363,7 @@ func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer, cs 
 		}
 	case opMulti:
 		if cs.inTxn {
-			writeErr(w, errNestedMulti)
+			s.replyErr(w, cs, errNestedMulti)
 		} else {
 			cs.inTxn = true
 			writeOK(w)
@@ -296,17 +371,17 @@ func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer, cs 
 	case opExec:
 		switch {
 		case !cs.inTxn:
-			writeErr(w, errNoMulti)
+			s.replyErr(w, cs, errNoMulti)
 		case cs.txnBad:
 			cs.resetTxn()
-			writeErr(w, errTxnAborted)
+			s.replyErr(w, cs, errTxnAborted)
 		default:
-			writeExecResults(w, s.cache.Exec(cs.txnOps))
+			writeExecResults(w, s.cache.ExecTraced(cs.txnOps, &cs.span))
 			cs.resetTxn()
 		}
 	case opDiscard:
 		if !cs.inTxn {
-			writeErr(w, errNoMulti)
+			s.replyErr(w, cs, errNoMulti)
 		} else {
 			cs.resetTxn()
 			writeOK(w)
@@ -315,6 +390,25 @@ func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer, cs 
 		return req, true
 	}
 	return req, false
+}
+
+// replyErr writes an error reply and classifies the request for the
+// flight recorder.
+func (s *Server) replyErr(w *bufio.Writer, cs *connState, err error) {
+	cs.outcome = obs.OutcomeErr
+	writeErr(w, err)
+}
+
+// hashKey is FNV-1a over the key bytes: flight records keep a hash, not
+// the key, so /debug/flight never leaks key material while still letting
+// an operator correlate records of the same key.
+func hashKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 var (
@@ -331,12 +425,12 @@ var (
 // op list can never commit.
 func (s *Server) queueTxnOp(w *bufio.Writer, cs *connState, req request) {
 	if cs.txnBad {
-		writeErr(w, errTxnAborted)
+		s.replyErr(w, cs, errTxnAborted)
 		return
 	}
 	if len(cs.txnOps) >= maxTxnOps {
 		cs.txnBad = true
-		writeErr(w, errTxnTooLong)
+		s.replyErr(w, cs, errTxnTooLong)
 		return
 	}
 	op := txn.Op{Key: string(req.key)}
@@ -360,7 +454,7 @@ func (s *Server) queueTxnOp(w *bufio.Writer, cs *connState, req request) {
 		// Admin and bulk verbs (STATS, CLUSTER, MIGRATE, HANDOFF, MULTI)
 		// have no transactional meaning; reject and poison.
 		cs.txnBad = true
-		writeErr(w, errNotInTxn)
+		s.replyErr(w, cs, errNotInTxn)
 		return
 	}
 	cs.txnOps = append(cs.txnOps, op)

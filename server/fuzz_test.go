@@ -61,6 +61,20 @@ func FuzzParseCommand(f *testing.F) {
 		"EXEC",
 		"EXEC 3",
 		"DISCARD",
+		// Tracing verbs (docs/OBSERVABILITY.md).
+		"TRACE abc123 GET k",
+		"TRACE t SET k v",
+		"TRACE",                 // id and command both missing
+		"TRACE id-only",         // command missing
+		"TRACE x TRACE y GET k", // prefix is legal exactly once
+		"TRACE " + string(bytes.Repeat([]byte("i"), 64)) + " GET k",
+		"TRACE " + string(bytes.Repeat([]byte("i"), 65)) + " GET k", // id too long
+		"HOTKEYS",
+		"HOTKEYS 5",
+		"HOTKEYS 0",
+		"HOTKEYS 128",
+		"HOTKEYS 129",
+		"HOTKEYS 5 extra",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -74,7 +88,7 @@ func FuzzParseCommand(f *testing.F) {
 		req, err := parseRequest(line)
 		if err != nil {
 			if req.op != 0 || req.key != nil || req.val != nil || req.old != nil ||
-				req.delta != 0 || req.mig != nil || req.payload != 0 {
+				req.delta != 0 || req.mig != nil || req.payload != 0 || req.trace != nil {
 				t.Fatalf("error %v returned alongside non-zero request %+v", err, req)
 			}
 			return
@@ -97,6 +111,13 @@ func FuzzParseCommand(f *testing.F) {
 			}
 		case opStats, opQuit, opCluster, opMulti, opExec, opDiscard:
 			// No operands to validate.
+		case opHotKeys:
+			if req.delta < 1 || req.delta > hotKeysMax {
+				t.Fatalf("HOTKEYS accepted count %d", req.delta)
+			}
+			if req.key != nil || req.val != nil || req.old != nil {
+				t.Fatalf("HOTKEYS parsed with key/value operands %+v", req)
+			}
 		case opIncr, opDecr, opAdd, opMaxUpdate:
 			if len(req.key) == 0 || len(req.key) > maxKeyLen {
 				t.Fatalf("%s accepted key of length %d", req.op, len(req.key))
@@ -134,9 +155,14 @@ func FuzzParseCommand(f *testing.F) {
 		default:
 			t.Fatalf("parser returned unknown op %d", req.op)
 		}
-		// Zero-copy contract: accepted keys and values are byte ranges of
-		// the input line, so their content must appear in it verbatim.
-		for _, b := range [][]byte{req.key, req.val, req.old} {
+		// A TRACE prefix is accepted only within the codec's ID bounds.
+		if req.trace != nil && (len(req.trace) == 0 || len(req.trace) > maxTraceIDLen) {
+			t.Fatalf("TRACE accepted id of length %d", len(req.trace))
+		}
+		// Zero-copy contract: accepted keys, values and trace IDs are byte
+		// ranges of the input line, so their content must appear in it
+		// verbatim.
+		for _, b := range [][]byte{req.key, req.val, req.old, req.trace} {
 			if len(b) > 0 && !bytes.Contains(line, b) {
 				t.Fatalf("operand %q not present in input line %q", b, line)
 			}

@@ -29,7 +29,7 @@ func (s *Server) Collect(m *obs.Metrics) {
 	m.Counter("cuckood_dels_total", "DEL requests served.", float64(st.dels.Total()))
 	m.Counter("cuckood_expired_total", "Entries removed because their TTL passed.", float64(st.expired.Total()))
 	m.Counter("cuckood_evictions_total", "Entries evicted to make room on a full shard.", float64(st.evictions.Total()))
-	m.Counter("cuckood_slow_requests_total", "Sampled requests at or over the slow-op threshold.", float64(st.slowOps.Load()))
+	m.Counter("cuckood_slow_requests_total", "Requests at or over the slow-op threshold.", float64(st.slowOps.Load()))
 	m.Counter("cuckood_ttl_sweeps_total", "Completed TTL sweeper passes.", float64(st.sweeps.Load()))
 
 	m.Gauge("cuckood_connections_active", "Currently open client connections.", float64(st.connsActive.Load()))
@@ -63,6 +63,25 @@ func (s *Server) Collect(m *obs.Metrics) {
 	s.collectLatency(m)
 	s.collectTable(m)
 	s.collectTxn(m)
+	s.collectTrace(m)
+}
+
+// collectTrace exports the cuckootrace series (docs/OBSERVABILITY.md):
+// the per-{stage,verb} latency attribution, the hot-key top-K, and the
+// slow-request trace-ID exemplars.
+func (s *Server) collectTrace(m *obs.Metrics) {
+	st := s.cache.stats
+	st.stages.Collect(m,
+		"cuckood_stage_seconds",
+		"Sampled request time attributed to pipeline stages, per verb.")
+	for _, it := range st.HotKeys(10) {
+		m.Gauge("cuckood_hot_key_count",
+			"Sampled-request touches of the hottest keys (space-saving top-K; counts overestimate by at most the sketch error).",
+			float64(it.Count), "key", it.Key)
+	}
+	st.slowTraces.Collect(m,
+		"cuckood_slow_trace_seconds",
+		"Duration of recent slow requests that carried a wire trace ID, as exemplars.")
 }
 
 // collectTxn exports the transaction subsystem's counters: OCC commit and

@@ -187,7 +187,7 @@ func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
 		if e.expired(now) {
 			continue
 		}
-		if err := c.setEntry(rec.key, e); err != nil {
+		if err := c.setEntry(rec.key, e, nil); err != nil {
 			// A shard smaller than the snapshot's origin can fill up; the
 			// remaining records are dropped silently — a cache restore is
 			// best-effort by definition.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cuckoohash/internal/faultinject"
+	"cuckoohash/internal/obs"
 )
 
 // ErrServerClosed is returned by Serve after Shutdown or Close.
@@ -30,9 +31,12 @@ type Config struct {
 	// entries (default 1s; negative disables the sweeper — expiry then
 	// happens only lazily on access).
 	SweepInterval time.Duration
-	// SlowOpThreshold enables slow-op tracing: a sampled request whose
+	// SlowOpThreshold enables slow-op tracing: every request whose
 	// service time (excluding network I/O) meets or exceeds it is counted
-	// and logged with its op, key, and duration. Zero disables tracing.
+	// and logged with its op, key, duration, trace ID, and per-stage
+	// breakdown. When set, every request is timed (slow ops are never
+	// dropped by latency sampling); zero disables the per-request clock
+	// on unsampled requests entirely.
 	SlowOpThreshold time.Duration
 	// Logger receives structured lifecycle, connection-error, and slow-op
 	// logs. Nil discards everything.
@@ -100,6 +104,13 @@ type Server struct {
 	sweepStop chan struct{}
 	inflight  chan struct{} // request-execution semaphore (nil = unlimited)
 	snapOnce  sync.Once     // drain snapshot runs once even if Shutdown repeats
+
+	// flight is the always-on flight recorder (docs/OBSERVABILITY.md):
+	// a ring of recent op records served at /debug/flight and dumped to
+	// the log on shed, slow-op, and panic paths. flightDumpAt rate-limits
+	// the automatic log dumps to one per second.
+	flight       *obs.Flight
+	flightDumpAt atomic.Int64
 }
 
 // New creates a Server; call Listen then Serve (or ListenAndServe).
@@ -121,6 +132,7 @@ func New(cfg Config) (*Server, error) {
 		slowOp:    cfg.SlowOpThreshold,
 		conns:     make(map[net.Conn]struct{}),
 		sweepStop: make(chan struct{}),
+		flight:    obs.NewFlight(flightShards, flightPerShard),
 	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
@@ -130,6 +142,33 @@ func New(cfg Config) (*Server, error) {
 
 // Cache exposes the underlying store, e.g. for in-process use or tests.
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Flight recorder sizing: 16 shards × 64 records remembers the last ~1k
+// operations — a few milliseconds of full-throttle traffic, which is the
+// window an incident dump needs — in ~300 KB of fixed memory.
+const (
+	flightShards   = 16
+	flightPerShard = 64
+	// flightDumpOps is how many trailing records automatic log dumps
+	// include; the full ring stays available at /debug/flight.
+	flightDumpOps = 8
+)
+
+// Flight exposes the flight recorder, e.g. for the admin mux.
+func (s *Server) Flight() *obs.Flight { return s.flight }
+
+// dumpFlight writes the flight recorder's tail to the log, rate-limited
+// to one dump per second so an overload storm cannot turn the recorder
+// into a log flood.
+func (s *Server) dumpFlight(reason string) {
+	now := time.Now().UnixNano()
+	last := s.flightDumpAt.Load()
+	if now-last < int64(time.Second) || !s.flightDumpAt.CompareAndSwap(last, now) {
+		return
+	}
+	s.log.Warn("flight recorder dump", "reason", reason,
+		"recent_ops", s.flight.Summary(flightDumpOps))
+}
 
 // Listen binds the configured address and starts the TTL sweeper.
 func (s *Server) Listen() error {
@@ -197,6 +236,7 @@ func (s *Server) Serve() error {
 		backoff = 0
 		if s.cfg.MaxConns > 0 && s.cache.stats.connsActive.Load() >= int64(s.cfg.MaxConns) {
 			s.cache.stats.connsShed.Add(1)
+			s.dumpFlight("connection shed")
 			shedConn(nc)
 			continue
 		}

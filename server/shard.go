@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"cuckoohash/generic"
+	"cuckoohash/internal/obs"
 	"cuckoohash/internal/txn"
 )
 
@@ -205,6 +206,12 @@ func (c *Cache) SetFailpoint(f func(op, key string) error) { c.failOp = f }
 // is full it evicts entries in approximate insertion order; if even that
 // fails it returns ErrServerFull.
 func (c *Cache) Set(key, val string, ttl time.Duration) error {
+	return c.SetTraced(key, val, ttl, nil)
+}
+
+// SetTraced is Set with stage attribution recorded into sp (nil-safe;
+// the plain verbs delegate here with nil, which records nothing).
+func (c *Cache) SetTraced(key, val string, ttl time.Duration, sp *obs.Span) error {
 	if f := c.failOp; f != nil {
 		if err := f("SET", key); err != nil {
 			return err
@@ -214,7 +221,7 @@ func (c *Cache) Set(key, val string, ttl time.Duration) error {
 	if ttl > 0 {
 		expireAt = time.Now().Add(ttl).UnixNano()
 	}
-	err := c.setEntry(key, entry{val: val, expireAt: expireAt})
+	err := c.setEntry(key, entry{val: val, expireAt: expireAt}, sp)
 	if err == nil {
 		c.stats.sets.Add(c.shardFor(key), 1)
 	}
@@ -228,21 +235,24 @@ func (c *Cache) Set(key, val string, ttl time.Duration) error {
 // *somewhere*, but not necessarily one reachable from this key's two
 // candidate buckets, so each retry evicts one more victim than the last
 // to open up the cuckoo graph.
-func (c *Cache) setEntry(key string, e entry) error {
+func (c *Cache) setEntry(key string, e entry, sp *obs.Span) error {
 	si := c.shardFor(key)
 	for tries := 0; ; tries++ {
-		err := c.txn.Set(key, e.val, e.expireAt)
+		err := c.txn.SetSpan(key, e.val, e.expireAt, sp)
 		if !errors.Is(err, errShardFull) {
 			return err
 		}
 		if tries >= maxEvictTries {
 			return ErrServerFull
 		}
+		t0 := sp.Begin()
 		for n := 0; n <= tries; n++ {
 			if !c.evictOne(si) {
+				sp.End(obs.StageEvict, t0)
 				return ErrServerFull
 			}
 		}
+		sp.End(obs.StageEvict, t0)
 	}
 }
 
@@ -251,6 +261,11 @@ func (c *Cache) setEntry(key string, e entry) error {
 // updates across delta shards; pass a stable per-connection value. The
 // new count is intentionally not returned — see txn.Store.Incr.
 func (c *Cache) Incr(key string, delta int64, hint uint64) error {
+	return c.IncrTraced(key, delta, hint, nil)
+}
+
+// IncrTraced is Incr with stage attribution recorded into sp.
+func (c *Cache) IncrTraced(key string, delta int64, hint uint64, sp *obs.Span) error {
 	if f := c.failOp; f != nil {
 		if err := f("INCR", key); err != nil {
 			return err
@@ -258,7 +273,7 @@ func (c *Cache) Incr(key string, delta int64, hint uint64) error {
 	}
 	si := c.shardFor(key)
 	for tries := 0; ; tries++ {
-		err := c.txn.Incr(key, delta, hint)
+		err := c.txn.IncrSpan(key, delta, hint, sp)
 		if !errors.Is(err, errShardFull) {
 			if err == nil {
 				c.stats.incrs.Add(si, 1)
@@ -268,19 +283,27 @@ func (c *Cache) Incr(key string, delta int64, hint uint64) error {
 		if tries >= maxEvictTries {
 			return ErrServerFull
 		}
+		t0 := sp.Begin()
 		for n := 0; n <= tries; n++ {
 			if !c.evictOne(si) {
+				sp.End(obs.StageEvict, t0)
 				return ErrServerFull
 			}
 		}
+		sp.End(obs.StageEvict, t0)
 	}
 }
 
 // MaxUpdate atomically raises the counter at key to n if larger.
 func (c *Cache) MaxUpdate(key string, n int64, hint uint64) error {
+	return c.MaxUpdateTraced(key, n, hint, nil)
+}
+
+// MaxUpdateTraced is MaxUpdate with stage attribution recorded into sp.
+func (c *Cache) MaxUpdateTraced(key string, n int64, hint uint64, sp *obs.Span) error {
 	si := c.shardFor(key)
 	for tries := 0; ; tries++ {
-		err := c.txn.MaxUpdate(key, n, hint)
+		err := c.txn.MaxUpdateSpan(key, n, hint, sp)
 		if !errors.Is(err, errShardFull) {
 			if err == nil {
 				c.stats.incrs.Add(si, 1)
@@ -290,19 +313,27 @@ func (c *Cache) MaxUpdate(key string, n int64, hint uint64) error {
 		if tries >= maxEvictTries {
 			return ErrServerFull
 		}
+		t0 := sp.Begin()
 		for n := 0; n <= tries; n++ {
 			if !c.evictOne(si) {
+				sp.End(obs.StageEvict, t0)
 				return ErrServerFull
 			}
 		}
+		sp.End(obs.StageEvict, t0)
 	}
 }
 
 // CAS replaces key's value only if it currently equals old. A store on
 // an existing key consumes no new slot, so no eviction loop is needed.
 func (c *Cache) CAS(key, old, newVal string) (txn.CASResult, error) {
+	return c.CASTraced(key, old, newVal, nil)
+}
+
+// CASTraced is CAS with stage attribution recorded into sp.
+func (c *Cache) CASTraced(key, old, newVal string, sp *obs.Span) (txn.CASResult, error) {
 	c.stats.cass.Add(c.shardFor(key), 1)
-	return c.txn.CAS(key, old, newVal)
+	return c.txn.CASSpan(key, old, newVal, sp)
 }
 
 // Exec runs a MULTI/EXEC transaction. A write that lands on a full shard
@@ -312,7 +343,13 @@ func (c *Cache) CAS(key, old, newVal string) (txn.CASResult, error) {
 // partial apply — so full-shard failures are repaired afterwards on the
 // per-op evict-and-retry paths instead.
 func (c *Cache) Exec(ops []txn.Op) []txn.Result {
-	res, _ := c.txn.Exec(ops)
+	return c.ExecTraced(ops, nil)
+}
+
+// ExecTraced is Exec with stage attribution (OCC retries as
+// StageTxnRetry) recorded into sp.
+func (c *Cache) ExecTraced(ops []txn.Op, sp *obs.Span) []txn.Result {
+	res, _ := c.txn.ExecSpan(ops, sp)
 	c.repairFullWrites(ops, res)
 	return res
 }
@@ -335,7 +372,7 @@ func (c *Cache) repairFullWrites(ops []txn.Op, res []txn.Result) {
 		var err error
 		switch ops[i].Kind {
 		case txn.OpSet:
-			err = c.setEntry(ops[i].Key, entry{val: ops[i].Val, expireAt: ops[i].ExpireAt})
+			err = c.setEntry(ops[i].Key, entry{val: ops[i].Val, expireAt: ops[i].ExpireAt}, nil)
 		case txn.OpIncr:
 			err = c.Incr(ops[i].Key, ops[i].Delta, 0)
 		case txn.OpMax:
@@ -407,6 +444,11 @@ func (c *Cache) evictOne(si int) bool {
 // and reported as misses, so a key never outlives its TTL from a client's
 // point of view even if the sweeper has not run yet.
 func (c *Cache) Get(key string) (string, bool) {
+	return c.GetTraced(key, nil)
+}
+
+// GetTraced is Get with the table probe attributed to sp as StageProbe.
+func (c *Cache) GetTraced(key string, sp *obs.Span) (string, bool) {
 	// Fold pending split deltas first so a read observes every
 	// acknowledged commutative update (costs one atomic load when no
 	// keys are split, which is the common state).
@@ -414,7 +456,9 @@ func (c *Cache) Get(key string) (string, bool) {
 	si := c.shardFor(key)
 	s := c.shards[si]
 	c.stats.gets.Add(si, 1)
+	t0 := sp.Begin()
 	e, ok := s.table.Get(key)
+	sp.End(obs.StageProbe, t0)
 	if ok && e.expired(time.Now().UnixNano()) {
 		c.expireKey(si, key)
 		ok = false
@@ -448,11 +492,17 @@ func (c *Cache) TTL(key string) (time.Duration, bool) {
 
 // Delete removes key, reporting whether it was present and live.
 func (c *Cache) Delete(key string) bool {
+	return c.DeleteTraced(key, nil)
+}
+
+// DeleteTraced is Delete with lock wait and the removal probe
+// attributed to sp.
+func (c *Cache) DeleteTraced(key string, sp *obs.Span) bool {
 	si := c.shardFor(key)
 	s := c.shards[si]
 	c.stats.dels.Add(si, 1)
 	ok := false
-	c.txn.WithLock(key, func() {
+	c.txn.WithLockSpan(key, sp, func() {
 		e, found := s.table.Get(key)
 		switch {
 		case !found:

@@ -6,6 +6,7 @@ import (
 
 	"cuckoohash/generic"
 	"cuckoohash/internal/metrics"
+	"cuckoohash/internal/obs"
 	"cuckoohash/internal/spinlock"
 )
 
@@ -40,9 +41,17 @@ type stats struct {
 	connsActive atomic.Int64
 	connsTotal  atomic.Uint64
 
-	slowOps atomic.Uint64             // sampled requests over the slow-op threshold
+	slowOps atomic.Uint64             // requests over the slow-op threshold
 	sweeps  atomic.Uint64             // completed TTL sweep passes
 	lat     *metrics.ShardedHistogram // sampled request latencies (ns)
+
+	// cuckootrace state (docs/OBSERVABILITY.md): per-{verb,stage} latency
+	// attribution from sampled spans, the hot-key top-K sketches (one per
+	// connection-shard group so the sampled path stays uncontended), and
+	// exemplar trace IDs from recent slow requests.
+	stages     *obs.StageTable
+	hot        [hotSketches]*obs.TopK
+	slowTraces *obs.SlowTraces
 
 	// Robustness counters (docs/ROBUSTNESS.md): how often each overload
 	// and fault-recovery mechanism engaged.
@@ -65,19 +74,91 @@ type stats struct {
 	migrateFails   atomic.Uint64 // outbound transfers that failed
 }
 
-func newStats(shards int) *stats {
-	return &stats{
-		gets:      metrics.NewOpCounter(shards),
-		hits:      metrics.NewOpCounter(shards),
-		misses:    metrics.NewOpCounter(shards),
-		sets:      metrics.NewOpCounter(shards),
-		dels:      metrics.NewOpCounter(shards),
-		incrs:     metrics.NewOpCounter(shards),
-		cass:      metrics.NewOpCounter(shards),
-		expired:   metrics.NewOpCounter(shards),
-		evictions: metrics.NewOpCounter(shards),
-		lat:       metrics.NewShardedHistogram(latencyShards),
+// hotSketches is how many independent top-K sketches traffic spreads
+// across (indexed by connection shard); HOTKEYS folds them on read.
+// Power of two so the index is a mask.
+const hotSketches = 8
+
+// hotSketchK is each sketch's tracked-key budget. 48 per sketch leaves
+// plenty of slack over the 10-key answer HOTKEYS defaults to, which is
+// what keeps space-saving's error bound far below the head of a zipf
+// distribution.
+const hotSketchK = 48
+
+// stageVerbs are the verb labels of the stage-latency table, indexed by
+// verbClassOf. "other" absorbs QUIT/MULTI bookkeeping and bad lines.
+var stageVerbs = []string{
+	"GET", "SET", "DEL", "TTL", "STATS", "CLUSTER", "MIGRATE",
+	"HANDOFF", "INCR", "MAXUPDATE", "CAS", "EXEC", "HOTKEYS", "other",
+}
+
+// verbClassOf maps an opCode to its stageVerbs index. SETEX folds into
+// SET, DECR/ADD into INCR: same code path, same stage profile.
+func verbClassOf(op opCode) int {
+	switch op {
+	case opGet:
+		return 0
+	case opSet, opSetEx:
+		return 1
+	case opDel:
+		return 2
+	case opTTL:
+		return 3
+	case opStats:
+		return 4
+	case opCluster:
+		return 5
+	case opMigrate:
+		return 6
+	case opHandoff:
+		return 7
+	case opIncr, opDecr, opAdd:
+		return 8
+	case opMaxUpdate:
+		return 9
+	case opCAS:
+		return 10
+	case opExec:
+		return 11
+	case opHotKeys:
+		return 12
 	}
+	return len(stageVerbs) - 1
+}
+
+func newStats(shards int) *stats {
+	st := &stats{
+		gets:       metrics.NewOpCounter(shards),
+		hits:       metrics.NewOpCounter(shards),
+		misses:     metrics.NewOpCounter(shards),
+		sets:       metrics.NewOpCounter(shards),
+		dels:       metrics.NewOpCounter(shards),
+		incrs:      metrics.NewOpCounter(shards),
+		cass:       metrics.NewOpCounter(shards),
+		expired:    metrics.NewOpCounter(shards),
+		evictions:  metrics.NewOpCounter(shards),
+		lat:        metrics.NewShardedHistogram(latencyShards),
+		stages:     obs.NewStageTable(stageVerbs, 4),
+		slowTraces: &obs.SlowTraces{},
+	}
+	for i := range st.hot {
+		st.hot[i] = obs.NewTopK(hotSketchK)
+	}
+	return st
+}
+
+// touchHot counts one sampled request against the hot-key sketches.
+func (st *stats) touchHot(shard uint64, key []byte) {
+	st.hot[shard&(hotSketches-1)].Touch(key)
+}
+
+// HotKeys folds the per-shard sketches and returns the top n.
+func (st *stats) HotKeys(n int) []obs.TopKItem {
+	items := obs.MergeTopK(st.hot[:])
+	if len(items) > n {
+		items = items[:n]
+	}
+	return items
 }
 
 // recordLatency merges one sampled request latency into the connection's
@@ -166,6 +247,7 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 		{"lat_p99_ns", fmt.Sprint(lat.Quantile(0.99))},
 		{"lat_p999_ns", fmt.Sprint(lat.Quantile(0.999))},
 		{"slow_ops", fmt.Sprint(st.slowOps.Load())},
+		{"hot_keys_tracked", fmt.Sprint(len(st.HotKeys(hotSketches * hotSketchK)))},
 		{"sweeps", fmt.Sprint(st.sweeps.Load())},
 		{"accept_retries", fmt.Sprint(st.acceptRetries.Load())},
 		{"conns_shed", fmt.Sprint(st.connsShed.Load())},

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bufLogger pairs a goroutine-safe capture buffer (metrics_test.go's
+// syncBuffer) with a debug-level text logger.
+func bufLogger() (*syncBuffer, *slog.Logger) {
+	buf := &syncBuffer{}
+	return buf, slog.New(slog.NewTextHandler(buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+}
+
+func TestTraceWireParsing(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialRaw(t, s)
+
+	wantTraceErr := "ERR trace wants: TRACE <id (1..64 bytes)> <command...>"
+	cases := []struct{ req, want string }{
+		// The prefix is transparent to execution.
+		{"TRACE abc123 SET k v", "OK"},
+		{"TRACE ffeeddcc GET k", "VALUE v"},
+		{"trace lower GET k", "VALUE v"}, // verb folding applies to TRACE too
+		{"TRACE " + strings.Repeat("i", 64) + " GET k", "VALUE v"},
+		// Malformed prefixes.
+		{"TRACE", wantTraceErr},                                       // no id, no command
+		{"TRACE id-only", wantTraceErr},                               // id but no command
+		{"TRACE " + strings.Repeat("i", 65) + " GET k", wantTraceErr}, // id too long
+		{"TRACE x TRACE y GET k", wantTraceErr},                       // prefix is legal exactly once
+		// The wrapped command still gets its own errors.
+		{"TRACE t BOGUS x", "ERR unknown command"},
+		{"TRACE t SET onlykey", "ERR wrong number of arguments"},
+	}
+	for _, tc := range cases {
+		if got := c.roundTrip(tc.req); got != tc.want {
+			t.Errorf("%q -> %q, want %q", tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestHotKeysVerbValidation(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialRaw(t, s)
+
+	// A fresh server tracks nothing: the reply is just the terminator.
+	if got := c.roundTrip("HOTKEYS"); got != "END" {
+		t.Errorf("HOTKEYS on idle server -> %q, want END", got)
+	}
+
+	wantErr := "ERR hotkeys wants: HOTKEYS [count (1..128)]"
+	for _, req := range []string{"HOTKEYS 0", "HOTKEYS 129", "HOTKEYS -1", "HOTKEYS x", "HOTKEYS 5 extra"} {
+		if got := c.roundTrip(req); got != wantErr {
+			t.Errorf("%q -> %q, want %q", req, got, wantErr)
+		}
+	}
+}
+
+func TestHotKeysRanksSampledTraffic(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialRaw(t, s)
+
+	// Hot-key touches happen on sampled requests only (1 in 16 per
+	// connection, starting at request 0). 16 groups of ten GETs on the hot
+	// key followed by one unique cold key put samples 0,16,...,160 on the
+	// stream; solving 16k ≡ 10 (mod 11) shows exactly one sample (k=2,
+	// request 32) lands on a cold key, so the sketch must hold hot=10 and
+	// cold2=1.
+	for g := 0; g < 16; g++ {
+		for i := 0; i < 10; i++ {
+			if got := c.roundTrip("GET hot"); got != "MISS" {
+				t.Fatalf("GET hot -> %q", got)
+			}
+		}
+		if got := c.roundTrip(fmt.Sprintf("GET cold%d", g)); got != "MISS" {
+			t.Fatalf("GET cold%d -> %q", g, got)
+		}
+	}
+	c.send("HOTKEYS 5\n")
+	var lines []string
+	for {
+		line := c.readLine()
+		if line == "END" {
+			break
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("HOTKEYS returned %d keys %v, want 2", len(lines), lines)
+	}
+	if lines[0] != "HOTKEY 10 hot" {
+		t.Errorf("hottest line = %q, want HOTKEY 10 hot", lines[0])
+	}
+	if lines[1] != "HOTKEY 1 cold2" {
+		t.Errorf("second line = %q, want HOTKEY 1 cold2", lines[1])
+	}
+
+	// HOTKEYS 1 truncates to the single hottest key.
+	c.send("HOTKEYS 1\n")
+	if got := c.readLine(); got != "HOTKEY 10 hot" {
+		t.Errorf("HOTKEYS 1 -> %q, want HOTKEY 10 hot", got)
+	}
+	if got := c.readLine(); got != "END" {
+		t.Errorf("HOTKEYS 1 terminator = %q, want END", got)
+	}
+}
+
+// TestSlowOpsCaptureEveryRequest is the sampling-bypass regression: with a
+// threshold armed, every request is timed, so no slow op can hide in the
+// 15-of-16 unsampled slots.
+func TestSlowOpsCaptureEveryRequest(t *testing.T) {
+	s := startServer(t, Config{SlowOpThreshold: time.Nanosecond})
+	c := dialRaw(t, s)
+
+	const n = 40 // deliberately not a multiple of 16
+	for i := 0; i < n; i++ {
+		if got := c.roundTrip(fmt.Sprintf("TRACE trace%d SET k%d v", i, i)); got != "OK" {
+			t.Fatalf("SET %d -> %q", i, got)
+		}
+	}
+	if got := s.cache.stats.slowOps.Load(); got < n {
+		t.Errorf("slow_ops = %d, want >= %d (every request must be timed when -slow-op is armed)", got, n)
+	}
+	// The newest slow traces carry the wire IDs.
+	snap := s.cache.stats.slowTraces.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("no slow traces recorded")
+	}
+	if got := snap[len(snap)-1].ID; got != fmt.Sprintf("trace%d", n-1) {
+		t.Errorf("newest slow trace ID = %q, want trace%d", got, n-1)
+	}
+}
+
+// TestTraceIDPropagatesAcrossMigrate is the cross-node acceptance check:
+// one traced MIGRATE must put the same trace ID in the source's migrate
+// log and the destination's slow-op log (the HANDOFF it receives carries
+// the forwarded TRACE prefix).
+func TestTraceIDPropagatesAcrossMigrate(t *testing.T) {
+	bufA, logA := bufLogger()
+	bufB, logB := bufLogger()
+	a := startServer(t, Config{Logger: logA})
+	b := startServer(t, Config{Logger: logB, SlowOpThreshold: time.Nanosecond})
+	addrA, addrB := a.Addr().String(), b.Addr().String()
+	ring := []string{addrA, addrB}
+
+	ca := dialRaw(t, a)
+	const n = 8
+	for i := 0; i < n; i++ {
+		if got := ca.roundTrip(fmt.Sprintf("SET mig%d v%d", i, i)); got != "OK" {
+			t.Fatalf("SET mig%d -> %q", i, got)
+		}
+	}
+	req := "TRACE deadbeef42 " + migrateCmd("shed", addrB, addrA, 7, 0, ring)
+	if got := ca.roundTrip(req); got != fmt.Sprintf("MIGRATED %d", n) {
+		t.Fatalf("traced migrate -> %q, want MIGRATED %d", got, n)
+	}
+
+	if logs := bufA.String(); !strings.Contains(logs, "trace=deadbeef42") {
+		t.Errorf("source migrate log missing trace ID:\n%s", logs)
+	}
+	if logs := bufB.String(); !strings.Contains(logs, "trace=deadbeef42") {
+		t.Errorf("destination slow-op log missing forwarded trace ID:\n%s", logs)
+	}
+	// The flight recorders on both nodes remember the traced hop.
+	foundA, foundB := false, false
+	for _, rec := range a.Flight().Snapshot() {
+		if rec.Trace() == "deadbeef42" && rec.Verb == "MIGRATE" {
+			foundA = true
+		}
+	}
+	for _, rec := range b.Flight().Snapshot() {
+		if rec.Trace() == "deadbeef42" && rec.Verb == "HANDOFF" {
+			foundB = true
+		}
+	}
+	if !foundA || !foundB {
+		t.Errorf("flight records missing traced hop: source=%v dest=%v", foundA, foundB)
+	}
+}
+
+// TestFlightDumpOnConnectionShed forces the accept-time shed path and
+// checks the incident dump fires with the recent-operation tail.
+func TestFlightDumpOnConnectionShed(t *testing.T) {
+	buf, logger := bufLogger()
+	s := startServer(t, Config{MaxConns: 1, Logger: logger})
+	c := dialRaw(t, s)
+	if got := c.roundTrip("SET seen v"); got != "OK" {
+		t.Fatalf("SET -> %q", got)
+	}
+
+	// The second connection is over the limit: shed with ERR busy, then
+	// closed.
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	reply := make([]byte, 64)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	k, err := nc.Read(reply)
+	if err != nil {
+		t.Fatalf("shed connection read: %v", err)
+	}
+	if got := string(reply[:k]); !strings.HasPrefix(got, "ERR busy") {
+		t.Fatalf("shed reply = %q, want ERR busy", got)
+	}
+
+	logs := buf.String()
+	if !strings.Contains(logs, "flight recorder dump") || !strings.Contains(logs, "connection shed") {
+		t.Errorf("shed did not dump the flight recorder:\n%s", logs)
+	}
+	if !strings.Contains(logs, "[SET ok") {
+		t.Errorf("flight dump missing the recent SET:\n%s", logs)
+	}
+}
