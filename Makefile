@@ -7,7 +7,7 @@ GO ?= go
 # mid-flight; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check build vet lint cuckoovet test race bench bench-smoke bench-txn fuzz chaos loadgen-smoke metrics-smoke
+.PHONY: check build vet lint cuckoovet test race bench bench-smoke bench-txn bench-grow fuzz chaos loadgen-smoke metrics-smoke
 
 check: build vet lint race
 
@@ -64,6 +64,14 @@ bench-smoke:
 # in place so a perf regression shows up as a diff.
 bench-txn:
 	$(GO) run ./cmd/cuckoobench -exp txnzipf -scale small -repeat 3 -out results/BENCH_txn.json
+
+# The incremental-resize acceptance benchmark (docs/ROBUSTNESS.md): max
+# single-op insert latency across six table doublings, stop-the-world
+# rebuild vs incremental migration, median of 3 runs. The committed
+# baseline lives at results/BENCH_grow.json; this regenerates it in place
+# so a regression (e.g. a grow pause creeping back) shows up as a diff.
+bench-grow:
+	$(GO) run ./cmd/cuckoobench -exp growpause -scale small -repeat 3 -out results/BENCH_grow.json
 
 # Native Go fuzzing of the server text-protocol codec. The corpus seeds
 # live in the test; 30s is the CI budget — run longer locally with

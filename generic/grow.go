@@ -2,6 +2,10 @@ package generic
 
 import "sync/atomic"
 
+// The stop-the-world grow that used to live here (LockAll + full rehash)
+// is gone: resizing is now the incremental two-generation migration in
+// migrate.go. This file keeps the size counter it shared.
+
 // shardedCounter mirrors the internal tables' padded per-shard size
 // counters (principle P1).
 type shardedCounter struct {
@@ -23,114 +27,4 @@ func (c *shardedCounter) total() int64 {
 		t += c.shards[i].v.Load()
 	}
 	return t
-}
-
-// grow doubles the bucket count and rehashes, holding every stripe. This is
-// the automatic resizing §7 credits to libcuckoo.
-func (t *Table[K, V]) grow() {
-	t.growMu.Lock()
-	defer t.growMu.Unlock()
-
-	old := t.arr.Load()
-	newBuckets := old.buckets * 2
-	for {
-		next := t.newArrays(newBuckets)
-		t.locks.LockAll()
-		ok := t.rehashInto(old, next)
-		if ok {
-			t.arr.Store(next)
-		}
-		t.locks.UnlockAll()
-		if ok {
-			t.growCount.Add(1)
-			return
-		}
-		newBuckets *= 2
-	}
-}
-
-// rehashInto replays every entry of old into next; caller holds all
-// stripes, so placement runs without locks.
-func (t *Table[K, V]) rehashInto(old, next *tArrays[K, V]) bool {
-	for b := uint64(0); b < old.buckets; b++ {
-		occ := old.occ[b]
-		for s := 0; occ != 0; s, occ = s+1, occ>>1 {
-			if occ&1 == 0 {
-				continue
-			}
-			i := b*t.assoc + uint64(s)
-			if !t.placeDirect(next, old.keys[i], old.vals[i]) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// placeDirect inserts assuming exclusive access.
-func (t *Table[K, V]) placeDirect(arr *tArrays[K, V], key K, val V) bool {
-	h := t.hash(key)
-	b1, b2 := t.twoBuckets(h, arr.buckets)
-	for _, b := range [2]uint64{b1, b2} {
-		if s, ok := freeSlot(arr.occ[b], int(t.assoc)); ok {
-			t.placeNoCount(arr, b, s, key, val)
-			return true
-		}
-	}
-	path, ok := t.searchDirect(arr, b1, b2)
-	if !ok {
-		return false
-	}
-	for i := len(path) - 2; i >= 0; i-- {
-		src, dst := path[i], path[i+1]
-		si := src.bucket*t.assoc + uint64(src.slot)
-		di := dst.bucket*t.assoc + uint64(dst.slot)
-		arr.keys[di] = arr.keys[si]
-		arr.vals[di] = arr.vals[si]
-		arr.occ[dst.bucket] |= 1 << uint(dst.slot)
-		arr.occ[src.bucket] &^= 1 << uint(src.slot)
-	}
-	t.placeNoCount(arr, path[0].bucket, path[0].slot, key, val)
-	return true
-}
-
-func (t *Table[K, V]) placeNoCount(arr *tArrays[K, V], b uint64, s int, key K, val V) {
-	i := b*t.assoc + uint64(s)
-	arr.keys[i] = key
-	arr.vals[i] = val
-	arr.occ[b] |= 1 << uint(s)
-}
-
-// searchDirect is BFS without locks, for exclusive-access rehashing.
-func (t *Table[K, V]) searchDirect(arr *tArrays[K, V], b1, b2 uint64) ([]pathEntry[K], bool) {
-	assoc := int(t.assoc)
-	budget := t.cfg.MaxSearchSlots
-	nodes := make([]bfsNode[K], 0, budget+2)
-	nodes = append(nodes,
-		bfsNode[K]{bucket: b1, parent: -1},
-		bfsNode[K]{bucket: b2, parent: -1},
-	)
-	slotsExamined := 0
-	for qi := 0; qi < len(nodes) && slotsExamined < budget; qi++ {
-		n := &nodes[qi]
-		slotsExamined += assoc
-		if s, ok := freeSlot(arr.occ[n.bucket], assoc); ok {
-			return t.buildPath(nodes, qi, s), true
-		}
-		if len(nodes)+assoc > cap(nodes) {
-			continue
-		}
-		base := n.bucket * t.assoc
-		for s := 0; s < assoc; s++ {
-			k := arr.keys[base+uint64(s)]
-			alt := t.altBucket(t.hash(k), arr.buckets, n.bucket)
-			nodes = append(nodes, bfsNode[K]{
-				bucket:    alt,
-				kickedKey: k,
-				parent:    int32(qi),
-				slotInPar: int8(s),
-			})
-		}
-	}
-	return nil, false
 }

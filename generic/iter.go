@@ -2,18 +2,19 @@ package generic
 
 import "iter"
 
-// All returns an iterator over the table's key/value pairs, in the style of
-// maps.All. Like Range (which it wraps) it holds the full-table lock while
-// iterating: keep loop bodies short, and do not call table methods from
-// inside the loop.
+// All returns an iterator over the table's key/value pairs, in the style
+// of maps.All. Like Range (which it wraps) it walks the table one stripe
+// at a time — concurrent operations keep running, blocking only on the
+// bucket currently being copied — but it holds growMu throughout, so do
+// not call table methods from inside the loop.
 func (t *Table[K, V]) All() iter.Seq2[K, V] {
 	return func(yield func(K, V) bool) {
 		t.Range(yield)
 	}
 }
 
-// Keys returns a snapshot slice of every key. Unlike All, the snapshot is
-// taken under the lock but consumed after its release, so the caller may
+// Keys returns a snapshot slice of every key. Unlike All, the snapshot
+// is consumed after the walk's locks are released, so the caller may
 // freely call table methods while processing it.
 func (t *Table[K, V]) Keys() []K {
 	keys := make([]K, 0, t.Len())
@@ -34,29 +35,41 @@ func (t *Table[K, V]) Items() map[K]V {
 	return m
 }
 
-// Clear removes every entry, holding the full-table lock for the duration.
-// The capacity is retained.
+// Clear removes every entry. Like Range it first completes any
+// in-flight migration, then empties the live buckets one stripe at a
+// time; concurrent operations interleave with it, so an entry written
+// while Clear runs may survive. The capacity is retained.
 func (t *Table[K, V]) Clear() {
 	t.growMu.Lock()
 	defer t.growMu.Unlock()
-	t.locks.LockAll()
-	defer t.locks.UnlockAll()
-	arr := t.arr.Load()
+	t.drainAllLocked()
+	st := t.loadState()
+	for b := uint64(0); b < st.live.buckets; b++ {
+		l := t.locks.IndexFor(b)
+		t.locks.Lock(l)
+		if n := clearBucket(st.live, b, t.assoc); n != 0 {
+			t.size.add(b, -n)
+		}
+		t.locks.Unlock(l)
+	}
+}
+
+// clearBucket empties bucket b and returns how many entries it held;
+// caller holds the bucket's stripe.
+func clearBucket[K comparable, V any](arr *tArrays[K, V], b, assoc uint64) int64 {
 	var zeroK K
 	var zeroV V
-	for b := uint64(0); b < arr.buckets; b++ {
-		occ := arr.occ[b]
-		for s := 0; occ != 0; s, occ = s+1, occ>>1 {
-			if occ&1 == 0 {
-				continue
-			}
-			i := b*t.assoc + uint64(s)
-			arr.keys[i] = zeroK // release references for the GC
-			arr.vals[i] = zeroV
+	var n int64
+	occ := arr.occ[b]
+	for s := 0; occ != 0; s, occ = s+1, occ>>1 {
+		if occ&1 == 0 {
+			continue
 		}
-		arr.occ[b] = 0
+		i := b*assoc + uint64(s)
+		arr.keys[i] = zeroK // release references for the GC
+		arr.vals[i] = zeroV
+		n++
 	}
-	for i := range t.size.shards {
-		t.size.shards[i].v.Store(0)
-	}
+	arr.occ[b] = 0
+	return n
 }

@@ -1,0 +1,428 @@
+package generic
+
+// Incremental two-generation resize. A grow no longer stops the world:
+// it allocates the doubled bucket array alongside the old one, publishes
+// both behind a single generation-state pointer, and drains the old
+// buckets a bounded batch at a time — per mutating operation and from an
+// optional background sweeper — while readers consult old-then-new under
+// the existing stripe discipline. The scheme follows the page-by-page
+// rehash of "Cuckoo Hashing with Pages" (arXiv:1104.5111) and the
+// two-table read discipline of "Lock-Free Hopscotch Hashing"
+// (arXiv:1911.03028): a version (epoch) word tells concurrent operations
+// that the generation set changed, and per-bucket migrated marks make
+// the old generation write-once-drained.
+//
+// Invariants (machine-checked by the cuckoovet genercheck analyzer):
+//
+//   - Every bucket-array access sits between a loadState and a
+//     stateValid re-check under the covering stripes, so an operation
+//     never works on a generation set that was unpublished before it
+//     locked.
+//   - A key lives in exactly one slot of one generation. Movers (the
+//     migrator, and writers folding an old entry forward) hold the old
+//     bucket's stripe and both live candidates' stripes, so the
+//     single-copy invariant is preserved across the move.
+//   - New values land only in the live generation. The only writes an
+//     old generation ever sees are slot clears; once a bucket's
+//     migrated mark is set it is empty forever, so nothing is written
+//     to an old generation after its mark.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// genState is the published generation set: the live arrays every new
+// value lands in, plus zero or more draining old generations (oldest
+// first). The struct and its olds slice are immutable once stored;
+// grow-start and migration-finish publish a fresh value under growMu.
+type genState[K comparable, V any] struct {
+	live *tArrays[K, V]
+	olds []*oldGen[K, V]
+}
+
+// oldGen is one draining generation: its frozen arrays, a migrated-mark
+// bitmap (a bucket's mark is set exactly once, when it is observed
+// empty), a claim cursor handing buckets to migrators, and a count of
+// buckets still unmarked.
+type oldGen[K comparable, V any] struct {
+	arr       *tArrays[K, V]
+	marks     []atomic.Uint32 // 32 buckets per word
+	next      atomic.Uint64   // next bucket index to claim
+	remaining atomic.Int64    // unmarked buckets; 0 = fully drained
+}
+
+func newOldGen[K comparable, V any](arr *tArrays[K, V]) *oldGen[K, V] {
+	g := &oldGen[K, V]{
+		arr:   arr,
+		marks: make([]atomic.Uint32, (arr.buckets+31)/32),
+	}
+	g.remaining.Store(int64(arr.buckets))
+	return g
+}
+
+// isMigrated reports whether bucket b's migrated mark is set.
+func (g *oldGen[K, V]) isMigrated(b uint64) bool {
+	return g.marks[b>>5].Load()&(1<<(b&31)) != 0
+}
+
+// markMigrated sets bucket b's migrated mark, reporting whether this
+// call was the one that set it. Marking is only correct once b is
+// empty: nothing is ever added to an old generation, so emptiness is
+// stable and the mark is permanent. Spelled as an explicit CAS loop
+// rather than Uint32.Or: the value-returning Or intrinsic miscompiles
+// under the pinned go1.24.0 toolchain (the expansion clobbers a live
+// register), and the CAS form is what the rest of the repo uses anyway.
+func (g *oldGen[K, V]) markMigrated(b uint64) bool {
+	w := &g.marks[b>>5]
+	bit := uint32(1) << (b & 31)
+	for {
+		old := w.Load()
+		if old&bit != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|bit) {
+			return true
+		}
+	}
+}
+
+// GrowEventKind labels a GrowEvent: the start of an incremental grow or
+// the retirement of a fully drained old generation.
+type GrowEventKind uint8
+
+const (
+	// GrowStart: a new live generation was published; migration of the
+	// previous live arrays begins.
+	GrowStart GrowEventKind = iota
+	// GrowDone: an old generation finished draining and was retired.
+	GrowDone
+)
+
+// String returns the kind's label ("start" or "done").
+func (k GrowEventKind) String() string {
+	if k == GrowStart {
+		return "start"
+	}
+	return "done"
+}
+
+// GrowEvent describes one grow state change, delivered to
+// Config.OnGrowEvent from whichever goroutine drove the transition.
+type GrowEvent struct {
+	Kind GrowEventKind
+	// FromBuckets is the bucket count of the generation being retired
+	// (the previous live arrays on start, the drained ones on done).
+	FromBuckets uint64
+	// ToBuckets is the live bucket count after the event.
+	ToBuckets uint64
+	// Backlog is the number of old-generation buckets still awaiting
+	// migration after the event, across all draining generations.
+	Backlog uint64
+}
+
+// loadState returns the current generation set. Any bucket access
+// derived from the returned state must re-check stateValid after the
+// covering stripes are held (the genercheck analyzer enforces this).
+func (t *Table[K, V]) loadState() *genState[K, V] { return t.state.Load() }
+
+// stateValid reports whether st is still the published generation set.
+// Callers hold the stripes covering the buckets they are about to
+// touch, so a true result pins the generation set for the critical
+// section: both publish points (grow-start and migration-finish) swap
+// the state pointer before any migrator can touch the affected buckets,
+// and migrators take those same stripes.
+func (t *Table[K, V]) stateValid(st *genState[K, V]) bool { return t.state.Load() == st }
+
+// Growing reports whether an incremental migration is in flight.
+func (t *Table[K, V]) Growing() bool { return len(t.loadState().olds) > 0 }
+
+// MigrationEpoch returns the generation epoch: a counter bumped every
+// time the generation set changes (grow start and finish). Transaction
+// layers snapshot it with their read sets so a commit can detect that
+// an entry it read may have been migrated.
+func (t *Table[K, V]) MigrationEpoch() uint64 { return t.epoch.Load() }
+
+// backlog sums the unmarked buckets across st's old generations.
+func backlog[K comparable, V any](st *genState[K, V]) uint64 {
+	var n uint64
+	for _, g := range st.olds {
+		if r := g.remaining.Load(); r > 0 {
+			n += uint64(r)
+		}
+	}
+	return n
+}
+
+// grow starts an incremental migration if the live arrays still have
+// observedBuckets buckets (a concurrent grow already helped otherwise),
+// returning false only when Config.MaxCapacity forbids further growth.
+func (t *Table[K, V]) grow(observedBuckets uint64) bool {
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	if t.loadState().live.buckets != observedBuckets {
+		return true // raced with another grow; caller just retries
+	}
+	return t.growLocked(false)
+}
+
+// growLocked publishes a doubled live generation and queues the current
+// live arrays for draining. Caller holds growMu. force ignores
+// MaxCapacity: the migrator uses it to guarantee drain termination, so
+// the configured bound is a bound on put-driven growth, not a hard cap
+// on transient capacity.
+func (t *Table[K, V]) growLocked(force bool) bool {
+	st := t.loadState()
+	live := st.live
+	newBuckets := live.buckets * 2
+	if max := t.cfg.MaxCapacity; !force && max != 0 && newBuckets*t.assoc > max {
+		return false
+	}
+	olds := make([]*oldGen[K, V], 0, len(st.olds)+1)
+	olds = append(olds, st.olds...)
+	olds = append(olds, newOldGen(live))
+	next := &genState[K, V]{live: t.newArrays(newBuckets), olds: olds}
+	t.state.Store(next)
+	t.epoch.Add(1)
+	t.growCount.Add(1)
+	if f := t.cfg.OnGrowEvent; f != nil {
+		f(GrowEvent{Kind: GrowStart, FromBuckets: live.buckets,
+			ToBuckets: newBuckets, Backlog: backlog(next)})
+	}
+	if !t.cfg.DisableBackgroundSweep {
+		go t.sweepMigration()
+	}
+	return true
+}
+
+// migrateStep is the bounded per-mutating-operation migration quantum:
+// one atomic load when no migration is in flight, at most
+// Config.MigrateBatch bucket drains when one is.
+func (t *Table[K, V]) migrateStep() {
+	if t.cfg.MigrateBatch <= 0 || !t.Growing() {
+		return
+	}
+	t.MigrateBatch(t.cfg.MigrateBatch)
+}
+
+// MigrateBatch drains up to max old-generation buckets into the live
+// arrays, oldest generation first, and returns how many buckets this
+// call drained. It returns 0 when no migration is in flight. The server
+// layer calls it from request handlers so migration cost appears as an
+// attributed span stage rather than hiding inside table operations.
+func (t *Table[K, V]) MigrateBatch(max int) int {
+	done := 0
+	for done < max {
+		st := t.loadState()
+		if len(st.olds) == 0 {
+			break
+		}
+		g := st.olds[0]
+		if g.remaining.Load() == 0 {
+			if !t.finishGen(g) {
+				break // growMu busy; whoever holds it will retire g
+			}
+			continue
+		}
+		b := g.next.Add(1) - 1
+		if b >= g.arr.buckets {
+			break // every bucket claimed; stragglers drain elsewhere
+		}
+		t.migrateBucket(g, b, false)
+		done++
+	}
+	return done
+}
+
+// sweepMigration drains in the background until no old generations
+// remain. One sweeper is spawned per grow; extra sweepers from chained
+// grows drain the same cursors and exit together, so no lifecycle
+// management is needed.
+func (t *Table[K, V]) sweepMigration() {
+	for {
+		n := t.MigrateBatch(sweepBatchBuckets)
+		if !t.Growing() {
+			return
+		}
+		if n == 0 {
+			// Cursor exhausted but stragglers are still draining in
+			// other goroutines, or growMu is briefly busy. Back off.
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// sweepBatchBuckets is the sweeper's per-iteration claim, sized so one
+// iteration stays microseconds even with full buckets.
+const sweepBatchBuckets = 8
+
+// migrateBucket drains old-generation bucket b: every key is moved to a
+// free slot among its live candidate buckets (BFS displacement in the
+// live arrays makes room when neither is free, a forced grow when even
+// BFS fails), then the bucket's migrated mark is set. Safe to call
+// concurrently for the same bucket; it returns once b is marked.
+// growMuHeld distinguishes the synchronous drain (Range/Clear hold
+// growMu) so escalation does not self-deadlock.
+func (t *Table[K, V]) migrateBucket(g *oldGen[K, V], b uint64, growMuHeld bool) {
+	for {
+		if g.isMigrated(b) {
+			return
+		}
+		st := t.loadState()
+		li := t.locks.IndexFor(b)
+		t.locks.Lock(li)
+		if !t.stateValid(st) {
+			t.locks.Unlock(li)
+			continue
+		}
+		occ := g.arr.occ[b]
+		var key K
+		var slot uint64
+		if occ != 0 {
+			slot = uint64(firstSlot(occ))
+			key = g.arr.keys[b*t.assoc+slot]
+		}
+		t.locks.Unlock(li)
+
+		if occ == 0 {
+			// Nothing is ever added to an old generation, so emptiness
+			// is stable and the mark can be set outside the stripe.
+			if g.markMigrated(b) {
+				g.remaining.Add(-1)
+				t.migratedBuckets.Add(1)
+			}
+			return
+		}
+
+		live := st.live
+		h := t.hash(key)
+		nb1, nb2 := t.twoBuckets(h, live.buckets)
+		if t.moveOldSlot(st, g, b, slot, key, nb1, nb2) {
+			continue
+		}
+		// Neither live candidate has room: open a slot with a BFS
+		// displacement path, exactly like a slow-path insert.
+		if path, ok := t.search(st, nb1, nb2); ok {
+			for i := len(path) - 2; i >= 0; i-- {
+				if !t.displace(st, path[i], path[i+1]) {
+					break
+				}
+			}
+			continue
+		}
+		// The live arrays are too full to absorb the old keys: escalate
+		// with another (forced) doubling so the drain always terminates.
+		if growMuHeld {
+			t.growLocked(true)
+		} else {
+			t.growMu.Lock()
+			if t.stateValid(st) {
+				t.growLocked(true)
+			}
+			t.growMu.Unlock()
+		}
+	}
+}
+
+// firstSlot returns the index of the lowest set bit of occ (occ != 0).
+func firstSlot(occ uint32) int {
+	s := 0
+	for occ&1 == 0 {
+		occ >>= 1
+		s++
+	}
+	return s
+}
+
+// moveOldSlot moves one key from old-generation bucket ob (slot s) into
+// a free slot of its live candidates nb1/nb2, holding the old bucket's
+// stripe and both live stripes. It returns true when the slot no longer
+// needs work — moved here, already gone, or the state changed — and
+// false when both live candidates are full and the caller must make
+// room first.
+func (t *Table[K, V]) moveOldSlot(st *genState[K, V], g *oldGen[K, V], ob, s uint64, key K, nb1, nb2 uint64) bool {
+	var buf [3]uint64
+	idxs := append(buf[:0], t.locks.IndexFor(ob), t.locks.IndexFor(nb1), t.locks.IndexFor(nb2))
+	locked := t.locks.LockOrdered(idxs)
+	defer t.locks.UnlockOrdered(locked)
+	if !t.stateValid(st) {
+		return true
+	}
+	i := ob*t.assoc + s
+	if g.arr.occ[ob]&(1<<uint(s)) == 0 || g.arr.keys[i] != key {
+		return true // a writer or another migrator already handled it
+	}
+	live := st.live
+	for _, nb := range [2]uint64{nb1, nb2} {
+		if fs, ok := freeSlot(live.occ[nb], int(t.assoc)); ok {
+			t.placeNoCount(live, nb, fs, key, g.arr.vals[i])
+			t.clearSlot(g.arr, ob, i)
+			return true
+		}
+	}
+	return false
+}
+
+// finishGen retires a fully drained old generation, publishing a state
+// without it. It uses TryLock so a request-path caller never queues
+// behind a long growMu holder (Range keeps growMu for a whole
+// iteration); the sweeper or the next caller retires g instead.
+func (t *Table[K, V]) finishGen(g *oldGen[K, V]) bool {
+	if !t.growMu.TryLock() {
+		return false
+	}
+	defer t.growMu.Unlock()
+	t.finishGenLocked(g)
+	return true
+}
+
+// finishGenLocked removes g from the published old-generation list.
+// Caller holds growMu and g is fully drained.
+func (t *Table[K, V]) finishGenLocked(g *oldGen[K, V]) {
+	st := t.loadState()
+	idx := -1
+	for i, og := range st.olds {
+		if og == g {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // already retired
+	}
+	olds := make([]*oldGen[K, V], 0, len(st.olds)-1)
+	olds = append(olds, st.olds[:idx]...)
+	olds = append(olds, st.olds[idx+1:]...)
+	if len(olds) == 0 {
+		olds = nil
+	}
+	next := &genState[K, V]{live: st.live, olds: olds}
+	t.state.Store(next)
+	t.epoch.Add(1)
+	if f := t.cfg.OnGrowEvent; f != nil {
+		f(GrowEvent{Kind: GrowDone, FromBuckets: g.arr.buckets,
+			ToBuckets: st.live.buckets, Backlog: backlog(next)})
+	}
+}
+
+// drainAllLocked completes every in-flight migration synchronously.
+// Caller holds growMu, which blocks new grows, so the loop terminates:
+// each pass retires the oldest generation, and escalation grows (the
+// only source of new generations here) strictly double the live
+// arrays, which cannot continue past the point where everything fits.
+func (t *Table[K, V]) drainAllLocked() {
+	for {
+		st := t.loadState()
+		if len(st.olds) == 0 {
+			return
+		}
+		g := st.olds[0]
+		for b := uint64(0); b < g.arr.buckets; b++ {
+			t.migrateBucket(g, b, true)
+		}
+		t.finishGenLocked(g)
+	}
+}

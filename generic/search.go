@@ -4,7 +4,9 @@ package generic
 // frontier buckets are scanned under their stripe lock (one bucket at a
 // time, never nested) because keys of arbitrary type cannot be read
 // tear-free without it. The discovered path is still validated entry by
-// entry during execution, exactly as in §4.3.1.
+// entry during execution, exactly as in §4.3.1. Paths live entirely in
+// the live generation: draining old buckets never receive new entries,
+// so they are never displacement targets.
 
 type pathEntry[K comparable] struct {
 	bucket uint64
@@ -19,9 +21,10 @@ type bfsNode[K comparable] struct {
 	slotInPar int8
 }
 
-// search runs BFS from b1/b2 to an empty slot.
-func (t *Table[K, V]) search(arr *tArrays[K, V], b1, b2 uint64) ([]pathEntry[K], bool) {
+// search runs BFS from b1/b2 to an empty live slot.
+func (t *Table[K, V]) search(st *genState[K, V], b1, b2 uint64) ([]pathEntry[K], bool) {
 	t.stats.searches.add(b1, 1)
+	arr := st.live
 	assoc := int(t.assoc)
 	budget := t.cfg.MaxSearchSlots
 	nodes := make([]bfsNode[K], 0, budget+2)
@@ -38,7 +41,7 @@ func (t *Table[K, V]) search(arr *tArrays[K, V], b1, b2 uint64) ([]pathEntry[K],
 		// Snapshot the bucket under its stripe.
 		l := t.locks.IndexFor(n.bucket)
 		t.locks.Lock(l)
-		if t.arr.Load() != arr {
+		if !t.stateValid(st) {
 			t.locks.Unlock(l)
 			return nil, false
 		}
@@ -88,9 +91,9 @@ func (t *Table[K, V]) buildPath(nodes []bfsNode[K], qi, s int) []pathEntry[K] {
 // execute performs the validated displacements and the final insert,
 // returning the locked attempt's outcome (putNoSpace and putStale both mean
 // "retry the whole insert").
-func (t *Table[K, V]) execute(arr *tArrays[K, V], path []pathEntry[K], b1, b2 uint64, key K, val V, overwrite bool) putResult {
+func (t *Table[K, V]) execute(st *genState[K, V], path []pathEntry[K], h, b1, b2 uint64, key K, val V, overwrite bool) putResult {
 	for i := len(path) - 2; i >= 0; i-- {
-		if !t.displace(arr, path[i], path[i+1]) {
+		if !t.displace(st, path[i], path[i+1]) {
 			return putNoSpace
 		}
 	}
@@ -99,15 +102,16 @@ func (t *Table[K, V]) execute(arr *tArrays[K, V], path []pathEntry[K], b1, b2 ui
 	if head.bucket == b2 {
 		other = b1
 	}
-	return t.attempt(arr, head.bucket, other, key, val, overwrite, head.slot)
+	return t.attempt(st, h, head.bucket, other, key, val, overwrite, head.slot)
 }
 
-func (t *Table[K, V]) displace(arr *tArrays[K, V], src, dst pathEntry[K]) bool {
+func (t *Table[K, V]) displace(st *genState[K, V], src, dst pathEntry[K]) bool {
 	l1, l2 := t.lockPair(src.bucket, dst.bucket)
 	defer t.locks.UnlockPair(l1, l2)
-	if t.arr.Load() != arr {
+	if !t.stateValid(st) {
 		return false
 	}
+	arr := st.live
 	si := src.bucket*t.assoc + uint64(src.slot)
 	if arr.occ[src.bucket]&(1<<uint(src.slot)) == 0 || arr.keys[si] != src.key {
 		return false
@@ -119,11 +123,7 @@ func (t *Table[K, V]) displace(arr *tArrays[K, V], src, dst pathEntry[K]) bool {
 	arr.keys[di] = arr.keys[si]
 	arr.vals[di] = arr.vals[si]
 	arr.occ[dst.bucket] |= 1 << uint(dst.slot)
-	var zeroK K
-	var zeroV V
-	arr.keys[si] = zeroK
-	arr.vals[si] = zeroV
-	arr.occ[src.bucket] &^= 1 << uint(src.slot)
+	t.clearSlot(arr, src.bucket, si)
 	t.stats.displacements.add(src.bucket, 1)
 	return true
 }

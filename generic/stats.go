@@ -54,18 +54,27 @@ type Stats struct {
 	// PathLenHist[i] counts path searches that found a path of exactly i
 	// displacements (the last bucket absorbs longer ones).
 	PathLenHist [PathLenBuckets]uint64
-	// Grows counts completed automatic table expansions.
+	// Grows counts automatic table expansions started (the live arrays
+	// doubled; draining the previous generation proceeds incrementally).
 	Grows uint64
+	// MigratedBuckets counts old-generation buckets drained by the
+	// incremental-resize migrator since the table was created.
+	MigratedBuckets uint64
+	// MigrationBacklog is the number of old-generation buckets still
+	// awaiting migration; 0 when no grow is in flight.
+	MigrationBacklog uint64
 }
 
 // Stats returns a snapshot of the table's counters.
 func (t *Table[K, V]) Stats() Stats {
 	s := Stats{
-		Searches:      uint64(t.stats.searches.total()),
-		Displacements: uint64(t.stats.displacements.total()),
-		PathRestarts:  uint64(t.stats.restarts.total()),
-		MaxPathLen:    t.stats.maxPathLen.Load(),
-		Grows:         t.growCount.Load(),
+		Searches:         uint64(t.stats.searches.total()),
+		Displacements:    uint64(t.stats.displacements.total()),
+		PathRestarts:     uint64(t.stats.restarts.total()),
+		MaxPathLen:       t.stats.maxPathLen.Load(),
+		Grows:            t.growCount.Load(),
+		MigratedBuckets:  t.migratedBuckets.Load(),
+		MigrationBacklog: backlog(t.loadState()),
 	}
 	for i := range t.stats.pathLen {
 		for b := range t.stats.pathLen[i].counts {

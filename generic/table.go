@@ -9,7 +9,11 @@
 // The write path is the same BFS + lock-after-discovery algorithm as the
 // specialized cuckoohash.Map; reads take the (very short) bucket-pair lock
 // instead of running optimistically, because values of arbitrary type
-// cannot be copied tear-free without it.
+// cannot be copied tear-free without it. Resizing is incremental: a grow
+// publishes a doubled live generation next to the old one and drains it a
+// bounded batch of buckets at a time (migrate.go), so no operation ever
+// pauses for a full-table rehash and nothing outside tests takes the
+// whole stripe table.
 package generic
 
 import (
@@ -22,7 +26,7 @@ import (
 )
 
 // ErrFull is returned by Insert when no slot is reachable and automatic
-// resizing is disabled.
+// resizing is disabled (or capped by MaxCapacity).
 var ErrFull = errors.New("generic: table is too full")
 
 // ErrExists is returned by Insert when the key is already present.
@@ -32,6 +36,11 @@ var ErrExists = errors.New("generic: key already exists")
 type Config struct {
 	// InitialCapacity is the initial slot count (default 1024).
 	InitialCapacity uint64
+	// MaxCapacity, when nonzero, bounds put-driven automatic growth: a
+	// grow that would exceed it fails and Insert returns ErrFull, like a
+	// fixed-size table at its limit. Migration-escalation grows may
+	// transiently exceed the bound to guarantee drains terminate.
+	MaxCapacity uint64
 	// Associativity is the bucket width (default 4, libcuckoo's default).
 	Associativity int
 	// LockStripes is the striped-lock table size (default 4096).
@@ -41,6 +50,20 @@ type Config struct {
 	// DisableAutoGrow turns off resize-on-full; Insert then returns
 	// ErrFull like the fixed-size tables.
 	DisableAutoGrow bool
+	// MigrateBatch is how many old-generation buckets each mutating
+	// operation drains while a migration is in flight (default 2;
+	// negative disables per-operation draining, leaving migration to
+	// the background sweeper and explicit MigrateBatch calls).
+	MigrateBatch int
+	// DisableBackgroundSweep stops grows from spawning the background
+	// drain goroutine; migration then advances only on mutating
+	// operations and explicit MigrateBatch calls. Useful for
+	// deterministic tests.
+	DisableBackgroundSweep bool
+	// OnGrowEvent, when non-nil, is called at every grow state change
+	// (start and finish) from the goroutine driving the transition. It
+	// must be fast and must not call back into the table.
+	OnGrowEvent func(GrowEvent)
 }
 
 func (c *Config) setDefaults() {
@@ -56,6 +79,9 @@ func (c *Config) setDefaults() {
 	if c.MaxSearchSlots == 0 {
 		c.MaxSearchSlots = 2000
 	}
+	if c.MigrateBatch == 0 {
+		c.MigrateBatch = 2
+	}
 }
 
 // Table is a concurrent cuckoo hash table mapping K to V. All methods are
@@ -65,12 +91,14 @@ type Table[K comparable, V any] struct {
 	seed   maphash.Seed
 	assoc  uint64
 	locks  *spinlock.Stripe
-	growMu sync.Mutex
-	arr    atomic.Pointer[tArrays[K, V]]
+	growMu sync.Mutex // serializes generation-set changes and full walks
+	state  atomic.Pointer[genState[K, V]]
+	epoch  atomic.Uint64 // bumped on every generation-set change
 	size   shardedCounter
 
-	stats     tableStats
-	growCount atomic.Uint64
+	stats           tableStats
+	growCount       atomic.Uint64
+	migratedBuckets atomic.Uint64
 }
 
 type tArrays[K comparable, V any] struct {
@@ -92,6 +120,9 @@ func New[K comparable, V any](cfg Config) (*Table[K, V], error) {
 	if cfg.MaxSearchSlots < 2*cfg.Associativity {
 		return nil, errors.New("generic: MaxSearchSlots too small")
 	}
+	if cfg.MaxCapacity != 0 && cfg.MaxCapacity < cfg.InitialCapacity {
+		return nil, errors.New("generic: MaxCapacity below InitialCapacity")
+	}
 	t := &Table[K, V]{
 		cfg:   cfg,
 		seed:  maphash.MakeSeed(),
@@ -102,7 +133,7 @@ func New[K comparable, V any](cfg Config) (*Table[K, V], error) {
 	for buckets*t.assoc < cfg.InitialCapacity {
 		buckets <<= 1
 	}
-	t.arr.Store(t.newArrays(buckets))
+	t.state.Store(&genState[K, V]{live: t.newArrays(buckets)})
 	return t, nil
 }
 
@@ -127,8 +158,10 @@ func (t *Table[K, V]) newArrays(buckets uint64) *tArrays[K, V] {
 // Len returns the number of stored keys.
 func (t *Table[K, V]) Len() uint64 { return uint64(t.size.total()) }
 
-// Cap returns the current slot count.
-func (t *Table[K, V]) Cap() uint64 { return t.arr.Load().buckets * t.assoc }
+// Cap returns the live generation's slot count. During a migration the
+// table transiently holds the draining generations' arrays too, but new
+// values only ever land in the live slots.
+func (t *Table[K, V]) Cap() uint64 { return t.loadState().live.buckets * t.assoc }
 
 // LoadFactor returns Len/Cap.
 func (t *Table[K, V]) LoadFactor() float64 { return float64(t.Len()) / float64(t.Cap()) }
@@ -165,27 +198,54 @@ func (t *Table[K, V]) lockPair(b1, b2 uint64) (uint64, uint64) {
 	return l1, l2
 }
 
-// Get returns the value for key. The bucket-pair lock is held just long
-// enough to copy the value out (§7: locked reads make pointer-valued items
-// safe to hand to the caller).
+// lockAllGens acquires, in globally ascending order, the stripes of the
+// key's candidate buckets in every generation of st: the two live
+// candidates plus two per draining generation. buf is caller scratch so
+// the common cases stay allocation-free.
+func (t *Table[K, V]) lockAllGens(st *genState[K, V], h uint64, buf []uint64) []uint64 {
+	b1, b2 := t.twoBuckets(h, st.live.buckets)
+	buf = append(buf, t.locks.IndexFor(b1), t.locks.IndexFor(b2))
+	for _, g := range st.olds {
+		ob1, ob2 := t.twoBuckets(h, g.arr.buckets)
+		buf = append(buf, t.locks.IndexFor(ob1), t.locks.IndexFor(ob2))
+	}
+	return t.locks.LockOrdered(buf)
+}
+
+// Get returns the value for key. The candidate buckets' locks are held
+// just long enough to copy the value out (§7: locked reads make
+// pointer-valued items safe to hand to the caller). While a migration is
+// in flight the old generations are consulted first — a key lives in
+// exactly one generation at a time.
 func (t *Table[K, V]) Get(key K) (V, bool) {
 	h := t.hash(key)
+	var lockBuf [8]uint64
 	for {
-		arr := t.arr.Load()
-		b1, b2 := t.twoBuckets(h, arr.buckets)
-		l1, l2 := t.lockPair(b1, b2)
-		if t.arr.Load() != arr {
-			t.locks.UnlockPair(l1, l2)
+		st := t.loadState()
+		locked := t.lockAllGens(st, h, lockBuf[:0])
+		if !t.stateValid(st) {
+			t.locks.UnlockOrdered(locked)
 			continue
 		}
+		for _, g := range st.olds {
+			ob1, ob2 := t.twoBuckets(h, g.arr.buckets)
+			for _, b := range [2]uint64{ob1, ob2} {
+				if i, ok := t.find(g.arr, b, key); ok {
+					v := g.arr.vals[i]
+					t.locks.UnlockOrdered(locked)
+					return v, true
+				}
+			}
+		}
+		b1, b2 := t.twoBuckets(h, st.live.buckets)
 		for _, b := range [2]uint64{b1, b2} {
-			if i, ok := t.find(arr, b, key); ok {
-				v := arr.vals[i]
-				t.locks.UnlockPair(l1, l2)
+			if i, ok := t.find(st.live, b, key); ok {
+				v := st.live.vals[i]
+				t.locks.UnlockOrdered(locked)
 				return v, true
 			}
 		}
-		t.locks.UnlockPair(l1, l2)
+		t.locks.UnlockOrdered(locked)
 		var zero V
 		return zero, false
 	}
@@ -216,21 +276,25 @@ func (t *Table[K, V]) Upsert(key K, val V) error {
 
 func (t *Table[K, V]) put(key K, val V, overwrite bool) error {
 	for {
+		observed := t.loadState().live.buckets
 		err := t.tryPut(key, val, overwrite)
-		if err != ErrFull || t.cfg.DisableAutoGrow {
-			return err
+		if err == ErrFull && !t.cfg.DisableAutoGrow {
+			if t.grow(observed) {
+				continue
+			}
 		}
-		t.grow()
+		t.migrateStep()
+		return err
 	}
 }
 
 func (t *Table[K, V]) tryPut(key K, val V, overwrite bool) error {
 	h := t.hash(key)
 	for {
-		arr := t.arr.Load()
-		b1, b2 := t.twoBuckets(h, arr.buckets)
+		st := t.loadState()
+		b1, b2 := t.twoBuckets(h, st.live.buckets)
 
-		switch t.attempt(arr, b1, b2, key, val, overwrite, -1) {
+		switch t.attempt(st, h, b1, b2, key, val, overwrite, -1) {
 		case putDone:
 			return nil
 		case putExists:
@@ -240,10 +304,10 @@ func (t *Table[K, V]) tryPut(key K, val V, overwrite bool) error {
 		case putNoSpace:
 		}
 
-		path, ok := t.search(arr, b1, b2)
+		path, ok := t.search(st, b1, b2)
 		if !ok {
 			// Re-check under the lock before giving up.
-			switch t.attempt(arr, b1, b2, key, val, overwrite, -1) {
+			switch t.attempt(st, h, b1, b2, key, val, overwrite, -1) {
 			case putDone:
 				return nil
 			case putExists:
@@ -254,13 +318,13 @@ func (t *Table[K, V]) tryPut(key K, val V, overwrite bool) error {
 			return ErrFull
 		}
 		t.stats.observePath(b1, uint64(len(path)-1))
-		switch t.execute(arr, path, b1, b2, key, val, overwrite) {
+		switch t.execute(st, path, h, b1, b2, key, val, overwrite) {
 		case putDone:
 			return nil
 		case putExists:
 			return ErrExists
 		}
-		// Path invalidated or arrays swapped (Eq. 1); retry.
+		// Path invalidated or generations swapped (Eq. 1); retry.
 		t.stats.restarts.add(b1, 1)
 	}
 }
@@ -274,35 +338,87 @@ const (
 	putStale
 )
 
-func (t *Table[K, V]) attempt(arr *tArrays[K, V], b1, b2 uint64, key K, val V, overwrite bool, reqSlot int) putResult {
-	l1, l2 := t.lockPair(b1, b2)
-	defer t.locks.UnlockPair(l1, l2)
-	if t.arr.Load() != arr {
+// attempt tries to complete the put under the key's full cross-
+// generation lock set. A key found in the live arrays is updated in
+// place; a key found in a draining generation is folded forward — the
+// new value lands in a live slot and the old slot is cleared — so
+// writers always land in the live generation. reqSlot >= 0 pins the
+// insert to that slot of b1 (the head of a discovered cuckoo path).
+func (t *Table[K, V]) attempt(st *genState[K, V], h, b1, b2 uint64, key K, val V, overwrite bool, reqSlot int) putResult {
+	var lockBuf [8]uint64
+	locked := t.lockAllGens(st, h, lockBuf[:0])
+	defer t.locks.UnlockOrdered(locked)
+	if !t.stateValid(st) {
 		return putStale
 	}
+	live := st.live
 	for _, b := range [2]uint64{b1, b2} {
-		if i, ok := t.find(arr, b, key); ok {
+		if i, ok := t.find(live, b, key); ok {
 			if !overwrite {
 				return putExists
 			}
-			arr.vals[i] = val
+			live.vals[i] = val
 			return putDone
 		}
 	}
-	if reqSlot >= 0 {
-		if arr.occ[b1]&(1<<uint(reqSlot)) != 0 {
+	for _, g := range st.olds {
+		ob1, ob2 := t.twoBuckets(h, g.arr.buckets)
+		for _, ob := range [2]uint64{ob1, ob2} {
+			i, ok := t.find(g.arr, ob, key)
+			if !ok {
+				continue
+			}
+			if !overwrite {
+				return putExists
+			}
+			// Fold the entry forward into a live slot.
+			if s, ok := t.liveSlotFor(live, b1, b2, reqSlot); ok {
+				t.placeNoCount(live, s.bucket, s.slot, key, val)
+				t.clearSlot(g.arr, ob, i)
+				return putDone
+			}
 			return putNoSpace
 		}
-		t.place(arr, b1, reqSlot, key, val)
+	}
+	if reqSlot >= 0 {
+		if live.occ[b1]&(1<<uint(reqSlot)) != 0 {
+			return putNoSpace
+		}
+		t.place(live, b1, reqSlot, key, val)
 		return putDone
 	}
 	for _, b := range [2]uint64{b1, b2} {
-		if s, ok := freeSlot(arr.occ[b], int(t.assoc)); ok {
-			t.place(arr, b, s, key, val)
+		if s, ok := freeSlot(live.occ[b], int(t.assoc)); ok {
+			t.place(live, b, s, key, val)
 			return putDone
 		}
 	}
 	return putNoSpace
+}
+
+// liveTarget names a (bucket, slot) destination in the live arrays.
+type liveTarget struct {
+	bucket uint64
+	slot   int
+}
+
+// liveSlotFor picks the destination slot for a value landing in the
+// live generation: the pinned path-head slot when reqSlot >= 0,
+// otherwise the first free slot of either candidate. Caller holds the
+// stripes.
+func (t *Table[K, V]) liveSlotFor(live *tArrays[K, V], b1, b2 uint64, reqSlot int) (liveTarget, bool) {
+	if reqSlot >= 0 {
+		if live.occ[b1]&(1<<uint(reqSlot)) != 0 {
+			return liveTarget{}, false
+		}
+		return liveTarget{bucket: b1, slot: reqSlot}, true
+	}
+	for _, b := range [2]uint64{b1, b2} {
+		if s, ok := freeSlot(live.occ[b], int(t.assoc)); ok {
+			return liveTarget{bucket: b, slot: s}, true
+		}
+	}
+	return liveTarget{}, false
 }
 
 func (t *Table[K, V]) place(arr *tArrays[K, V], b uint64, s int, key K, val V) {
@@ -311,6 +427,23 @@ func (t *Table[K, V]) place(arr *tArrays[K, V], b uint64, s int, key K, val V) {
 	arr.vals[i] = val
 	arr.occ[b] |= 1 << uint(s)
 	t.size.add(b, 1)
+}
+
+func (t *Table[K, V]) placeNoCount(arr *tArrays[K, V], b uint64, s int, key K, val V) {
+	i := b*t.assoc + uint64(s)
+	arr.keys[i] = key
+	arr.vals[i] = val
+	arr.occ[b] |= 1 << uint(s)
+}
+
+// clearSlot empties slot i of bucket b, releasing references for the
+// GC; caller holds the bucket's stripe and accounts for size itself.
+func (t *Table[K, V]) clearSlot(arr *tArrays[K, V], b, i uint64) {
+	var zeroK K
+	var zeroV V
+	arr.keys[i] = zeroK
+	arr.vals[i] = zeroV
+	arr.occ[b] &^= 1 << uint(i-b*t.assoc)
 }
 
 func freeSlot(occ uint32, assoc int) (int, bool) {
@@ -322,53 +455,92 @@ func freeSlot(occ uint32, assoc int) (int, bool) {
 	return 0, false
 }
 
-// Delete removes key, reporting whether it was present.
+// Delete removes key, reporting whether it was present. The removal may
+// land in either generation — clearing an old-generation slot is the
+// same write migration itself performs.
 func (t *Table[K, V]) Delete(key K) bool {
 	h := t.hash(key)
+	var lockBuf [8]uint64
 	for {
-		arr := t.arr.Load()
-		b1, b2 := t.twoBuckets(h, arr.buckets)
-		l1, l2 := t.lockPair(b1, b2)
-		if t.arr.Load() != arr {
-			t.locks.UnlockPair(l1, l2)
+		st := t.loadState()
+		locked := t.lockAllGens(st, h, lockBuf[:0])
+		if !t.stateValid(st) {
+			t.locks.UnlockOrdered(locked)
 			continue
 		}
 		deleted := false
+		b1, b2 := t.twoBuckets(h, st.live.buckets)
 		for _, b := range [2]uint64{b1, b2} {
-			if i, ok := t.find(arr, b, key); ok {
-				var zeroK K
-				var zeroV V
-				arr.keys[i] = zeroK // release references for the GC
-				arr.vals[i] = zeroV
-				arr.occ[b] &^= 1 << uint(i-b*t.assoc)
+			if i, ok := t.find(st.live, b, key); ok {
+				t.clearSlot(st.live, b, i)
 				t.size.add(b, -1)
 				deleted = true
 				break
 			}
 		}
-		t.locks.UnlockPair(l1, l2)
+		if !deleted {
+			for _, g := range st.olds {
+				ob1, ob2 := t.twoBuckets(h, g.arr.buckets)
+				for _, b := range [2]uint64{ob1, ob2} {
+					if i, ok := t.find(g.arr, b, key); ok {
+						t.clearSlot(g.arr, b, i)
+						t.size.add(b, -1)
+						deleted = true
+						break
+					}
+				}
+				if deleted {
+					break
+				}
+			}
+		}
+		t.locks.UnlockOrdered(locked)
+		if deleted {
+			t.migrateStep()
+		}
 		return deleted
 	}
 }
 
-// Range calls fn for every key/value pair until it returns false, holding
-// every stripe for the duration (writers block).
+// Range calls fn for every key/value pair until fn returns false. It
+// first completes any in-flight migration, then walks the live buckets
+// one stripe at a time: a concurrent writer blocks only while its
+// bucket is being copied, never on the whole table. growMu is held for
+// the walk, so generations cannot change mid-iteration (a put that
+// needs to grow waits), but per-key operations proceed. The iteration
+// is weakly consistent: entries written or removed while Range runs may
+// or may not be observed. fn must not call methods of t.
 func (t *Table[K, V]) Range(fn func(key K, val V) bool) {
 	t.growMu.Lock()
 	defer t.growMu.Unlock()
-	t.locks.LockAll()
-	defer t.locks.UnlockAll()
-	arr := t.arr.Load()
-	for b := uint64(0); b < arr.buckets; b++ {
-		occ := arr.occ[b]
-		for s := 0; occ != 0; s, occ = s+1, occ>>1 {
-			if occ&1 == 0 {
-				continue
-			}
-			i := b*t.assoc + uint64(s)
-			if !fn(arr.keys[i], arr.vals[i]) {
+	t.drainAllLocked()
+	st := t.loadState()
+	keys := make([]K, 0, t.assoc)
+	vals := make([]V, 0, t.assoc)
+	for b := uint64(0); b < st.live.buckets; b++ {
+		l := t.locks.IndexFor(b)
+		t.locks.Lock(l)
+		keys, vals = copyBucket(st.live, b, t.assoc, keys[:0], vals[:0])
+		t.locks.Unlock(l)
+		for i := range keys {
+			if !fn(keys[i], vals[i]) {
 				return
 			}
 		}
 	}
+}
+
+// copyBucket appends bucket b's occupied entries to keys/vals; caller
+// holds the bucket's stripe.
+func copyBucket[K comparable, V any](arr *tArrays[K, V], b, assoc uint64, keys []K, vals []V) ([]K, []V) {
+	occ := arr.occ[b]
+	base := b * assoc
+	for s := 0; occ != 0; s, occ = s+1, occ>>1 {
+		if occ&1 == 0 {
+			continue
+		}
+		keys = append(keys, arr.keys[base+uint64(s)])
+		vals = append(vals, arr.vals[base+uint64(s)])
+	}
+	return keys, vals
 }

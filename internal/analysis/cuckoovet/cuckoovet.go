@@ -7,6 +7,7 @@ import (
 	"cuckoohash/internal/analysis"
 	"cuckoohash/internal/analysis/align64"
 	"cuckoohash/internal/analysis/atomicfield"
+	"cuckoohash/internal/analysis/genercheck"
 	"cuckoohash/internal/analysis/htmpure"
 	"cuckoohash/internal/analysis/lockorder"
 	"cuckoohash/internal/analysis/obscheck"
@@ -22,6 +23,7 @@ func Analyzers() []*analysis.Analyzer {
 		align64.Analyzer,
 		padcheck.Analyzer,
 		seqlock.Analyzer,
+		genercheck.Analyzer,
 		htmpure.Analyzer,
 		obscheck.Analyzer,
 	}

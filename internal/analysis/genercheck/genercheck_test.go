@@ -1,0 +1,14 @@
+package genercheck_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/analysistest"
+	"cuckoohash/internal/analysis/genercheck"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t,
+		[]string{analysistest.Dir("generchecktest")},
+		genercheck.Analyzer)
+}

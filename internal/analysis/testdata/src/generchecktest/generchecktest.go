@@ -1,0 +1,114 @@
+// Package generchecktest is the genercheck golden for the incremental
+// resize protocol: a bucket-array access derived from loadState needs a
+// stateValid re-check first (R1), and nothing may touch a generation's
+// arrays after markMigrated (R2). The stand-in types mirror the generic
+// table structurally — the analyzer matches the protocol by method and
+// field names, so these locals exercise exactly the real rules.
+package generchecktest
+
+type arrays struct {
+	keys []uint64
+	vals []uint64
+	occ  []uint32
+}
+
+type state struct {
+	live *arrays
+	olds []*gen
+}
+
+type gen struct {
+	arr   *arrays
+	marks []uint32
+}
+
+type table struct {
+	cur *state
+}
+
+func (t *table) loadState() *state         { return t.cur }
+func (t *table) stateValid(st *state) bool { return t.cur == st }
+
+func (g *gen) markMigrated(b uint64) bool {
+	w := &g.marks[b>>5]
+	bit := uint32(1) << (b & 31)
+	if *w&bit != 0 {
+		return false
+	}
+	*w |= bit
+	return true
+}
+
+func goodValidatedRead(t *table, b uint64) uint64 {
+	st := t.loadState()
+	if !t.stateValid(st) {
+		return 0
+	}
+	return st.live.vals[b]
+}
+
+func goodValidatedOldThenLive(t *table, b uint64) uint64 {
+	st := t.loadState()
+	if !t.stateValid(st) {
+		return 0
+	}
+	for _, g := range st.olds {
+		if g.arr.occ[b] != 0 {
+			return g.arr.vals[b]
+		}
+	}
+	return st.live.vals[b]
+}
+
+func badUnvalidatedRead(t *table, b uint64) uint64 {
+	st := t.loadState()
+	return st.live.vals[b] // want `generation array "vals" accessed without a preceding stateValid`
+}
+
+func badValidateTooLate(t *table, b uint64) uint64 {
+	st := t.loadState()
+	v := st.live.vals[b] // want `generation array "vals" accessed without a preceding stateValid`
+	if !t.stateValid(st) {
+		return 0
+	}
+	return v
+}
+
+func badUnvalidatedWrite(t *table, b uint64) {
+	st := t.loadState()
+	st.live.occ[b] = 0 // want `generation array "occ" accessed without a preceding stateValid`
+}
+
+// goodHelperNoLoad never loads the state itself: the arrays were handed
+// in by a caller who validated, so R1 does not apply (this is why the
+// table's Range/Clear copy buckets through free-function helpers).
+func goodHelperNoLoad(a *arrays, i uint64) uint64 {
+	return a.keys[i]
+}
+
+func goodMarkAfterAccess(t *table, g *gen, b uint64) {
+	st := t.loadState()
+	if !t.stateValid(st) {
+		return
+	}
+	if g.arr.occ[b] == 0 {
+		g.markMigrated(b)
+	}
+}
+
+func badAccessAfterMark(t *table, g *gen, b uint64) {
+	st := t.loadState()
+	if !t.stateValid(st) {
+		return
+	}
+	if g.markMigrated(b) {
+		g.arr.occ[b] = 0 // want `generation array "occ" accessed after markMigrated`
+	}
+}
+
+// badMarkThenReadEvenWithoutLoad: R2 holds regardless of how the arrays
+// were obtained — the mark itself is the point of no return.
+func badMarkThenReadEvenWithoutLoad(g *gen, b uint64) uint64 {
+	g.markMigrated(b)
+	return g.arr.vals[b] // want `generation array "vals" accessed after markMigrated`
+}

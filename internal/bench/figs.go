@@ -41,6 +41,7 @@ func Experiments() []Experiment {
 		{"zipf", "Skewed (zipf) workloads: extension beyond the paper's uniform keys", Zipf},
 		{"txnzipf", "Hot-counter INCR at zipf s=1.2: naive locked vs split counters (cuckootxn)", TxnZipf},
 		{"churn", "Steady-state delete+insert at fixed occupancy (§6.3's second use mode)", Churn},
+		{"growpause", "Resize pause: stop-the-world rebuild vs incremental migration (max op latency)", GrowPause},
 	}
 }
 

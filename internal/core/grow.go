@@ -52,6 +52,7 @@ func (t *Table) growLocked() error {
 		}
 		if ok {
 			t.growCount.Add(1)
+			t.growEpoch.Add(1)
 			t.growLog.record(GrowEvent{
 				FromBuckets: old.buckets,
 				ToBuckets:   newBuckets,

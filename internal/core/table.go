@@ -32,6 +32,7 @@ type Table struct {
 	size      shardedCounter
 	stats     tableStats
 	growCount atomic.Uint64
+	growEpoch atomic.Uint64 // bumped on every array swap (Grow)
 	growLog   growLog
 }
 
@@ -85,6 +86,14 @@ func (t *Table) Options() Options { return t.opts }
 
 // Buckets returns the current number of buckets (it changes on Grow).
 func (t *Table) Buckets() uint64 { return t.arr.Load().buckets }
+
+// GrowEpoch returns the table's generation word: a counter bumped every
+// time Grow swaps the arrays. It is the specialized table's analogue of
+// the generic table's MigrationEpoch — layers that cache versioned read
+// sets (e.g. OCC validation) compare it across a read/validate window to
+// detect that an entry may have been rehashed into a new generation,
+// without re-deriving that fact from the array pointer.
+func (t *Table) GrowEpoch() uint64 { return t.growEpoch.Load() }
 
 // Cap returns the current number of slots.
 func (t *Table) Cap() uint64 { return t.arr.Load().buckets * t.assoc }

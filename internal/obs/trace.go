@@ -40,6 +40,9 @@ const (
 	StageEvict
 	// StageTxnRetry: failed optimistic commit attempts (OCC retries).
 	StageTxnRetry
+	// StageMigrate: incremental-resize bucket batches this request drove
+	// forward (the bounded per-op migration work during a grow).
+	StageMigrate
 	// StageFlush: writing the batched reply to the socket.
 	StageFlush
 	// StageOther: the remainder, so per-verb stage sums equal wall time.
@@ -51,7 +54,7 @@ const (
 
 var stageNames = [NumStages]string{
 	"read", "parse", "dispatch", "lock", "probe", "evict",
-	"txn_retry", "flush", "other",
+	"txn_retry", "migrate", "flush", "other",
 }
 
 // String returns the stage's label as exported on /metrics.

@@ -71,11 +71,21 @@ type cell struct {
 	val      string
 	ok       bool
 	ver      uint64
-	read     bool // version recorded; must validate at commit
-	dirty    bool // buffered write; must apply at commit
+	epoch    uint64 // shard migration epoch at read time (cfg.Epoch set)
+	read     bool   // version recorded; must validate at commit
+	dirty    bool   // buffered write; must apply at commit
 	deleted  bool
 	expireAt int64
 	keepTTL  bool
+}
+
+// epochOf reads key's shard migration epoch, or 0 when no source is
+// configured (then every check trivially passes).
+func (s *Store) epochOf(key string) uint64 {
+	if s.cfg.Epoch == nil {
+		return 0
+	}
+	return s.cfg.Epoch(key)
 }
 
 // Exec runs ops as one atomic multi-key transaction and returns a result
@@ -108,6 +118,10 @@ func (s *Store) tryExec(ops []Op) ([]Result, bool) {
 		// (its stripe is still locked at commit to apply the write).
 		needsRead := op.Kind != OpSet
 		if needsRead && !c.read && !c.dirty {
+			// The epoch snapshot precedes the value read so that any
+			// generation change overlapping the read→commit window is
+			// caught by the commit-time re-check.
+			c.epoch = s.epochOf(op.Key)
 			val, ok, ver := s.readVersioned(op.Key)
 			c.val, c.ok, c.ver, c.read = val, ok, ver, true
 		}
@@ -129,6 +143,14 @@ func (s *Store) tryExec(ops []Op) ([]Result, bool) {
 		}
 		if s.locks.Version(s.stripeFor(key)) != c.ver {
 			s.locks.UnlockOrdered(held)
+			return nil, false
+		}
+		// A shard that started or finished an incremental resize since the
+		// read may have rehashed this entry between generations; the
+		// stripe version cannot see that, so the epoch word aborts it.
+		if s.epochOf(key) != c.epoch {
+			s.locks.UnlockOrdered(held)
+			s.stats.epochAborts.Add(1)
 			return nil, false
 		}
 	}

@@ -9,6 +9,7 @@ import "sync/atomic"
 type storeStats struct {
 	commits      atomic.Uint64
 	aborts       atomic.Uint64
+	epochAborts  atomic.Uint64
 	fallbacks    atomic.Uint64
 	casConflicts atomic.Uint64
 	splitOps     atomic.Uint64
@@ -39,6 +40,9 @@ type Stats struct {
 	Commits uint64
 	// Aborts counts OCC validation failures (each one is retried).
 	Aborts uint64
+	// EpochAborts is the subset of Aborts caused by a shard migration
+	// epoch moving under a read-set entry (incremental resize in flight).
+	EpochAborts uint64
 	// Fallbacks counts transactions that exhausted the retry budget and
 	// committed under stripe-ordered pessimistic locks.
 	Fallbacks uint64
@@ -66,6 +70,7 @@ func (s *Store) StatsSnapshot() Stats {
 	st := Stats{
 		Commits:      s.stats.commits.Load(),
 		Aborts:       s.stats.aborts.Load(),
+		EpochAborts:  s.stats.epochAborts.Load(),
 		Fallbacks:    s.stats.fallbacks.Load(),
 		CASConflicts: s.stats.casConflicts.Load(),
 		SplitOps:     s.stats.splitOps.Load(),

@@ -68,6 +68,13 @@ type Config struct {
 	// MaxRetries bounds OCC commit retries before a transaction falls
 	// back to pessimistic stripe-ordered locking. Default 8.
 	MaxRetries int
+	// Epoch, when non-nil, maps a key to its backing shard's migration
+	// epoch (a word the table bumps whenever an incremental resize starts
+	// or finishes a generation). Transactions record it alongside each
+	// versioned read and re-check it at commit: a read-set entry whose
+	// shard migrated during the window aborts the attempt cleanly instead
+	// of committing against a view that straddled two generations.
+	Epoch func(key string) uint64
 }
 
 func (c *Config) setDefaults() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"unsafe"
 )
@@ -378,5 +379,62 @@ func TestWithLockBumpsVersion(t *testing.T) {
 	s.WithLock("k", func() { kv.Store("k", "v", 0, false) })
 	if after := s.locks.Version(i); after == before {
 		t.Fatal("WithLock did not advance the stripe version")
+	}
+}
+
+func TestEpochAbortOnMigration(t *testing.T) {
+	kv := newMapKV()
+	var epoch atomic.Uint64
+	// The epoch source fires once mid-window: the first transactional
+	// read observes epoch 0, then a "migration" bumps the word before
+	// commit validation runs, so the first attempt must abort and the
+	// retry (which observes the settled epoch 1) must commit.
+	var reads atomic.Uint64
+	s := New(kv, Config{
+		PromoteAfter: -1,
+		Epoch: func(key string) uint64 {
+			if reads.Add(1) == 1 {
+				defer epoch.Add(1)
+			}
+			return epoch.Load()
+		},
+	})
+	if err := s.Set("a", "1", 0); err != nil {
+		t.Fatal(err)
+	}
+	res, info := s.Exec([]Op{{Kind: OpIncr, Key: "a", Delta: 1}})
+	if res[0].Status != StatusOK {
+		t.Fatalf("result = %+v", res[0])
+	}
+	if info.Retries == 0 {
+		t.Fatal("expected at least one epoch-driven retry")
+	}
+	if got := kv.get(t, "a"); got != "2" {
+		t.Fatalf("a = %q, want 2", got)
+	}
+	st := s.StatsSnapshot()
+	if st.EpochAborts == 0 {
+		t.Fatal("EpochAborts not counted")
+	}
+	if st.Aborts < st.EpochAborts {
+		t.Fatalf("Aborts=%d < EpochAborts=%d", st.Aborts, st.EpochAborts)
+	}
+}
+
+func TestEpochStableCommitsFirstTry(t *testing.T) {
+	kv := newMapKV()
+	s := New(kv, Config{
+		PromoteAfter: -1,
+		Epoch:        func(string) uint64 { return 7 },
+	})
+	if err := s.Set("a", "1", 0); err != nil {
+		t.Fatal(err)
+	}
+	res, info := s.Exec([]Op{{Kind: OpIncr, Key: "a", Delta: 1}})
+	if res[0].Status != StatusOK || info.Retries != 0 {
+		t.Fatalf("res=%+v info=%+v, want clean first-try commit", res[0], info)
+	}
+	if st := s.StatsSnapshot(); st.EpochAborts != 0 {
+		t.Fatalf("EpochAborts = %d, want 0", st.EpochAborts)
 	}
 }

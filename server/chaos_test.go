@@ -20,6 +20,8 @@ package server
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"strconv"
 	"sync"
 	"testing"
@@ -167,6 +169,169 @@ func TestChaosNoAcknowledgedWriteLost(t *testing.T) {
 		t.Fatal("no acknowledged writes to audit")
 	}
 	t.Logf("audited %d acknowledged writes, none lost", audited)
+}
+
+// TestChaosGrowUnderLoad drives a zipf(s=1.2) workload plus a stream of
+// unique inserts through the ~5% fault plan against deliberately small
+// shards, so every shard's table grows at least twice *while* serving
+// traffic. The incremental-resize acceptance properties
+// (docs/ROBUSTNESS.md):
+//
+//   - liveness: a grow never stalls the request loop — every op during a
+//     grow either succeeds or fails like any other faulted op;
+//   - durability: no acknowledged SET is lost across the grows (writes
+//     land in the live generation, reads consult old generations);
+//   - bounded latency: a grow shows up as per-op migration batches, not a
+//     stop-the-world rebuild, so the client-visible p99 stays small;
+//   - completion: once load stops, the background sweeper drains every
+//     old generation to a zero backlog.
+func TestChaosGrowUnderLoad(t *testing.T) {
+	plan := chaosPlan(0x6120F)
+	s, err := New(Config{
+		Addr:   "127.0.0.1:0",
+		Shards: 4,
+		// Small cap: each shard starts at 512/8 = 64 slots and must grow
+		// 64 -> 128 -> 256 (-> 512 at full scale) to hold the workload,
+		// which stays far enough under the 2048-slot maximum that the
+		// FIFO evictor never fires and durability is entirely on the
+		// resize machinery.
+		SlotsPerShard: 512,
+		SweepInterval: -1,
+		FaultPlan:     plan,
+		IOTimeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve() }()
+	t.Cleanup(func() {
+		s.Close()
+		if err := <-serveErr; err != ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	})
+
+	const hotRanks = 256 // zipf keyspace; hot values are key-deterministic
+	workers := 4
+	perWorker := chaosScale(140, 280, t)
+	type acked struct{ key, val string }
+	ackedCh := make(chan acked, workers*perWorker*2)
+	latCh := make(chan []time.Duration, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := chaosPool(s.Addr().String(), uint64(w+21))
+			defer p.Close()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			zipf := rand.NewZipf(rng, 1.2, 1, hotRanks-1)
+			lats := make([]time.Duration, 0, perWorker*2)
+			for i := 0; i < perWorker; i++ {
+				// Unique filler insert: this is what fills the shards past
+				// their current capacity and forces the grows.
+				key := fmt.Sprintf("g%d-%d", w, i)
+				val := fmt.Sprintf("gv%d-%d", w, i)
+				t0 := time.Now()
+				err := p.Set(key, val, 0)
+				lats = append(lats, time.Since(t0))
+				if err == nil {
+					ackedCh <- acked{key, val}
+				}
+				// Hot zipf op: SETs write the rank-deterministic value, so
+				// concurrent writers to one hot key always agree and the
+				// audit below has a single correct answer per key.
+				rank := zipf.Uint64()
+				hk := fmt.Sprintf("hot%d", rank)
+				t0 = time.Now()
+				if i%2 == 0 {
+					hv := fmt.Sprintf("hv%d", rank)
+					err := p.Set(hk, hv, 0)
+					lats = append(lats, time.Since(t0))
+					if err == nil {
+						ackedCh <- acked{hk, hv}
+					}
+				} else {
+					_, _, _ = p.Get1(hk)
+					lats = append(lats, time.Since(t0))
+				}
+			}
+			latCh <- lats
+		}(w)
+	}
+	wg.Wait()
+	close(ackedCh)
+	close(latCh)
+
+	if plan.Fired() == 0 {
+		t.Fatal("fault plan never fired; the chaos test tested nothing")
+	}
+
+	// Every shard must have resized at least twice under load — otherwise
+	// the test exercised a static table and proved nothing about grows.
+	tab, _ := s.cache.tableTotals()
+	for i, sh := range s.cache.shards {
+		if g := sh.table.Stats().Grows; g < 2 {
+			t.Errorf("shard %d grew %d times, want >= 2 (workload did not exercise incremental resize)", i, g)
+		}
+	}
+	t.Logf("faults fired=%d; grows=%d migrated_buckets=%d evictions=%d",
+		plan.Fired(), tab.Grows, tab.MigratedBuckets, s.cache.stats.evictions.Total())
+
+	// Completion: with load stopped, the background sweeper (plus the last
+	// per-op batches) must drain every old generation.
+	waitUntil(t, 10*time.Second, func() bool {
+		return s.cache.growingShards() == 0
+	})
+	if tab, _ := s.cache.tableTotals(); tab.MigrationBacklog != 0 {
+		t.Errorf("migration backlog = %d buckets after drain, want 0", tab.MigrationBacklog)
+	}
+	if tab.MigratedBuckets == 0 {
+		t.Error("MigratedBuckets = 0: grows happened but nothing was migrated incrementally")
+	}
+
+	// Bounded latency: the old path rebuilt a whole shard inside one SET;
+	// the incremental path bounds each op to a constant migration batch.
+	// 500ms is orders of magnitude above a healthy op (even with injected
+	// faults and retry backoff) and orders below nothing-else-runs rebuild
+	// stalls compounding under -race.
+	var all []time.Duration
+	for lats := range latCh {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 := all[len(all)*99/100]
+	t.Logf("ops=%d p50=%v p99=%v max=%v", len(all), all[len(all)/2], p99, all[len(all)-1])
+	if p99 > 500*time.Millisecond {
+		t.Errorf("p99 op latency = %v under grow, want <= 500ms", p99)
+	}
+
+	// Durability audit on a clean transport: every acknowledged SET —
+	// filler or hot — must be present with its (key-deterministic) value.
+	plan.Disarm()
+	p := client.NewPool(s.Addr().String(), 2)
+	defer p.Close()
+	want := make(map[string]string)
+	for a := range ackedCh {
+		want[a.key] = a.val
+	}
+	if len(want) == 0 {
+		t.Fatal("no acknowledged writes to audit")
+	}
+	for key, val := range want {
+		v, ok, err := p.Get1(key)
+		if err != nil {
+			t.Fatalf("audit GET %s: %v", key, err)
+		}
+		if !ok || v != val {
+			t.Fatalf("acknowledged SET lost across grow: %s = %q, %v (want %q)", key, v, ok, val)
+		}
+	}
+	t.Logf("audited %d acknowledged keys across %d grows, none lost", len(want), tab.Grows)
 }
 
 // TestChaosAcceptFaultsDoNotKillServe: with a high accept-fault rate the

@@ -92,6 +92,7 @@ func (s *Server) collectTxn(m *obs.Metrics) {
 
 	m.Counter("cuckood_txn_commits_total", "EXEC transactions committed (optimistic or pessimistic).", float64(tx.Commits))
 	m.Counter("cuckood_txn_aborts_total", "Optimistic EXEC attempts aborted by stripe-version validation.", float64(tx.Aborts))
+	m.Counter("cuckood_txn_epoch_aborts_total", "Optimistic EXEC attempts aborted because a shard's migration epoch moved under a read-set entry.", float64(tx.EpochAborts))
 	m.Counter("cuckood_txn_fallbacks_total", "EXEC transactions that exhausted optimistic retries and committed via the stripe-ordered pessimistic path.", float64(tx.Fallbacks))
 	m.Counter("cuckood_txn_cas_conflicts_total", "CAS operations rejected because the current value differed.", float64(tx.CASConflicts))
 	m.Counter("cuckood_txn_split_ops_total", "Commutative updates absorbed by per-shard split counters instead of the key's stripe.", float64(tx.SplitOps))
@@ -148,8 +149,12 @@ func (s *Server) collectTable(m *obs.Metrics) {
 	m.Counter("cuckoo_table_searches_total", "BFS cuckoo-path searches (slow-path inserts).", float64(tab.Searches))
 	m.Counter("cuckoo_table_displacements_total", "Item moves along cuckoo paths.", float64(tab.Displacements))
 	m.Counter("cuckoo_table_path_restarts_total", "Inserts restarted because a concurrent writer invalidated the path (Eq. 1).", float64(tab.PathRestarts))
-	m.Counter("cuckoo_table_grows_total", "Completed automatic table expansions.", float64(tab.Grows))
+	m.Counter("cuckoo_table_grows_total", "Automatic table expansions started (each drains incrementally).", float64(tab.Grows))
 	m.Gauge("cuckoo_table_max_path_length", "Longest discovered cuckoo path, in displacements.", float64(tab.MaxPathLen))
+
+	m.Counter("cuckood_grow_migrated_buckets_total", "Old-generation buckets drained by the incremental-resize migrator.", float64(tab.MigratedBuckets))
+	m.Gauge("cuckood_grow_backlog_buckets", "Old-generation buckets still awaiting migration across all shards.", float64(tab.MigrationBacklog))
+	m.Gauge("cuckood_grow_in_progress", "Shards with an incremental resize in flight.", float64(s.cache.growingShards()))
 
 	// PathLenHist[i] counts paths of exactly i displacements; the last
 	// bucket absorbs longer paths, which the +Inf bucket represents.

@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"cuckoohash/generic"
 	"cuckoohash/internal/faultinject"
 	"cuckoohash/internal/obs"
 )
@@ -136,6 +137,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	// Grow events land in the flight recorder as synthetic records so an
+	// incident dump shows resize activity inline with the ops around it:
+	// verb GROW:start / GROW:done, the shard index and bucket doubling
+	// packed into the key-hash column, the remaining backlog as the
+	// duration column (buckets, not time — grows have no single duration
+	// by design; they are incremental).
+	cache.growHook = func(shard int, ev generic.GrowEvent) {
+		rec := obs.FlightRecord{
+			Verb:    "GROW:" + ev.Kind.String(),
+			Outcome: obs.OutcomeOK,
+			KeyHash: uint64(shard)<<48 | ev.FromBuckets<<24 | ev.ToBuckets,
+			TotalNs: int64(ev.Backlog),
+		}
+		s.flight.Record(uint64(shard), &rec)
 	}
 	return s, nil
 }

@@ -37,6 +37,20 @@ var errShardFull = errors.New("server: shard full")
 // enough unless the cuckoo search keeps failing on pathological keys.
 const maxEvictTries = 8
 
+// growInitialDivisor is how much smaller than its configured capacity a
+// shard starts: it grows incrementally (two-generation migration, never
+// stop-the-world) toward slotsPerShard as traffic fills it, so an
+// oversized -slots-per-shard no longer pays its worst-case footprint up
+// front.
+const growInitialDivisor = 8
+
+// migrateBatchPerOp is how many old-generation buckets each mutating
+// request drains when its shard has a resize in flight. Two buckets
+// bounds the added tail latency to a couple of bucket moves while still
+// guaranteeing forward progress proportional to write traffic; the
+// table's background sweeper handles the idle-shard case.
+const migrateBatchPerOp = 2
+
 // entry is the stored value plus its absolute expiry time.
 type entry struct {
 	val      string
@@ -58,6 +72,11 @@ type Cache struct {
 	stats  *stats
 	log    *slog.Logger
 	failOp func(op, key string) error // fault-injection hook; nil in production
+
+	// growHook, when non-nil, observes every shard grow event (start and
+	// done) after it is logged; the server installs a flight-recorder
+	// sink here before serving traffic.
+	growHook func(shard int, ev generic.GrowEvent)
 
 	// txn is the cuckootxn layer (internal/txn): per-key version/lock
 	// stripes, atomic verbs, OCC transactions, and split counters. Every
@@ -81,6 +100,9 @@ type shard struct {
 // NewCache creates a cache with the given shard count (rounded up to a
 // power of two, min 1) and per-shard slot capacity. Total capacity is
 // bounded: when a shard fills, SET evicts in approximate insertion order.
+// Each shard starts small and grows toward slotsPerShard with the
+// table's incremental two-generation migration — a grow never blocks the
+// request loop behind a stop-the-world rehash.
 func NewCache(shards int, slotsPerShard uint64) (*Cache, error) {
 	if shards < 1 {
 		shards = 1
@@ -98,21 +120,72 @@ func NewCache(shards int, slotsPerShard uint64) (*Cache, error) {
 		stats:  newStats(shards),
 		log:    slog.New(slog.DiscardHandler),
 	}
+	initial := slotsPerShard / growInitialDivisor
+	if initial < 64 {
+		initial = slotsPerShard
+	}
 	for i := range c.shards {
 		t, err := generic.New[string, entry](generic.Config{
-			InitialCapacity: slotsPerShard,
-			DisableAutoGrow: true,
+			InitialCapacity: initial,
+			MaxCapacity:     slotsPerShard,
+			// The server drives migration itself (driveMigration) so the
+			// batch work lands inside the request's span as StageMigrate;
+			// the table's background sweeper stays on for idle shards.
+			MigrateBatch: -1,
+			OnGrowEvent:  c.growEventFunc(i),
 		})
 		if err != nil {
 			return nil, err
 		}
 		c.shards[i] = &shard{
 			table: t,
-			ring:  make([]string, t.Cap()),
+			// The eviction ring is sized to the shard's configured maximum,
+			// not its current capacity, so records survive grows.
+			ring: make([]string, slotsPerShard),
 		}
 	}
-	c.txn = txn.New(cacheKV{c}, txn.Config{})
+	c.txn = txn.New(cacheKV{c}, txn.Config{
+		// OCC read sets observe the shard's migration epoch so a commit
+		// never validates across an incremental-resize generation change.
+		Epoch: func(key string) uint64 {
+			return c.shards[c.shardFor(key)].table.MigrationEpoch()
+		},
+	})
 	return c, nil
+}
+
+// growEventFunc builds shard i's grow-event callback: log it (grows are
+// rare and operators want them in the timeline) and forward to the
+// optional growHook sink. Events fire from whichever goroutine advances
+// the migration — a request or the table's sweeper — so the callback
+// must not block.
+func (c *Cache) growEventFunc(i int) func(generic.GrowEvent) {
+	return func(ev generic.GrowEvent) {
+		c.log.Info("shard grow",
+			"shard", i,
+			"phase", ev.Kind.String(),
+			"from_buckets", ev.FromBuckets,
+			"to_buckets", ev.ToBuckets,
+			"backlog", ev.Backlog)
+		if h := c.growHook; h != nil {
+			h(i, ev)
+		}
+	}
+}
+
+// driveMigration advances an in-flight incremental resize on shard si by
+// a bounded batch, attributing the work to sp as StageMigrate. Mutating
+// verbs call this so migration progress scales with write traffic; the
+// Growing check is one atomic load, so the common no-grow case costs
+// nothing.
+func (c *Cache) driveMigration(si int, sp *obs.Span) {
+	t := c.shards[si].table
+	if !t.Growing() {
+		return
+	}
+	t0 := sp.Begin()
+	t.MigrateBatch(migrateBatchPerOp)
+	sp.End(obs.StageMigrate, t0)
 }
 
 // Txn exposes the transaction layer, e.g. for metrics and tests.
@@ -221,10 +294,12 @@ func (c *Cache) SetTraced(key, val string, ttl time.Duration, sp *obs.Span) erro
 	if ttl > 0 {
 		expireAt = time.Now().Add(ttl).UnixNano()
 	}
+	si := c.shardFor(key)
 	err := c.setEntry(key, entry{val: val, expireAt: expireAt}, sp)
 	if err == nil {
-		c.stats.sets.Add(c.shardFor(key), 1)
+		c.stats.sets.Add(si, 1)
 	}
+	c.driveMigration(si, sp)
 	return err
 }
 
@@ -272,6 +347,7 @@ func (c *Cache) IncrTraced(key string, delta int64, hint uint64, sp *obs.Span) e
 		}
 	}
 	si := c.shardFor(key)
+	defer c.driveMigration(si, sp)
 	for tries := 0; ; tries++ {
 		err := c.txn.IncrSpan(key, delta, hint, sp)
 		if !errors.Is(err, errShardFull) {
@@ -302,6 +378,7 @@ func (c *Cache) MaxUpdate(key string, n int64, hint uint64) error {
 // MaxUpdateTraced is MaxUpdate with stage attribution recorded into sp.
 func (c *Cache) MaxUpdateTraced(key string, n int64, hint uint64, sp *obs.Span) error {
 	si := c.shardFor(key)
+	defer c.driveMigration(si, sp)
 	for tries := 0; ; tries++ {
 		err := c.txn.MaxUpdateSpan(key, n, hint, sp)
 		if !errors.Is(err, errShardFull) {
@@ -332,8 +409,11 @@ func (c *Cache) CAS(key, old, newVal string) (txn.CASResult, error) {
 
 // CASTraced is CAS with stage attribution recorded into sp.
 func (c *Cache) CASTraced(key, old, newVal string, sp *obs.Span) (txn.CASResult, error) {
-	c.stats.cass.Add(c.shardFor(key), 1)
-	return c.txn.CASSpan(key, old, newVal, sp)
+	si := c.shardFor(key)
+	c.stats.cass.Add(si, 1)
+	res, err := c.txn.CASSpan(key, old, newVal, sp)
+	c.driveMigration(si, sp)
+	return res, err
 }
 
 // Exec runs a MULTI/EXEC transaction. A write that lands on a full shard
@@ -351,6 +431,11 @@ func (c *Cache) Exec(ops []txn.Op) []txn.Result {
 func (c *Cache) ExecTraced(ops []txn.Op, sp *obs.Span) []txn.Result {
 	res, _ := c.txn.ExecSpan(ops, sp)
 	c.repairFullWrites(ops, res)
+	if len(ops) > 0 {
+		// One bounded batch per transaction, charged to the first key's
+		// shard — enough to keep migration moving under EXEC-only load.
+		c.driveMigration(c.shardFor(ops[0].Key), sp)
+	}
 	return res
 }
 
@@ -516,6 +601,7 @@ func (c *Cache) DeleteTraced(key string, sp *obs.Span) bool {
 			ok = s.table.Delete(key)
 		}
 	})
+	c.driveMigration(si, sp)
 	return ok
 }
 

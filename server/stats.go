@@ -197,6 +197,8 @@ func (c *Cache) tableTotals() (generic.Stats, spinlock.StripeStats) {
 		tab.Displacements += ts.Displacements
 		tab.PathRestarts += ts.PathRestarts
 		tab.Grows += ts.Grows
+		tab.MigratedBuckets += ts.MigratedBuckets
+		tab.MigrationBacklog += ts.MigrationBacklog
 		if ts.MaxPathLen > tab.MaxPathLen {
 			tab.MaxPathLen = ts.MaxPathLen
 		}
@@ -209,6 +211,17 @@ func (c *Cache) tableTotals() (generic.Stats, spinlock.StripeStats) {
 		lock.Yields += ls.Yields
 	}
 	return tab, lock
+}
+
+// growingShards counts shards with an incremental resize in flight.
+func (c *Cache) growingShards() int {
+	n := 0
+	for _, s := range c.shards {
+		if s.table.Growing() {
+			n++
+		}
+	}
+	return n
 }
 
 // Snapshot renders every counter, the hit ratio, the sampled latency
@@ -265,6 +278,7 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 		{"cluster_migrate_failures", fmt.Sprint(st.migrateFails.Load())},
 		{"txn_commits", fmt.Sprint(tx.Commits)},
 		{"txn_aborts", fmt.Sprint(tx.Aborts)},
+		{"txn_epoch_aborts", fmt.Sprint(tx.EpochAborts)},
 		{"txn_fallbacks", fmt.Sprint(tx.Fallbacks)},
 		{"txn_cas_conflicts", fmt.Sprint(tx.CASConflicts)},
 		{"txn_split_ops", fmt.Sprint(tx.SplitOps)},
@@ -277,6 +291,9 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 		{"table_path_restarts", fmt.Sprint(tab.PathRestarts)},
 		{"table_max_path_len", fmt.Sprint(tab.MaxPathLen)},
 		{"table_grows", fmt.Sprint(tab.Grows)},
+		{"grow_migrated_buckets", fmt.Sprint(tab.MigratedBuckets)},
+		{"grow_backlog_buckets", fmt.Sprint(tab.MigrationBacklog)},
+		{"grow_in_progress", fmt.Sprint(c.growingShards())},
 		{"lock_acquisitions", fmt.Sprint(lock.Acquisitions)},
 		{"lock_contended", fmt.Sprint(lock.Contended)},
 		{"lock_yields", fmt.Sprint(lock.Yields)},

@@ -5,14 +5,18 @@ import (
 )
 
 // sweepBatch bounds how many expired keys one shard sheds per sweep pass,
-// so the all-stripe lock that Range takes stays short (the same
-// critical-section-shortening discipline the table itself follows).
+// so each Range walk stays short (the same critical-section-shortening
+// discipline the table itself follows). Range locks one bucket stripe at
+// a time — never the whole table — so concurrent traffic keeps flowing
+// while the sweep scans; it also folds any in-flight incremental resize
+// first, which makes the sweeper double as a migration-drain backstop on
+// shards that stop seeing writes mid-grow.
 const sweepBatch = 1024
 
 // Sweep scans every shard once and deletes entries whose TTL has passed,
-// returning how many it removed. The scan collects victims under the
-// table's Range lock but deletes them afterwards with the ordinary
-// per-pair locks, so writers are only briefly excluded.
+// returning how many it removed. The scan collects victims during the
+// stripe-at-a-time Range walk but deletes them afterwards with the
+// ordinary per-key locks, so writers are only briefly excluded.
 func (c *Cache) Sweep() uint64 {
 	now := time.Now().UnixNano()
 	var removed uint64
