@@ -7,7 +7,7 @@ GO ?= go
 # mid-flight; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check build vet lint cuckoovet test race bench bench-smoke bench-txn bench-grow fuzz chaos loadgen-smoke metrics-smoke
+.PHONY: check build vet lint cuckoovet test race bench bench-smoke bench-txn bench-hotalloc bench-grow fuzz chaos loadgen-smoke metrics-smoke
 
 check: build vet lint race
 
@@ -30,9 +30,13 @@ lint: cuckoovet
 
 # cuckoovet machine-checks the paper's concurrency invariants (§4.2 atomic
 # discipline, §4.4 lock ordering, Eq. 1 snapshot/validate, §5 transaction
-# purity, P1 cache-line padding). See docs/ANALYSIS.md.
+# purity, P1 cache-line padding) plus the interprocedural hot-path proofs
+# (allocation freedom, no blocking in lock-free regions). See
+# docs/ANALYSIS.md. -timing prints per-analyzer wall time to stderr so a
+# slow analyzer is visible before it eats the CI budget (the CI job caps
+# the whole static-analysis step at 5 minutes).
 cuckoovet:
-	$(GO) run ./cmd/cuckoovet ./...
+	$(GO) run ./cmd/cuckoovet -timing ./...
 
 test:
 	$(GO) test ./...
@@ -64,6 +68,14 @@ bench-smoke:
 # in place so a perf regression shows up as a diff.
 bench-txn:
 	$(GO) run ./cmd/cuckoobench -exp txnzipf -scale small -repeat 3 -out results/BENCH_txn.json
+
+# The hot-path allocation benchmark (docs/ANALYSIS.md): allocs/op through
+# the public Cache API for byte-key GET (must be 0, hit and miss) vs the
+# legacy per-op string conversion (~1). The committed baseline lives at
+# results/BENCH_hotalloc.json; this regenerates it in place so an
+# allocation creeping onto the hot path shows up as a diff.
+bench-hotalloc:
+	$(GO) run ./cmd/cuckoobench -exp hotalloc -scale small -repeat 3 -out results/BENCH_hotalloc.json
 
 # The incremental-resize acceptance benchmark (docs/ROBUSTNESS.md): max
 # single-op insert latency across six table doublings, stop-the-world

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/cuckoovet [-checks list] [-list] [packages]
+//	go run ./cmd/cuckoovet [-checks list] [-list] [-timing] [packages]
 //
 // Packages default to ./... relative to the current directory. Exit
 // status is 1 when any unsuppressed diagnostic is reported. Findings can
@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cuckoohash/internal/analysis"
 	"cuckoohash/internal/analysis/cuckoovet"
@@ -39,6 +40,7 @@ import (
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	timing := flag.Bool("timing", false, "report per-analyzer wall time on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: cuckoovet [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Machine-checks the repository's concurrency invariants (docs/ANALYSIS.md).\n\n")
@@ -85,10 +87,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cuckoovet: %v\n", err)
 		os.Exit(2)
 	}
-	findings, err := driver.Run(prog, selected)
+	// The full registry's names go along so that a -checks subset run does
+	// not misjudge allow directives for the checks it skipped.
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		names = append(names, a.Name)
+	}
+	findings, times, err := driver.RunChecks(prog, selected, names)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cuckoovet: %v\n", err)
 		os.Exit(2)
+	}
+	if *timing {
+		var total time.Duration
+		for _, t := range times {
+			fmt.Fprintf(os.Stderr, "cuckoovet: %-12s %8.1fms\n", t.Name, float64(t.Elapsed.Microseconds())/1000)
+			total += t.Elapsed
+		}
+		fmt.Fprintf(os.Stderr, "cuckoovet: %-12s %8.1fms\n", "total", float64(total.Microseconds())/1000)
 	}
 	for _, f := range findings {
 		fmt.Println(f)

@@ -158,7 +158,10 @@ func backlog[K comparable, V any](st *genState[K, V]) uint64 {
 // grow starts an incremental migration if the live arrays still have
 // observedBuckets buckets (a concurrent grow already helped otherwise),
 // returning false only when Config.MaxCapacity forbids further growth.
+//
+//cuckoo:coldpath a doubling allocates the new generation by definition; bounded by log2(capacity) occurrences
 func (t *Table[K, V]) grow(observedBuckets uint64) bool {
+	//lint:allow cuckoovet:blockcheck store hierarchy: a put under a txn key stripe may park on growMu during the rare capacity escalation; bounded by doublings
 	t.growMu.Lock()
 	defer t.growMu.Unlock()
 	if t.loadState().live.buckets != observedBuckets {
@@ -187,6 +190,7 @@ func (t *Table[K, V]) growLocked(force bool) bool {
 	t.epoch.Add(1)
 	t.growCount.Add(1)
 	if f := t.cfg.OnGrowEvent; f != nil {
+		//lint:allow cuckoovet:blockcheck grow-event callbacks are documented non-blocking (growEventFunc) and fire at most twice per doubling
 		f(GrowEvent{Kind: GrowStart, FromBuckets: live.buckets,
 			ToBuckets: newBuckets, Backlog: backlog(next)})
 	}
@@ -199,6 +203,7 @@ func (t *Table[K, V]) growLocked(force bool) bool {
 // migrateStep is the bounded per-mutating-operation migration quantum:
 // one atomic load when no migration is in flight, at most
 // Config.MigrateBatch bucket drains when one is.
+//cuckoo:coldpath drain work only exists while a resize is in flight; amortized over writes and bounded per op
 func (t *Table[K, V]) migrateStep() {
 	if t.cfg.MigrateBatch <= 0 || !t.Growing() {
 		return
@@ -318,6 +323,7 @@ func (t *Table[K, V]) migrateBucket(g *oldGen[K, V], b uint64, growMuHeld bool) 
 		if growMuHeld {
 			t.growLocked(true)
 		} else {
+			//lint:allow cuckoovet:blockcheck store hierarchy: drain escalation may park on growMu with stripes held; the alternative is a migration that cannot terminate
 			t.growMu.Lock()
 			if t.stateValid(st) {
 				t.growLocked(true)
@@ -403,6 +409,7 @@ func (t *Table[K, V]) finishGenLocked(g *oldGen[K, V]) {
 	t.state.Store(next)
 	t.epoch.Add(1)
 	if f := t.cfg.OnGrowEvent; f != nil {
+		//lint:allow cuckoovet:blockcheck grow-event callbacks are documented non-blocking (growEventFunc) and fire at most twice per doubling
 		f(GrowEvent{Kind: GrowDone, FromBuckets: g.arr.buckets,
 			ToBuckets: st.live.buckets, Backlog: backlog(next)})
 	}

@@ -22,6 +22,8 @@ type bfsNode[K comparable] struct {
 }
 
 // search runs BFS from b1/b2 to an empty live slot.
+//
+//cuckoo:coldpath BFS path discovery is the insert slow path (§4, Eq. 2); its queue is the cost of a full bucket pair
 func (t *Table[K, V]) search(st *genState[K, V], b1, b2 uint64) ([]pathEntry[K], bool) {
 	t.stats.searches.add(b1, 1)
 	arr := st.live

@@ -204,9 +204,11 @@ func (t *Table[K, V]) lockPair(b1, b2 uint64) (uint64, uint64) {
 // the common cases stay allocation-free.
 func (t *Table[K, V]) lockAllGens(st *genState[K, V], h uint64, buf []uint64) []uint64 {
 	b1, b2 := t.twoBuckets(h, st.live.buckets)
+	//lint:allow cuckoovet:allocfree appends fill the caller's fixed 8-slot scratch: live pair plus two per draining generation spills only past three concurrent generations
 	buf = append(buf, t.locks.IndexFor(b1), t.locks.IndexFor(b2))
 	for _, g := range st.olds {
 		ob1, ob2 := t.twoBuckets(h, g.arr.buckets)
+		//lint:allow cuckoovet:allocfree appends fill the caller's fixed 8-slot scratch: live pair plus two per draining generation spills only past three concurrent generations
 		buf = append(buf, t.locks.IndexFor(ob1), t.locks.IndexFor(ob2))
 	}
 	return t.locks.LockOrdered(buf)
@@ -217,6 +219,8 @@ func (t *Table[K, V]) lockAllGens(st *genState[K, V], h uint64, buf []uint64) []
 // pointer-valued items safe to hand to the caller). While a migration is
 // in flight the old generations are consulted first — a key lives in
 // exactly one generation at a time.
+//
+//cuckoo:hotpath the table read path (§7 locked reads)
 func (t *Table[K, V]) Get(key K) (V, bool) {
 	h := t.hash(key)
 	var lockBuf [8]uint64
@@ -274,6 +278,11 @@ func (t *Table[K, V]) Upsert(key K, val V) error {
 	return t.put(key, val, true)
 }
 
+// put is the shared write loop behind Insert and Upsert: the in-place
+// fast path, then BFS path search (the audited slow path), growing and
+// draining as needed.
+//
+//cuckoo:hotpath the table write path; search/grow/migrate are the audited slow paths
 func (t *Table[K, V]) put(key K, val V, overwrite bool) error {
 	for {
 		observed := t.loadState().live.buckets

@@ -1,0 +1,14 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/allocfree"
+	"cuckoohash/internal/analysis/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t,
+		[]string{analysistest.Dir("allocfreetest")},
+		allocfree.Analyzer)
+}

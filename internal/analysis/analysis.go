@@ -45,6 +45,16 @@ type Analyzer struct {
 	// Run applies the analyzer to one package. The returned value is made
 	// available to dependent analyzers via Pass.ResultOf.
 	Run func(*Pass) (any, error)
+
+	// End, if non-nil, runs once after every package has been analyzed,
+	// with the complete fact store visible. It is where whole-program
+	// analyses (call-graph walks from annotated roots, interface dispatch
+	// over all known implementers) do their reporting: per-package Run
+	// passes only export summaries, because a summary's callers — and an
+	// interface's implementers — may live in packages loaded later. The
+	// pass is bound to the last module package; Reportf and the fact
+	// accessors work as usual.
+	End func(*Pass) error
 }
 
 func (a *Analyzer) String() string { return a.Name }

@@ -1,0 +1,18 @@
+package blockcheck_test
+
+import (
+	"testing"
+
+	"cuckoohash/internal/analysis/analysistest"
+	"cuckoohash/internal/analysis/blockcheck"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t,
+		[]string{
+			analysistest.Dir("stripelib"),
+			analysistest.Dir("htmlib"),
+			analysistest.Dir("blockchecktest"),
+		},
+		blockcheck.Analyzer)
+}

@@ -6,7 +6,9 @@ package cuckoovet
 import (
 	"cuckoohash/internal/analysis"
 	"cuckoohash/internal/analysis/align64"
+	"cuckoohash/internal/analysis/allocfree"
 	"cuckoohash/internal/analysis/atomicfield"
+	"cuckoohash/internal/analysis/blockcheck"
 	"cuckoohash/internal/analysis/genercheck"
 	"cuckoohash/internal/analysis/htmpure"
 	"cuckoohash/internal/analysis/lockorder"
@@ -26,5 +28,7 @@ func Analyzers() []*analysis.Analyzer {
 		genercheck.Analyzer,
 		htmpure.Analyzer,
 		obscheck.Analyzer,
+		allocfree.Analyzer,
+		blockcheck.Analyzer,
 	}
 }

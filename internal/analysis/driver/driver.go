@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"cuckoohash/internal/analysis"
 )
@@ -293,30 +294,81 @@ func (f Finding) String() string {
 // //lint:allow cuckoovet:<name> suppression directives, and returns the
 // surviving findings sorted by position.
 func Run(prog *Program, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	findings, _, err := RunChecks(prog, analyzers, nil)
+	return findings, err
+}
+
+// AnalyzerTime is one analyzer's wall time accumulated across every
+// package of the load (plus its End hook, if any).
+type AnalyzerTime struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunChecks is Run with two extras for the multichecker front end:
+// knownChecks names every check the tool as a whole registers — so that
+// when a -checks subset runs, an allow directive for an unselected check
+// is neither misreported as "unknown check" nor as "suppresses nothing"
+// (nil means the selected analyzers are the full registry) — and the
+// returned AnalyzerTime slice reports per-analyzer wall time in run
+// order.
+func RunChecks(prog *Program, analyzers []*analysis.Analyzer, knownChecks []string) ([]Finding, []AnalyzerTime, error) {
 	order, err := expand(analyzers)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	facts := analysis.NewFactStore()
 	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	elapsed := make(map[*analysis.Analyzer]time.Duration, len(order))
 	for _, pkg := range prog.Packages {
 		results := make(map[*analysis.Analyzer]any)
 		for _, a := range order {
-			pass := analysis.NewPass(a, prog.Fset, pkg.Files, pkg.Types, pkg.Info, prog.Sizes, results, facts, func(d analysis.Diagnostic) {
-				diags = append(diags, d)
-			})
+			pass := analysis.NewPass(a, prog.Fset, pkg.Files, pkg.Types, pkg.Info, prog.Sizes, results, facts, report)
+			start := time.Now()
 			res, err := a.Run(pass)
+			elapsed[a] += time.Since(start)
 			if err != nil {
-				return nil, fmt.Errorf("driver: %s on %s: %v", a.Name, pkg.ImportPath, err)
+				return nil, nil, fmt.Errorf("driver: %s on %s: %v", a.Name, pkg.ImportPath, err)
 			}
 			results[a] = res
 		}
 	}
-	known := make(map[string]bool, len(order))
-	for _, a := range order {
-		known[a.Name] = true
+	// Whole-program End hooks: every package's summaries and facts are in
+	// the store, so root-to-leaf walks and interface resolution see the
+	// complete universe. The pass is bound to the last module package.
+	if len(prog.Packages) > 0 {
+		last := prog.Packages[len(prog.Packages)-1]
+		for _, a := range order {
+			if a.End == nil {
+				continue
+			}
+			pass := analysis.NewPass(a, prog.Fset, last.Files, last.Types, last.Info, prog.Sizes, map[*analysis.Analyzer]any{}, facts, report)
+			start := time.Now()
+			err := a.End(pass)
+			elapsed[a] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("driver: %s (end): %v", a.Name, err)
+			}
+		}
 	}
-	return applyAllows(prog, known, diags), nil
+	ran := make(map[string]bool, len(order))
+	times := make([]AnalyzerTime, 0, len(order))
+	for _, a := range order {
+		ran[a.Name] = true
+		times = append(times, AnalyzerTime{Name: a.Name, Elapsed: elapsed[a]})
+	}
+	known := ran
+	if knownChecks != nil {
+		known = make(map[string]bool, len(knownChecks))
+		for _, name := range knownChecks {
+			known[name] = true
+		}
+		for name := range ran {
+			known[name] = true
+		}
+	}
+	return applyAllows(prog, known, ran, diags), times, nil
 }
 
 // expand returns analyzers plus requirements in topological order.
@@ -362,8 +414,11 @@ const allowPrefix = "//lint:allow cuckoovet:"
 // applyAllows filters diagnostics through the suppression directives and
 // appends the driver's own findings about the directives themselves
 // (unknown check names, missing reasons, unused allows) under the
-// pseudo-check "allowcheck".
-func applyAllows(prog *Program, known map[string]bool, diags []analysis.Diagnostic) []Finding {
+// pseudo-check "allowcheck". known holds every registered check name;
+// ran holds the checks that executed this run — a directive is judged
+// stale only against checks that actually produced diagnostics to
+// suppress.
+func applyAllows(prog *Program, known, ran map[string]bool, diags []analysis.Diagnostic) []Finding {
 	// directives indexed by file name and the line they govern.
 	type key struct {
 		file  string
@@ -410,6 +465,10 @@ func applyAllows(prog *Program, known map[string]bool, diags []analysis.Diagnost
 		case d.reason == "":
 			out = append(out, Finding{Pos: d.pos, Check: "allowcheck",
 				Message: fmt.Sprintf("allow directive for cuckoovet:%s must carry a reason (\"//lint:allow cuckoovet:%s why it is safe\")", d.check, d.check)})
+		case !ran[d.check]:
+			// The check exists but was excluded from this run (-checks
+			// subset): no diagnostics were produced for it, so staleness
+			// cannot be judged.
 		case !d.used:
 			out = append(out, Finding{Pos: d.pos, Check: "allowcheck",
 				Message: fmt.Sprintf("allow directive for cuckoovet:%s suppresses nothing; delete it", d.check)})

@@ -1,0 +1,81 @@
+package genercheck_test
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"cuckoohash/internal/analysis"
+	"cuckoohash/internal/analysis/allocfree"
+	"cuckoohash/internal/analysis/callgraph"
+	"cuckoohash/internal/analysis/cuckoovet"
+	"cuckoohash/internal/analysis/driver"
+	"cuckoohash/internal/analysis/genercheck"
+)
+
+// TestServerInstantiation regression-tests Origin() normalization on the
+// real module: the server instantiates generic.Table[string, entry], and
+// analyzing both packages together must neither duplicate the Table's
+// summaries per instantiation nor miss the server-side hot-path proofs.
+func TestServerInstantiation(t *testing.T) {
+	getFacts := 0
+	var hotRoots []string
+	probe := &analysis.Analyzer{
+		Name:     "probe",
+		Doc:      "count generic.Table summary facts after the full run",
+		Requires: []*analysis.Analyzer{callgraph.Analyzer},
+		Run:      func(pass *analysis.Pass) (any, error) { return nil, nil },
+		End: func(pass *analysis.Pass) error {
+			for _, of := range pass.AllObjectFacts(&callgraph.FuncFact{}) {
+				fn, ok := of.Object.(*types.Func)
+				if !ok {
+					continue
+				}
+				if strings.Contains(fn.FullName(), "generic.Table") && strings.HasSuffix(fn.FullName(), ".Get") {
+					getFacts++
+				}
+			}
+			for _, of := range pass.AllObjectFacts(&allocfree.HotFact{}) {
+				if fn, ok := of.Object.(*types.Func); ok {
+					hotRoots = append(hotRoots, fn.FullName())
+				}
+			}
+			return nil
+		},
+	}
+
+	prog, err := driver.Load("../../..", "./generic", "./server")
+	if err != nil {
+		t.Fatalf("loading generic+server: %v", err)
+	}
+	var names []string
+	for _, a := range cuckoovet.Analyzers() {
+		names = append(names, a.Name)
+	}
+	findings, _, err := driver.RunChecks(prog,
+		[]*analysis.Analyzer{genercheck.Analyzer, allocfree.Analyzer, probe}, names)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding on the clean tree: %s", f)
+	}
+	if getFacts != 1 {
+		t.Errorf("got %d summary facts for generic.Table.Get, want exactly 1 (Origin-normalized)", getFacts)
+	}
+	// The server instantiates the table; its hot roots and the generic
+	// package's own must all have been collected in one universe.
+	wantRoots := []string{"generic.GetBytes", "GetBytesTraced", ").Get"}
+	for _, frag := range wantRoots {
+		found := false
+		for _, r := range hotRoots {
+			if strings.Contains(r, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no //cuckoo:hotpath root matching %q collected (have %v)", frag, hotRoots)
+		}
+	}
+}

@@ -1,5 +1,5 @@
-// Package lockorder flags direct two-lock sequences on striped bucket
-// locks.
+// Package lockorder flags two-lock sequences on striped bucket locks,
+// including sequences split across function boundaries.
 //
 // The paper's deadlock-avoidance rule (§4.4) is that a displacement locks
 // its two buckets' stripes in ascending stripe-index order, and the
@@ -10,21 +10,49 @@
 // displacement locking the same pair in the opposite order. The bug
 // compiles cleanly and deadlocks only under exactly-interleaved writers,
 // so it is machine-checked here.
+//
+// The check is interprocedural: every function gets a lock summary from
+// the callgraph — whether it (transitively, through static calls) takes a
+// raw Stripe.Lock, and whether it returns with stripe locks still held
+// (Table.lockAllGens). Calling a raw-locking function while a stripe lock
+// is held is the same hand-ordered two-lock sequence, merely hidden
+// behind a call; it is reported at the call site. A call to a function
+// that returns holding locks extends the held set with a sentinel that
+// the matching Unlock/UnlockOrdered releases.
+//
+// Nesting across lock *types* — a transaction key stripe over the backing
+// store's bucket stripes — follows the documented store hierarchy
+// (internal/txn package doc) and is legal as long as the inner layer goes
+// through LockPair/LockOrdered; only raw Lock propagates through
+// summaries. Dynamic calls (interface methods, function values) are not
+// followed: the held-set reasoning would cross object instances where the
+// hierarchy, not the order rule, governs.
 package lockorder
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"cuckoohash/internal/analysis"
+	"cuckoohash/internal/analysis/callgraph"
 	"cuckoohash/internal/analysis/checkutil"
 )
+
+// LockFact summarizes a function's striped-lock behavior for callers.
+type LockFact struct {
+	RawLock bool // transitively performs a raw Stripe.Lock
+	NetHeld bool // returns with stripe locks held (lockAllGens)
+}
+
+func (*LockFact) AFact() {}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
 	Doc: "flag second Stripe.Lock while a stripe lock is held: bucket pairs " +
 		"must go through LockPair/ordered helpers (§4.4 deadlock-avoidance rule)",
-	Run: run,
+	Requires: []*analysis.Analyzer{callgraph.Analyzer},
+	Run:      run,
 }
 
 // A "striped lock" is any type that offers both Lock and LockPair: the
@@ -34,7 +62,18 @@ func isStripedLock(t types.Type) bool {
 	return checkutil.HasMethods(t, "Lock", "Unlock", "LockPair")
 }
 
+const sentinelPrefix = "locks held by "
+
 func run(pass *analysis.Pass) (any, error) {
+	// Phase 1: export lock summaries for this package's functions so the
+	// walker (and downstream packages) can consult them uniformly.
+	if g, ok := pass.ResultOf[callgraph.Analyzer].(*callgraph.Graph); ok && g != nil {
+		c := &facts{pass: pass, g: g, state: make(map[*types.Func]int), done: make(map[*types.Func]LockFact)}
+		for fn := range g.Funcs {
+			c.compute(fn)
+		}
+	}
+	// Phase 2: branch-sensitive held-set walk over every body.
 	for _, file := range pass.Files {
 		for _, fb := range checkutil.Bodies(file) {
 			w := &walker{pass: pass}
@@ -44,9 +83,75 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
+// facts computes LockFact per function from callgraph summaries, with
+// memoized recursion (cycles resolve to the empty fact).
+type facts struct {
+	pass  *analysis.Pass
+	g     *callgraph.Graph
+	state map[*types.Func]int // 1 = computing, 2 = done
+	done  map[*types.Func]LockFact
+}
+
+func (c *facts) compute(fn *types.Func) LockFact {
+	fn = fn.Origin()
+	if lf, ok := c.done[fn]; ok {
+		return lf
+	}
+	sum := c.g.Funcs[fn]
+	if sum == nil {
+		var lf LockFact
+		c.pass.ImportObjectFact(fn, &lf)
+		return lf
+	}
+	if c.state[fn] == 1 {
+		return LockFact{} // cycle: assume balanced and pair-locked
+	}
+	c.state[fn] = 1
+	var lf LockFact
+	acq, rel := 0, 0
+	for i := range sum.Calls {
+		call := &sum.Calls[i]
+		if call.Go || call.Callee == nil {
+			continue
+		}
+		if call.RecvType != nil && isStripedLock(call.RecvType) {
+			if call.Callee.Pkg() == fn.Pkg() {
+				continue // the lock type's own package implements the ordering
+			}
+			switch call.Callee.Name() {
+			case "Lock":
+				lf.RawLock = true
+				acq++
+			case "LockPair", "LockAll", "LockOrdered":
+				acq++
+			case "Unlock", "UnlockPair", "UnlockAll", "UnlockOrdered":
+				rel++
+			}
+			continue
+		}
+		sub := c.compute(call.Callee)
+		if sub.RawLock {
+			lf.RawLock = true
+		}
+		if sub.NetHeld {
+			acq++
+		}
+	}
+	if acq > rel {
+		lf.NetHeld = true
+	}
+	c.state[fn] = 2
+	c.done[fn] = lf
+	if lf.RawLock || lf.NetHeld {
+		c.pass.ExportObjectFact(fn, &lf)
+	}
+	return lf
+}
+
 // walker tracks, in source order with branch-sensitive merging, which raw
 // stripe locks are held. Held locks are keyed by the printed receiver
-// expression so Lock/Unlock pairs on the same stripe table cancel out.
+// expression so Lock/Unlock pairs on the same stripe table cancel out;
+// calls to functions that return holding locks push a sentinel entry.
 type walker struct {
 	pass *analysis.Pass
 }
@@ -175,12 +280,24 @@ func (w *walker) expr(held []string, e ast.Expr) []string {
 			return true
 		}
 		fn := checkutil.Callee(w.pass.TypesInfo, call)
-		recv := checkutil.Receiver(w.pass.TypesInfo, call)
-		if fn == nil || recv == nil {
+		if fn == nil {
 			return true
 		}
-		rt := w.pass.TypesInfo.Types[recv].Type
-		if !isStripedLock(rt) {
+		recv := checkutil.Receiver(w.pass.TypesInfo, call)
+		if recv == nil || !isStripedLock(w.pass.TypesInfo.Types[recv].Type) {
+			// Interprocedural step: consult the callee's lock summary.
+			var lf LockFact
+			if !w.pass.ImportObjectFact(fn.Origin(), &lf) {
+				return true
+			}
+			if lf.RawLock && len(held) > 0 {
+				w.pass.Reportf(call.Pos(),
+					"call to %s, which takes a raw stripe lock, while stripe lock %s is held; cross-function two-lock sequences must go through LockPair (§4.4)",
+					callgraph.DisplayName(fn), held[len(held)-1])
+			}
+			if lf.NetHeld {
+				held = append(held, sentinelPrefix+fn.Name()+"()")
+			}
 			return true
 		}
 		// The lock type's own package implements LockPair/LockAll and is
@@ -197,14 +314,15 @@ func (w *walker) expr(held []string, e ast.Expr) []string {
 					key, held[len(held)-1])
 			}
 			held = append(held, key)
-		case "Unlock":
-			held = remove(held, key)
+		case "Unlock", "UnlockPair", "UnlockAll", "UnlockOrdered":
+			held = release(held, key)
 		case "LockPair", "LockAll", "LockOrdered":
 			if len(held) > 0 {
 				w.pass.Reportf(call.Pos(),
 					"%s on %s while stripe lock %s is held; release it first (§4.4)",
 					fn.Name(), key, held[len(held)-1])
 			}
+			held = append(held, key)
 		}
 		return true
 	})
@@ -234,9 +352,16 @@ func union(a, b []string) []string {
 	return out
 }
 
-func remove(held []string, key string) []string {
+// release drops the most recent hold of key; with no exact match it drops
+// the most recent sentinel (an Unlock on the stripes a helper left locked).
+func release(held []string, key string) []string {
 	for i := len(held) - 1; i >= 0; i-- {
 		if held[i] == key {
+			return append(held[:i], held[i+1:]...)
+		}
+	}
+	for i := len(held) - 1; i >= 0; i-- {
+		if strings.HasPrefix(held[i], sentinelPrefix) {
 			return append(held[:i], held[i+1:]...)
 		}
 	}

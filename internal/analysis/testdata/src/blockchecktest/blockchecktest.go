@@ -1,0 +1,132 @@
+// Package blockchecktest is the blockcheck golden: no blocking call may
+// be transitively reachable from a spinlock critical section, a seqlock
+// Snapshot/Validate read window, or an HTM transaction body — including
+// regions opened by net-acquiring helpers and function values run inside
+// a callee's region.
+package blockchecktest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"htmlib"
+	"stripelib"
+)
+
+type table struct {
+	locks *stripelib.Stripe
+	mu    sync.Mutex
+	ch    chan uint64
+}
+
+func badSleepInSpin(t *table, i uint64) {
+	t.locks.Lock(i)
+	time.Sleep(1) // want `blocking time call time\.Sleep reachable inside spinlock critical section on t\.locks: blockchecktest\.badSleepInSpin`
+	t.locks.Unlock(i)
+}
+
+func badChanInSpin(t *table, i uint64) {
+	t.locks.Lock(i)
+	t.ch <- i // want `channel send reachable inside spinlock critical section on t\.locks`
+	t.locks.Unlock(i)
+}
+
+func badSelectInSpin(t *table, i uint64) {
+	t.locks.Lock(i)
+	select { // want `select reachable inside spinlock critical section on t\.locks`
+	case v := <-t.ch: // want `channel receive reachable inside spinlock critical section on t\.locks`
+		_ = v
+	default:
+	}
+	t.locks.Unlock(i)
+}
+
+func logHit(i uint64) {
+	fmt.Println("hit", i) // want `I/O call fmt\.Println reachable inside spinlock critical section on t\.locks: blockchecktest\.badHelperBlocks -> blockchecktest\.logHit`
+}
+
+func badHelperBlocks(t *table, i uint64) {
+	t.locks.Lock(i)
+	logHit(i)
+	t.locks.Unlock(i)
+}
+
+func badMutexInWindow(t *table, i uint64) uint64 {
+	for {
+		v := t.locks.Snapshot(i)
+		t.mu.Lock() // want `blocking sync call \(\*sync\.Mutex\)\.Lock reachable inside seqlock read window`
+		t.mu.Unlock()
+		if t.locks.Validate(i, v) {
+			return v
+		}
+	}
+}
+
+func badIOInTxn(r *htmlib.Region) error {
+	return r.Run(func(tx *htmlib.Txn) error {
+		tx.Store(0, tx.Load(1))
+		fmt.Println("committed") // want `I/O call fmt\.Println reachable inside HTM transaction body`
+		return nil
+	})
+}
+
+// acquire returns with the stripe held: callers inherit an open region.
+func acquire(t *table, i uint64) {
+	t.locks.Lock(i)
+}
+
+func badAfterHelperHolds(t *table, i uint64) {
+	acquire(t, i)
+	time.Sleep(1) // want `blocking time call time\.Sleep reachable inside spinlock critical section on locks held by acquire`
+	t.locks.Unlock(i)
+}
+
+// withStripe runs fn while holding stripe i: every argument is a region.
+func withStripe(t *table, i uint64, fn func()) {
+	t.locks.Lock(i)
+	fn()
+	t.locks.Unlock(i)
+}
+
+func badArgBlocks(t *table, i uint64) {
+	withStripe(t, i, func() {
+		t.mu.Lock() // want `blocking sync call \(\*sync\.Mutex\)\.Lock reachable inside spinlock critical section on t\.locks \(argument run by blockchecktest\.withStripe\): blockchecktest\.badArgBlocks -> func literal`
+	})
+}
+
+func goodArgSpins(t *table, i uint64) {
+	withStripe(t, i, func() {
+		t.locks.Snapshot(i)
+	})
+}
+
+func goodSpinIsShort(t *table, i uint64) uint64 {
+	t.locks.Lock(i)
+	v := t.locks.Snapshot(i)
+	t.locks.Unlock(i)
+	return v
+}
+
+func goodBlockAfterRelease(t *table, i uint64) {
+	t.locks.Lock(i)
+	t.locks.Unlock(i)
+	t.ch <- i
+}
+
+func goodWindowIsLoads(t *table, i uint64) uint64 {
+	for {
+		v := t.locks.Snapshot(i)
+		x := t.locks.Snapshot(i + 1)
+		if t.locks.Validate(i, v) {
+			return x
+		}
+	}
+}
+
+func goodTxnIsPure(r *htmlib.Region) error {
+	return r.Run(func(tx *htmlib.Txn) error {
+		tx.Store(0, tx.Load(1)+1)
+		return nil
+	})
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"runtime"
+	"strconv"
+	"time"
+
+	"cuckoohash/server"
+)
+
+// HotAlloc measures steady-state heap allocations per operation on the
+// daemon's GET/SET fast paths through the public Cache API. It is the
+// dynamic twin of the static allocfree proof: cuckoovet proves the
+// //cuckoo:hotpath roots (GetBytesTraced, generic.GetBytes, the wire
+// dispatch) cannot reach an allocation site, and this cell shows the
+// proof holds at runtime — a byte-key GET, hit or miss, is 0 allocs/op,
+// while the legacy per-op string([]byte) conversion pays one allocation
+// on every request.
+func HotAlloc(sc Scale) *Report {
+	// Keep the key universe well under capacity so the prefill never
+	// triggers eviction (Set evicts instead of erroring when full) —
+	// every "hit" key must actually be resident.
+	universe := sc.Slots / 8
+	if universe > 1<<12 {
+		universe = 1 << 12
+	}
+	r := &Report{
+		ID:      "hotalloc",
+		Title:   "Hot-path heap allocations per operation (GET/SET steady state)",
+		Columns: []string{"allocs/op", "ns/op"},
+	}
+
+	shards := 4
+	c, err := server.NewCache(shards, sc.Slots/uint64(shards))
+	if err != nil {
+		panic("hotalloc: " + err.Error())
+	}
+	keys := make([]string, universe)
+	byteKeys := make([][]byte, universe)
+	missKeys := make([][]byte, universe)
+	for i := range keys {
+		keys[i] = "hot" + strconv.Itoa(i)
+		byteKeys[i] = []byte(keys[i])
+		missKeys[i] = []byte("absent" + strconv.Itoa(i))
+		if err := c.Set(keys[i], "value-"+strconv.Itoa(i), 0); err != nil {
+			panic("hotalloc prefill: " + err.Error())
+		}
+	}
+
+	ops := sc.LookupOps
+	if ops < 1<<14 {
+		ops = 1 << 14
+	}
+	// measure runs fn ops times on one goroutine and returns the heap
+	// allocation count and wall time per op. A warmup pass lets lazy
+	// one-time allocations (shard stats, promote tracking) fire outside
+	// the measured window, so the numbers are the steady state.
+	measure := func(fn func(i uint64)) (allocs, nsop float64) {
+		for i := uint64(0); i < 1024; i++ {
+			fn(i)
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := uint64(0); i < ops; i++ {
+			fn(i)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / float64(ops),
+			float64(elapsed.Nanoseconds()) / float64(ops)
+	}
+
+	rows := []struct {
+		name string
+		fn   func(i uint64)
+	}{
+		{"GET hit, byte key (wire path)", func(i uint64) {
+			if _, ok := c.GetBytesTraced(byteKeys[i%universe], nil); !ok {
+				panic("hotalloc: unexpected miss")
+			}
+		}},
+		{"GET miss, byte key (wire path)", func(i uint64) {
+			if _, ok := c.GetBytesTraced(missKeys[i%universe], nil); ok {
+				panic("hotalloc: unexpected hit")
+			}
+		}},
+		{"GET hit, owned string key", func(i uint64) {
+			c.Get(keys[i%universe])
+		}},
+		{"GET hit, string([]byte) per op (legacy)", func(i uint64) {
+			c.Get(string(byteKeys[i%universe]))
+		}},
+		{"SET overwrite, owned strings", func(i uint64) {
+			if err := c.Set(keys[i%universe], "value-x", 0); err != nil {
+				panic("hotalloc: " + err.Error())
+			}
+		}},
+	}
+	for _, row := range rows {
+		allocs, nsop := measure(row.fn)
+		r.AddRow(row.name, allocs, nsop)
+	}
+
+	r.AddNote("acceptance: byte-key GET (the path every network request takes) is 0 allocs/op, hit and miss; the legacy string([]byte) conversion pays ~1 alloc/op")
+	r.AddNote("statically verified: cuckoovet's allocfree analyzer proves the //cuckoo:hotpath roots allocation-free over the whole call graph (docs/ANALYSIS.md)")
+	r.AddNote("server/hotalloc_test.go asserts the same bound over the full wire round trip (parse + dispatch + reply) with testing.AllocsPerRun")
+	return r
+}

@@ -7,18 +7,21 @@ import (
 	"time"
 
 	"cuckoohash/internal/metrics"
+	"cuckoohash/internal/spinlock"
 	"cuckoohash/internal/txn"
 	"cuckoohash/internal/workload"
 )
 
-// txnKV is a mutex-guarded map backing store for the transaction-layer
-// benchmark. A single mutex is deliberate: it stands in for the shard the
+// txnKV is a lock-guarded map backing store for the transaction-layer
+// benchmark. A single lock is deliberate: it stands in for the shard the
 // daemon serializes on, and both variants pay it identically — the
 // difference under measurement is how often each variant reaches the
 // store at all (every op on the naive path, once per reconcile on the
-// split path).
+// split path). It is a spinlock because the store is reached from
+// seqlock read windows and with key stripes held, where parking on a
+// sync.Mutex is forbidden (blockcheck), exactly like the real cacheKV.
 type txnKV struct {
-	mu sync.Mutex
+	mu spinlock.Mutex
 	m  map[string]string
 }
 

@@ -11,6 +11,7 @@ import (
 // doubling instead of one each (the loser of the race sees the halved
 // load factor and skips). It reports whether a grow happened.
 func (t *Table) GrowIfFull() (bool, error) {
+	//lint:allow cuckoovet:blockcheck the core engine's grow is documented stop-the-world (§4.1 leaves expansion offline); writers racing ErrFull park here by design
 	t.growMu.Lock()
 	defer t.growMu.Unlock()
 	if t.LoadFactor() <= 0.85 {

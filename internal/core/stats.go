@@ -187,6 +187,7 @@ type growLog struct {
 }
 
 func (l *growLog) record(e GrowEvent) {
+	//lint:allow cuckoovet:blockcheck runs once per expansion under the stop-the-world grow path; decouples GrowEvents readers, never contended on the request path
 	l.mu.Lock()
 	if len(l.events) >= maxGrowEvents {
 		l.events = l.events[1:]

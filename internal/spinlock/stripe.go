@@ -198,6 +198,7 @@ func sortDedup(idxs []uint64) []uint64 {
 	out := idxs[:0]
 	for i, v := range idxs {
 		if i == 0 || v != idxs[i-1] {
+			//lint:allow cuckoovet:allocfree in-place compaction: out aliases idxs and never outgrows it
 			out = append(out, v)
 		}
 	}

@@ -11,6 +11,8 @@ import "cuckoohash/internal/obs"
 
 // WithLockSpan is WithLock with the stripe acquisition attributed to
 // rec as StageLock.
+//
+//cuckoo:hotpath every keyed verb runs its critical section through here
 func (s *Store) WithLockSpan(key string, rec *obs.Span, fn func()) {
 	i := s.stripeFor(key)
 	t0 := rec.Begin()
@@ -22,6 +24,8 @@ func (s *Store) WithLockSpan(key string, rec *obs.Span, fn func()) {
 }
 
 // SetSpan is Set with lock wait and store time attributed to rec.
+//
+//cuckoo:hotpath the SET fast path: stripe, store, unlock
 func (s *Store) SetSpan(key, val string, expireAt int64, rec *obs.Span) error {
 	var err error
 	s.WithLockSpan(key, rec, func() {
@@ -46,6 +50,8 @@ func (s *Store) DeleteSpan(key string, rec *obs.Span) bool {
 // IncrSpan is Incr with stripe wait (StageLock) and the read-modify-
 // write (StageProbe) attributed to rec. The split fast path records
 // nothing: it is a single padded atomic add with no lock or probe.
+//
+//cuckoo:hotpath a split-mode INCR is one atomic add; the stripe path's value re-encode is its audited cost
 func (s *Store) IncrSpan(key string, delta int64, hint uint64, rec *obs.Span) error {
 	if e, ok := s.split.lookup(key); ok && e.class == classAdd {
 		if s.split.add(e, delta, hint) {
@@ -72,6 +78,8 @@ func (s *Store) IncrSpan(key string, delta int64, hint uint64, rec *obs.Span) er
 }
 
 // MaxUpdateSpan is MaxUpdate with the same attribution as IncrSpan.
+//
+//cuckoo:hotpath the split-mode MAXUPDATE fast path mirrors IncrSpan's
 func (s *Store) MaxUpdateSpan(key string, n int64, hint uint64, rec *obs.Span) error {
 	if e, ok := s.split.lookup(key); ok && e.class == classMax {
 		if s.split.max(e, n, hint) {

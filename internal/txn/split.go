@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"cuckoohash/internal/spinlock"
 )
 
 // Operation classes a key can be split for. A key splits for exactly one
@@ -41,14 +43,16 @@ type delta struct {
 }
 
 // splitShard is one padded shard of pending deltas. Updates take only
-// the shard's mutex — never a key stripe — so a split-phase INCR touches
-// no cache line shared with another core's split ops. The padding keeps
-// adjacent shards off each other's lines (the paper's principle P1, same
-// reasoning as metrics.OpCounter).
+// the shard's spinlock — never a key stripe — so a split-phase INCR
+// touches no cache line shared with another core's split ops. A spinlock
+// rather than sync.Mutex because the folds (drainZero, drainRemove) run
+// with the key's stripe held: the holder of a stripe must never park.
+// The padding keeps adjacent shards off each other's lines (the paper's
+// principle P1, same reasoning as metrics.OpCounter).
 type splitShard struct {
-	mu     sync.Mutex
+	mu     spinlock.Mutex
 	deltas map[string]*delta
-	_      [64 - 8 - 8]byte // mutex (8) + map header (8) → one 64-byte line
+	_      [64 - 8 - 8]byte // spinlock (4, padded to 8) + map header (8) → one 64-byte line
 }
 
 // splitTable routes hot-key commutative updates to per-shard delta slots.
@@ -202,6 +206,8 @@ func (t *splitTable) pendingKeys() map[string]struct{} {
 // promotes it to split mode once the configured threshold is reached.
 // Called only from the already-contended slow path, so the bookkeeping
 // mutex is off the uncontended fast path entirely.
+//
+//cuckoo:coldpath promotion bookkeeping runs only on contended acquisitions, never on the uncontended per-op path
 func (s *Store) noteContention(key string, class uint8) {
 	t := s.split
 	t.promoteMu.Lock()
@@ -290,6 +296,8 @@ func (s *Store) reconcileIfHotLocked(key string) {
 // foldLocked drains and applies key's pending deltas: in place for a
 // still-hot key, unlinking the slots for a demoted one. Caller holds
 // key's stripe.
+//
+//cuckoo:coldpath a fold runs once per phase tick (or on a hot key's first stripe op), not per operation
 func (s *Store) foldLocked(key string) uint64 {
 	var addSum, maxVal int64
 	var haveMax bool

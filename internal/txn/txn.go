@@ -197,6 +197,7 @@ func (s *Store) applyAddLocked(key string, delta int64) error {
 		}
 		n = v
 	}
+	//lint:allow cuckoovet:allocfree the re-encoded value string is the write; split mode batches these to one per fold
 	return s.kv.Store(key, strconv.FormatInt(n+delta, 10), 0, true)
 }
 
@@ -213,6 +214,7 @@ func (s *Store) applyMaxLocked(key string, n int64) error {
 			return nil
 		}
 	}
+	//lint:allow cuckoovet:allocfree the re-encoded value string is the write; split mode batches these to one per fold
 	return s.kv.Store(key, strconv.FormatInt(n, 10), 0, true)
 }
 
@@ -227,4 +229,23 @@ func (s *Store) ReconcileKey(key string) {
 	s.locks.Lock(i)
 	s.reconcileIfHotLocked(key)
 	s.locks.Unlock(i)
+}
+
+// ReconcileKeyBytes is ReconcileKey for a key still in byte-slice form
+// (the server's GET path aliases its read buffer). The hot-set probe
+// uses the compiler's free map[string(b)] lookup, so the common states —
+// no hot keys at all, or a cold key — convert nothing; only a key that
+// is actually hot pays the string copy, and its fold dwarfs that cost.
+//
+//cuckoo:hotpath GET-path split-counter fold gate; cold keys allocate nothing
+func (s *Store) ReconcileKeyBytes(key []byte) {
+	m := s.split.hot.Load()
+	if m == nil {
+		return
+	}
+	if _, ok := (*m)[string(key)]; !ok {
+		return
+	}
+	//lint:allow cuckoovet:allocfree only a promoted hot key reaches this copy; the fold it gates is far more expensive
+	s.ReconcileKey(string(key))
 }

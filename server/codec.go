@@ -169,6 +169,10 @@ func nextToken(line []byte) (tok, rest []byte) {
 }
 
 // parseRequest parses one protocol line (already stripped of \r\n).
+// GET and SET parse without copying — key and val alias the line;
+// numeric-operand verbs copy their token for strconv.
+//
+//cuckoo:hotpath the wire decoder; GET/SET lines parse allocation-free
 func parseRequest(line []byte) (request, error) {
 	return parseRequest1(line, true)
 }
@@ -220,6 +224,7 @@ func parseRequest1(line []byte, allowTrace bool) (request, error) {
 		if len(key) > maxKeyLen {
 			return request{}, errKeyTooLong
 		}
+		//lint:allow cuckoovet:allocfree the TTL token is copied for strconv; SETEX pays one bounded copy, GET/SET none
 		ms, err := strconv.ParseUint(string(ttlTok), 10, 32)
 		if err != nil || ms == 0 {
 			return request{}, errBadTTL
@@ -292,6 +297,7 @@ func parseHotKeys(rest []byte) (request, error) {
 		if extra != nil {
 			return request{}, errBadHotKeys
 		}
+		//lint:allow cuckoovet:allocfree HOTKEYS is an operator verb; its count token is copied for strconv
 		v, err := strconv.ParseInt(string(tok), 10, 64)
 		if err != nil || v < 1 || v > hotKeysMax {
 			return request{}, errBadHotKeys
@@ -322,6 +328,7 @@ func parseCounter(op opCode, rest []byte, operandRequired bool) (request, error)
 		if extra != nil {
 			return request{}, errBadArgs
 		}
+		//lint:allow cuckoovet:allocfree the delta token is copied for strconv; counter verbs pay one bounded copy, GET/SET none
 		d, err := strconv.ParseInt(string(tok), 10, 64)
 		if err != nil {
 			return request{}, errBadDelta
@@ -365,6 +372,7 @@ func parseHandoff(rest []byte) (request, error) {
 	if len(tok) == 0 || extra != nil {
 		return request{}, errBadArgs
 	}
+	//lint:allow cuckoovet:allocfree HANDOFF is a rare bulk-transfer verb; its length token is copied for strconv
 	n, err := strconv.ParseUint(string(tok), 10, 64)
 	if err != nil || n == 0 || n > handoffMaxBytes {
 		return request{}, errBadPayload
@@ -372,6 +380,7 @@ func parseHandoff(rest []byte) (request, error) {
 	return request{op: opHandoff, payload: n}, nil
 }
 
+//cuckoo:coldpath MIGRATE is a rare admin verb; it copies every operand out of the read buffer by design
 func parseMigrate(rest []byte) (request, error) {
 	fields := bytes.Fields(rest)
 	if len(fields) != 6 {
@@ -439,6 +448,10 @@ func writeMiss(w *bufio.Writer) {
 	w.WriteString("MISS\n")
 }
 
+// writeValue renders a GET hit; with writeMiss it is the whole of the
+// read path's reply surface.
+//
+//cuckoo:hotpath the GET reply writer
 func writeValue(w *bufio.Writer, val string) {
 	w.WriteString("VALUE ")
 	w.WriteString(val)

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bufio"
+	"io"
+	"testing"
+)
+
+// TestGetWirePathZeroAlloc proves the steady-state GET path — wire parse,
+// dispatch, byte-key probe, reply — allocation-free end to end, hit and
+// miss alike. This is the dynamic counterpart of the static allocfree
+// proof over the //cuckoo:hotpath roots (parseRequest, dispatchFast,
+// GetBytesTraced, generic.GetBytes, writeValue).
+func TestGetWirePathZeroAlloc(t *testing.T) {
+	c, err := NewCache(4, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("hot", "value-1", 0); err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{cache: c}
+	var cs connState
+	w := bufio.NewWriter(io.Discard)
+
+	for _, tc := range []struct {
+		name string
+		line string
+	}{
+		{"hit", "GET hot"},
+		{"miss", "GET absent"},
+	} {
+		line := []byte(tc.line)
+		allocs := testing.AllocsPerRun(500, func() {
+			req, err := parseRequest(line)
+			if err != nil {
+				panic(err)
+			}
+			if !s.dispatchFast(req, w, &cs) {
+				panic("GET not handled by the fast dispatch")
+			}
+			w.Reset(io.Discard)
+		})
+		if allocs != 0 {
+			t.Errorf("GET %s wire round trip: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestSetWirePathAllocBound pins the SET path to its two inherent
+// allocations: the stored key and value must be copied out of the
+// connection read buffer, and nothing else on the steady-state
+// overwrite path may allocate.
+func TestSetWirePathAllocBound(t *testing.T) {
+	c, err := NewCache(4, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{cache: c}
+	var cs connState
+	w := bufio.NewWriter(io.Discard)
+	line := []byte("SET hot value-1")
+
+	allocs := testing.AllocsPerRun(500, func() {
+		req, err := parseRequest(line)
+		if err != nil {
+			panic(err)
+		}
+		if !s.dispatchFast(req, w, &cs) {
+			panic("SET not handled by the fast dispatch")
+		}
+		w.Reset(io.Discard)
+	})
+	if allocs > 2 {
+		t.Errorf("SET wire round trip: %.1f allocs/op, want <= 2 (stored key + value)", allocs)
+	}
+}

@@ -15,11 +15,11 @@ import (
 	"hash/maphash"
 	"log/slog"
 	"math/bits"
-	"sync"
 	"time"
 
 	"cuckoohash/generic"
 	"cuckoohash/internal/obs"
+	"cuckoohash/internal/spinlock"
 	"cuckoohash/internal/txn"
 )
 
@@ -91,10 +91,15 @@ type Cache struct {
 type shard struct {
 	table *generic.Table[string, entry]
 
-	mu   sync.Mutex // guards the ring only; the table locks itself
+	// mu guards the ring only; the table locks itself. It is a spinlock:
+	// pushRing runs with the transaction layer's key stripe held (Store →
+	// fold paths), and a stripe holder must never park (blockcheck). The
+	// ring critical sections are a handful of word writes.
+	mu   spinlock.Mutex
 	ring []string
 	head uint64 // next victim
 	tail uint64 // next free slot; tail-head = live ring entries
+	_    [8]byte // spinlock is 4 bytes where sync.Mutex was 8: restore the 64-byte line
 }
 
 // NewCache creates a cache with the given shard count (rounded up to a
@@ -178,6 +183,8 @@ func (c *Cache) growEventFunc(i int) func(generic.GrowEvent) {
 // verbs call this so migration progress scales with write traffic; the
 // Growing check is one atomic load, so the common no-grow case costs
 // nothing.
+//
+//cuckoo:coldpath migration work exists only while a shard resize is in flight; bounded to migrateBatchPerOp buckets
 func (c *Cache) driveMigration(si int, sp *obs.Span) {
 	t := c.shards[si].table
 	if !t.Growing() {
@@ -247,6 +254,13 @@ func (c *Cache) shardFor(key string) int {
 	return int(maphash.String(c.seed, key) & c.mask)
 }
 
+// shardForBytes is shardFor without the string: maphash.Bytes is
+// documented to agree with maphash.String on the same bytes, so both
+// forms of a key land on the same shard.
+func (c *Cache) shardForBytes(key []byte) int {
+	return int(maphash.Bytes(c.seed, key) & c.mask)
+}
+
 // Len returns the number of stored entries (including not-yet-expired
 // ones awaiting the sweeper).
 func (c *Cache) Len() uint64 {
@@ -284,8 +298,11 @@ func (c *Cache) Set(key, val string, ttl time.Duration) error {
 
 // SetTraced is Set with stage attribution recorded into sp (nil-safe;
 // the plain verbs delegate here with nil, which records nothing).
+//
+//cuckoo:hotpath the SET path allocates exactly what it stores
 func (c *Cache) SetTraced(key, val string, ttl time.Duration, sp *obs.Span) error {
 	if f := c.failOp; f != nil {
+		//lint:allow cuckoovet:allocfree fault-injection hook: nil in production, installed only by tests
 		if err := f("SET", key); err != nil {
 			return err
 		}
@@ -506,6 +523,8 @@ func (s *shard) popVictim() (string, bool) {
 // re-inserted elsewhere in the ring) are skipped for free. The delete
 // runs under the victim's stripe — never the inserting key's — so the
 // victim's version bump is honest and no two stripes are ever held.
+//
+//cuckoo:coldpath eviction runs only when a shard is full; the documented admission slow path
 func (c *Cache) evictOne(si int) bool {
 	s := c.shards[si]
 	for {
@@ -546,6 +565,35 @@ func (c *Cache) GetTraced(key string, sp *obs.Span) (string, bool) {
 	sp.End(obs.StageProbe, t0)
 	if ok && e.expired(time.Now().UnixNano()) {
 		c.expireKey(si, key)
+		ok = false
+	}
+	if !ok {
+		c.stats.misses.Add(si, 1)
+		return "", false
+	}
+	c.stats.hits.Add(si, 1)
+	return e.val, true
+}
+
+// GetBytesTraced is GetTraced for a key still aliasing the connection
+// read buffer: the probe hashes and compares the raw bytes
+// (generic.GetBytes), so a hit or a miss — the entire steady-state GET
+// path — never materializes a string. The rare branches that need an
+// owned key (folding a hot split counter, lazily expiring a dead entry)
+// pay the copy when they fire.
+//
+//cuckoo:hotpath the daemon's GET fast path; BENCH_hotalloc asserts 0 allocs/op
+func (c *Cache) GetBytesTraced(key []byte, sp *obs.Span) (string, bool) {
+	c.txn.ReconcileKeyBytes(key)
+	si := c.shardForBytes(key)
+	s := c.shards[si]
+	c.stats.gets.Add(si, 1)
+	t0 := sp.Begin()
+	e, ok := generic.GetBytes(s.table, key)
+	sp.End(obs.StageProbe, t0)
+	if ok && e.expired(time.Now().UnixNano()) {
+		//lint:allow cuckoovet:allocfree lazy expiry of a dead entry is rare and the deletion needs an owned key
+		c.expireKey(si, string(key))
 		ok = false
 	}
 	if !ok {
@@ -609,6 +657,8 @@ func (c *Cache) DeleteTraced(key string, sp *obs.Span) bool {
 // the key's stripe so a concurrent re-SET of the same key is never
 // deleted (the re-SET holds the same stripe). It reports whether an
 // entry was actually removed.
+//
+//cuckoo:coldpath lazy expiry fires once per dead entry observed; never on the live-hit path
 func (c *Cache) expireKey(si int, key string) bool {
 	s := c.shards[si]
 	removed := false
