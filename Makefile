@@ -7,7 +7,7 @@ GO ?= go
 # mid-flight; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check build vet lint cuckoovet test race bench bench-smoke bench-txn bench-hotalloc bench-grow fuzz chaos loadgen-smoke metrics-smoke
+.PHONY: check build vet lint cuckoovet test race bench bench-smoke bench-txn bench-hotalloc bench-grow bench-replica fuzz chaos loadgen-smoke metrics-smoke
 
 check: build vet lint race
 
@@ -76,6 +76,14 @@ bench-txn:
 # allocation creeping onto the hot path shows up as a diff.
 bench-hotalloc:
 	$(GO) run ./cmd/cuckoobench -exp hotalloc -scale small -repeat 3 -out results/BENCH_hotalloc.json
+
+# The cuckoorepl acceptance benchmark (docs/REPLICATION.md): hot-set read
+# scale-out across both candidate nodes (peak-capacity factor must be
+# >= 2x single-home) and the miss-lease herd collapse (1 backend fill vs
+# one per client). The committed baseline lives at
+# results/BENCH_replica.json; this regenerates it in place.
+bench-replica:
+	$(GO) run ./cmd/cuckoobench -exp replread -scale small -repeat 3 -out results/BENCH_replica.json
 
 # The incremental-resize acceptance benchmark (docs/ROBUSTNESS.md): max
 # single-op insert latency across six table doublings, stop-the-world

@@ -55,6 +55,20 @@ type Reply struct {
 	// Conflict is true when a CAS was rejected because the stored value
 	// differed from the expected one (reply CONFLICT).
 	Conflict bool
+	// Ver is the entry's replication version word, carried by VALUEV
+	// (GETV hits), VER (SETV/SETL acks), and STALE replies. Clients use
+	// it as a monotonic floor: a replica copy with a lower version than
+	// one already observed for the key must not be trusted.
+	Ver uint64
+	// Lease is the fill token from a granted LEASE (0 = not granted);
+	// LeaseTTL is how long the server will honor it.
+	Lease    uint64
+	LeaseTTL time.Duration
+	// Wait is the server's back-off hint after a lost lease race.
+	Wait time.Duration
+	// Stale marks a STALE reply: Value/Ver are an expired copy the
+	// server is willing to serve while a fill is in flight.
+	Stale bool
 	// Err is a per-request server error (*ServerError); transport errors
 	// are returned by Flush itself instead.
 	Err error
@@ -81,8 +95,12 @@ const (
 	opSet
 	opDel
 	opTTL
-	opIncr // INCR/DECR/ADD/MAXUPDATE: all reply OK or ERR
-	opCAS  // OK, MISS, or CONFLICT
+	opIncr  // INCR/DECR/ADD/MAXUPDATE: all reply OK or ERR
+	opCAS   // OK, MISS, or CONFLICT
+	opGetV  // VALUEV, MISS, or ERR
+	opSetV  // VER or ERR
+	opLease // VALUEV, LEASE, STALE, WAIT, or ERR
+	opSetL  // VER, MISS (fill rejected), or ERR
 )
 
 // Dial connects to a cuckood server with no deadlines configured.
@@ -208,6 +226,104 @@ func (c *Conn) QueueDel(key string) error {
 	return nil
 }
 
+// QueueGetV buffers a GETV request: a GET whose hit reply carries the
+// entry's replication version word.
+func (c *Conn) QueueGetV(key string) error {
+	if c.broken != nil {
+		return c.broken
+	}
+	if err := validKey(key); err != nil {
+		return err
+	}
+	c.writeTrace()
+	c.w.WriteString("GETV ")
+	c.w.WriteString(key)
+	c.w.WriteByte('\n')
+	c.pending = append(c.pending, opGetV)
+	return nil
+}
+
+// QueueSetV buffers a SETV request: a SET acknowledged with the write's
+// version word (ttl 0 = no expiry; rounded up to a whole millisecond).
+func (c *Conn) QueueSetV(key, val string, ttl time.Duration) error {
+	if c.broken != nil {
+		return c.broken
+	}
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if strings.ContainsAny(val, "\r\n") {
+		return fmt.Errorf("client: value for %q contains newline", key)
+	}
+	var ms int64
+	if ttl > 0 {
+		ms = int64((ttl + time.Millisecond - 1) / time.Millisecond)
+	}
+	c.writeTrace()
+	c.w.WriteString("SETV ")
+	c.w.WriteString(key)
+	c.w.WriteByte(' ')
+	c.w.WriteString(strconv.FormatInt(ms, 10))
+	c.w.WriteByte(' ')
+	c.w.WriteString(val)
+	c.w.WriteByte('\n')
+	c.pending = append(c.pending, opSetV)
+	return nil
+}
+
+// QueueLease buffers a LEASE request: a GET that, on a miss, enters the
+// server's fill-lease protocol instead of returning MISS. The reply is
+// a VALUEV hit, a granted LEASE token, a STALE copy, or a WAIT hint.
+func (c *Conn) QueueLease(key string) error {
+	if c.broken != nil {
+		return c.broken
+	}
+	if err := validKey(key); err != nil {
+		return err
+	}
+	c.writeTrace()
+	c.w.WriteString("LEASE ")
+	c.w.WriteString(key)
+	c.w.WriteByte('\n')
+	c.pending = append(c.pending, opLease)
+	return nil
+}
+
+// QueueSetLease buffers a SETL request: the lease winner's fill,
+// publishing val under the token a LEASE grant handed out. A MISS reply
+// means the fill lost (the lease expired or a newer write invalidated
+// it) and nothing was stored.
+func (c *Conn) QueueSetLease(key string, token uint64, val string, ttl time.Duration) error {
+	if c.broken != nil {
+		return c.broken
+	}
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if token == 0 {
+		return fmt.Errorf("client: zero lease token for %q", key)
+	}
+	if strings.ContainsAny(val, "\r\n") {
+		return fmt.Errorf("client: value for %q contains newline", key)
+	}
+	var ms int64
+	if ttl > 0 {
+		ms = int64((ttl + time.Millisecond - 1) / time.Millisecond)
+	}
+	c.writeTrace()
+	c.w.WriteString("SETL ")
+	c.w.WriteString(key)
+	c.w.WriteByte(' ')
+	c.w.WriteString(strconv.FormatUint(token, 16))
+	c.w.WriteByte(' ')
+	c.w.WriteString(strconv.FormatInt(ms, 10))
+	c.w.WriteByte(' ')
+	c.w.WriteString(val)
+	c.w.WriteByte('\n')
+	c.pending = append(c.pending, opSetL)
+	return nil
+}
+
 // QueueTTL buffers a TTL query.
 func (c *Conn) QueueTTL(key string) error {
 	if c.broken != nil {
@@ -290,10 +406,57 @@ func (c *Conn) readReply(op opCode) (Reply, error) {
 			return Reply{Found: true, TTL: -1}, nil
 		}
 		return Reply{Found: true, TTL: time.Duration(ms) * time.Millisecond}, nil
+	case strings.HasPrefix(line, "VALUEV "):
+		ver, rest, perr := cutUint(line[len("VALUEV "):], 10)
+		if perr != nil {
+			return Reply{}, fmt.Errorf("client: malformed reply %q", line)
+		}
+		return Reply{Found: true, Ver: ver, Value: rest}, nil
+	case strings.HasPrefix(line, "VER "):
+		ver, perr := strconv.ParseUint(line[len("VER "):], 10, 64)
+		if perr != nil {
+			return Reply{}, fmt.Errorf("client: malformed reply %q", line)
+		}
+		return Reply{Found: true, Ver: ver}, nil
+	case strings.HasPrefix(line, "LEASE "):
+		tokTok, msTok, ok := strings.Cut(line[len("LEASE "):], " ")
+		token, perr := strconv.ParseUint(tokTok, 16, 64)
+		if !ok || perr != nil || token == 0 {
+			return Reply{}, fmt.Errorf("client: malformed reply %q", line)
+		}
+		ms, perr := strconv.ParseInt(msTok, 10, 64)
+		if perr != nil {
+			return Reply{}, fmt.Errorf("client: malformed reply %q", line)
+		}
+		return Reply{Lease: token, LeaseTTL: time.Duration(ms) * time.Millisecond}, nil
+	case strings.HasPrefix(line, "WAIT "):
+		ms, perr := strconv.ParseInt(line[len("WAIT "):], 10, 64)
+		if perr != nil {
+			return Reply{}, fmt.Errorf("client: malformed reply %q", line)
+		}
+		return Reply{Wait: time.Duration(ms) * time.Millisecond}, nil
+	case strings.HasPrefix(line, "STALE "):
+		ver, rest, perr := cutUint(line[len("STALE "):], 10)
+		if perr != nil {
+			return Reply{}, fmt.Errorf("client: malformed reply %q", line)
+		}
+		return Reply{Stale: true, Ver: ver, Value: rest}, nil
+	case line == "STALE":
+		// The bare mirror-rejection form (REPLSET/REPLDEL); ordinary
+		// clients never see it, but parsing it keeps the codec total.
+		return Reply{Stale: true}, nil
 	case strings.HasPrefix(line, "ERR "):
 		return Reply{Err: &ServerError{Msg: line[len("ERR "):]}}, nil
 	}
 	return Reply{}, fmt.Errorf("client: unexpected reply %q for op %d", line, op)
+}
+
+// cutUint splits "<uint> <rest>" where rest may contain spaces, parsing
+// the leading integer in the given base.
+func cutUint(s string, base int) (uint64, string, error) {
+	numTok, rest, _ := strings.Cut(s, " ")
+	n, err := strconv.ParseUint(numTok, base, 64)
+	return n, rest, err
 }
 
 // one flushes a single queued request and returns its reply.
@@ -342,6 +505,62 @@ func (c *Conn) Del(key string) (bool, error) {
 		return false, err
 	}
 	return rep.Found, rep.Err
+}
+
+// GetV fetches key with its replication version word.
+func (c *Conn) GetV(key string) (val string, ver uint64, found bool, err error) {
+	if err := c.QueueGetV(key); err != nil {
+		return "", 0, false, err
+	}
+	rep, err := c.one()
+	if err != nil {
+		return "", 0, false, err
+	}
+	return rep.Value, rep.Ver, rep.Found, rep.Err
+}
+
+// SetV stores key=val (ttl 0 = no expiry) and returns the write's
+// version word (0 if the entry was evicted before the acknowledging
+// read-back — harmless, the client just learns nothing).
+func (c *Conn) SetV(key, val string, ttl time.Duration) (uint64, error) {
+	if err := c.QueueSetV(key, val, ttl); err != nil {
+		return 0, err
+	}
+	rep, err := c.one()
+	if err != nil {
+		return 0, err
+	}
+	return rep.Ver, rep.Err
+}
+
+// Lease runs one round of the miss-lease protocol for key. Inspect the
+// Reply: Found means a live hit (Value/Ver are set), Lease != 0 means
+// this caller won the fill and must publish via SetLease, Stale means
+// the server offered an expired copy, and otherwise Wait is the retry
+// hint. Pool.GetOrFill drives the whole loop.
+func (c *Conn) Lease(key string) (Reply, error) {
+	if err := c.QueueLease(key); err != nil {
+		return Reply{}, err
+	}
+	rep, err := c.one()
+	if err != nil {
+		return Reply{}, err
+	}
+	return rep, rep.Err
+}
+
+// SetLease publishes a lease fill. filled reports whether the server
+// accepted it; a false return means the token lost to a newer write or
+// expiry and nothing was stored.
+func (c *Conn) SetLease(key string, token uint64, val string, ttl time.Duration) (ver uint64, filled bool, err error) {
+	if err := c.QueueSetLease(key, token, val, ttl); err != nil {
+		return 0, false, err
+	}
+	rep, err := c.one()
+	if err != nil {
+		return 0, false, err
+	}
+	return rep.Ver, rep.Found, rep.Err
 }
 
 // TTL returns key's remaining lifetime (-1 if persistent).
@@ -520,6 +739,9 @@ type Pool struct {
 	budgetDenied   atomic.Uint64 // retries suppressed by an empty budget
 	timeouts       atomic.Uint64 // transport errors that were deadline timeouts
 	busyErrs       atomic.Uint64 // server busy rejections observed
+	leaseWaits     atomic.Uint64 // lease-protocol rounds spent waiting on another client's fill
+	leaseFills     atomic.Uint64 // fills published after winning a lease
+	leaseStale     atomic.Uint64 // stale copies accepted while a fill was in flight
 
 	// healthFails counts checkout health-check failures by reason,
 	// indexed by the health* constants.
@@ -560,6 +782,10 @@ type PoolStats struct {
 	Timeouts uint64
 	// BusyRejections counts server "ERR busy" overload rejections.
 	BusyRejections uint64
+	// LeaseWaits counts GetOrFill rounds spent waiting on another
+	// client's in-flight fill; LeaseFills counts fills published after
+	// winning a lease; LeaseStaleServed counts stale copies accepted.
+	LeaseWaits, LeaseFills, LeaseStaleServed uint64
 	// BreakerState is the circuit breaker position ("closed", "open",
 	// "half-open").
 	BreakerState BreakerState
@@ -593,6 +819,9 @@ func (p *Pool) Stats() PoolStats {
 		RetryBudgetDenied:   p.budgetDenied.Load(),
 		Timeouts:            p.timeouts.Load(),
 		BusyRejections:      p.busyErrs.Load(),
+		LeaseWaits:          p.leaseWaits.Load(),
+		LeaseFills:          p.leaseFills.Load(),
+		LeaseStaleServed:    p.leaseStale.Load(),
 		BreakerState:        state,
 		BreakerOpens:        opens,
 		BreakerCloses:       closes,
@@ -789,6 +1018,94 @@ func (p *Pool) Del(key string) (bool, error) {
 	return ok, err
 }
 
+// GetV1 is a pooled one-shot GETV.
+func (p *Pool) GetV1(key string) (val string, ver uint64, found bool, err error) {
+	err = p.do(true, func(c *Conn) error {
+		var cerr error
+		val, ver, found, cerr = c.GetV(key)
+		return cerr
+	})
+	return val, ver, found, err
+}
+
+// SetV1 is a pooled one-shot SETV, returning the write's version word.
+// Like Set, it is retried only when Options.RetrySets is set.
+func (p *Pool) SetV1(key, val string, ttl time.Duration) (uint64, error) {
+	var ver uint64
+	err := p.do(p.opt.RetrySets, func(c *Conn) error {
+		var cerr error
+		ver, cerr = c.SetV(key, val, ttl)
+		return cerr
+	})
+	return ver, err
+}
+
+// Lease defaults for GetOrFill: the back-off used when the server
+// offers no hint, and the round bound (100 rounds × the server's 20ms
+// default hint covers one full 2s lease lifetime, so a crashed filler
+// is always outlived).
+const (
+	leaseDefaultWait = 20 * time.Millisecond
+	leaseMaxRounds   = 100
+)
+
+// ErrLeaseWait is returned by GetOrFill when the key stayed unfilled
+// through the whole round budget — every round lost the lease race and
+// no fill ever landed.
+var ErrLeaseWait = errors.New("client: lease wait exhausted")
+
+// GetOrFill fetches key, collapsing concurrent misses into one backend
+// fill via the server's miss-lease protocol: a live hit returns
+// immediately; on a miss the first caller wins a fill token, computes
+// the value with fill, and publishes it with SETL while everyone else
+// waits briefly (or, with acceptStale, takes an expired copy the server
+// still holds). fill runs at most once per call and only after winning
+// the lease; its value is returned to this caller even when the
+// publish loses to a concurrent fresher write.
+func (p *Pool) GetOrFill(key string, ttl time.Duration, acceptStale bool, fill func() (string, error)) (string, error) {
+	for round := 0; round < leaseMaxRounds; round++ {
+		var rep Reply
+		err := p.do(true, func(c *Conn) error {
+			var cerr error
+			rep, cerr = c.Lease(key)
+			return cerr
+		})
+		if err != nil {
+			return "", err
+		}
+		switch {
+		case rep.Found:
+			return rep.Value, nil
+		case rep.Lease != 0:
+			val, err := fill()
+			if err != nil {
+				// The unreleased lease expires on its own; waiters fall
+				// back to re-acquiring after the TTL.
+				return "", err
+			}
+			p.do(false, func(c *Conn) error {
+				_, _, cerr := c.SetLease(key, rep.Lease, val, ttl)
+				return cerr
+			})
+			// A rejected fill means a fresher write already landed; the
+			// freshly computed value is still correct to serve here.
+			p.leaseFills.Add(1)
+			return val, nil
+		case rep.Stale && acceptStale:
+			p.leaseStale.Add(1)
+			return rep.Value, nil
+		default:
+			p.leaseWaits.Add(1)
+			wait := rep.Wait
+			if wait <= 0 {
+				wait = leaseDefaultWait
+			}
+			time.Sleep(wait)
+		}
+	}
+	return "", ErrLeaseWait
+}
+
 // TTL1 is a pooled one-shot TTL query.
 func (p *Pool) TTL1(key string) (time.Duration, bool, error) {
 	var d time.Duration
@@ -830,6 +1147,9 @@ func (p *Pool) CollectWith(m *obs.Metrics, labels ...string) {
 	m.Gauge("cuckood_client_retry_budget_tokens", "Retry token bucket level; near zero means retries are being rationed.", st.RetryBudgetTokens, labels...)
 	m.Counter("cuckood_client_timeouts_total", "Transport failures that were deadline timeouts.", float64(st.Timeouts), labels...)
 	m.Counter("cuckood_client_busy_rejections_total", "Server ERR busy overload rejections observed.", float64(st.BusyRejections), labels...)
+	m.Counter("cuckood_client_lease_waits_total", "GetOrFill rounds spent waiting on another client's in-flight fill.", float64(st.LeaseWaits), labels...)
+	m.Counter("cuckood_client_lease_fills_total", "Fills published after winning a miss lease.", float64(st.LeaseFills), labels...)
+	m.Counter("cuckood_client_lease_stale_served_total", "Stale copies accepted while a fill was in flight.", float64(st.LeaseStaleServed), labels...)
 	m.Gauge("cuckood_client_breaker_state", "Circuit breaker position: 0 closed, 1 open, 2 half-open.", float64(st.BreakerState), labels...)
 	m.Counter("cuckood_client_breaker_opens_total", "Circuit breaker trips.", float64(st.BreakerOpens), labels...)
 	m.Counter("cuckood_client_breaker_closes_total", "Circuit breaker recoveries.", float64(st.BreakerCloses), labels...)

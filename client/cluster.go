@@ -17,6 +17,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -128,6 +129,18 @@ type ClusterOptions struct {
 	SkewTarget float64
 	// Seed fixes the ring placement hash.
 	Seed uint64
+	// HotCache enables the client-side hot-key cache: the cluster polls
+	// the servers' HOTKEYS top-K every HotRefresh and serves repeat
+	// reads of those keys locally for up to HotCacheTTL, with writes
+	// through this Cluster invalidating their key immediately.
+	HotCache bool
+	// HotCacheTTL bounds the staleness of locally served hot values
+	// (default 100ms).
+	HotCacheTTL time.Duration
+	// HotRefresh is the HOTKEYS polling interval (default 1s).
+	HotRefresh time.Duration
+	// HotKeyCount is how many hot keys to track (default 16).
+	HotKeyCount int
 }
 
 func (o *ClusterOptions) setDefaults() {
@@ -136,6 +149,15 @@ func (o *ClusterOptions) setDefaults() {
 	}
 	if o.SkewTarget <= 0 {
 		o.SkewTarget = 0.25
+	}
+	if o.HotCacheTTL <= 0 {
+		o.HotCacheTTL = 100 * time.Millisecond
+	}
+	if o.HotRefresh <= 0 {
+		o.HotRefresh = time.Second
+	}
+	if o.HotKeyCount <= 0 {
+		o.HotKeyCount = 16
 	}
 }
 
@@ -167,6 +189,18 @@ type Cluster struct {
 	ring  *cluster.Ring
 	nodes []*clusterNode
 	opt   ClusterOptions
+
+	// verMem is the monotonic-reads floor (client/replica.go); hot is
+	// the hot-key cache, nil unless ClusterOptions.HotCache is set.
+	verMem *verMemory
+	hot    *hotCache
+
+	hotStop   chan struct{}
+	hotWG     sync.WaitGroup
+	closeOnce sync.Once
+
+	altSpread     atomic.Uint64 // round-robin cursor for hot-key read spreading
+	staleRejected atomic.Uint64 // replica reads rejected by the version floor
 }
 
 // NewCluster builds a cluster client over addrs. The address list and
@@ -178,12 +212,18 @@ func NewCluster(addrs []string, opt ClusterOptions) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := &Cluster{ring: ring, opt: opt}
+	cl := &Cluster{ring: ring, opt: opt, verMem: newVerMemory(verMemoryCap)}
 	for _, addr := range ring.Nodes() {
 		cl.nodes = append(cl.nodes, &clusterNode{
 			addr: addr,
 			pool: NewPoolWith(addr, opt.Pool),
 		})
+	}
+	if opt.HotCache {
+		cl.hot = newHotCache(opt.HotCacheTTL)
+		cl.hotStop = make(chan struct{})
+		cl.hotWG.Add(1)
+		go cl.hotRefresher()
 	}
 	return cl, nil
 }
@@ -191,8 +231,14 @@ func NewCluster(addrs []string, opt ClusterOptions) (*Cluster, error) {
 // Ring returns the placement ring (shared, read-only).
 func (cl *Cluster) Ring() *cluster.Ring { return cl.ring }
 
-// Close closes every node's pool.
+// Close stops the hot-key refresher and closes every node's pool.
 func (cl *Cluster) Close() {
+	cl.closeOnce.Do(func() {
+		if cl.hotStop != nil {
+			close(cl.hotStop)
+			cl.hotWG.Wait()
+		}
+	})
 	for _, n := range cl.nodes {
 		n.pool.Close()
 	}
@@ -216,15 +262,23 @@ func (cl *Cluster) Set(key, val string, ttl time.Duration) error {
 
 // SetWhere is Set, also reporting the address of the node that
 // acknowledged the write (chaos tests audit acked writes per node).
+// Writes go out as SETV so the acked version word lands in the version
+// memory: any replica copy this client later reads must be at least
+// this fresh (client/replica.go), and any locally cached hot value is
+// invalidated immediately.
 func (cl *Cluster) SetWhere(key, val string, ttl time.Duration) (string, error) {
+	if cl.hot != nil {
+		cl.hot.invalidate(key)
+	}
 	pri, alt := cl.candidates(key)
 	first, second := pri, alt
 	if pri != alt && cl.spillWanted(pri, alt) {
 		first, second = alt, pri
 		alt.spills.Add(1)
 	}
-	err := first.pool.Set(key, val, ttl)
+	ver, err := first.pool.SetV1(key, val, ttl)
 	if err == nil {
+		cl.verMem.observe(key, ver)
 		return first.addr, nil
 	}
 	if second == first {
@@ -234,7 +288,8 @@ func (cl *Cluster) SetWhere(key, val string, ttl time.Duration) (string, error) 
 	// breakers obviously, and server-side errors too — a busy or full
 	// first choice says nothing about the other node's capacity.
 	second.spills.Add(1)
-	if err2 := second.pool.Set(key, val, ttl); err2 == nil {
+	if ver2, err2 := second.pool.SetV1(key, val, ttl); err2 == nil {
+		cl.verMem.observe(key, ver2)
 		return second.addr, nil
 	}
 	return "", err
@@ -262,32 +317,61 @@ func retriableOnAlternate(err error) bool {
 
 // Get fetches key, reading the primary first and falling through to the
 // alternate on a miss or failure — the read path mirror of the write
-// spill, same as a table lookup probing both candidate buckets.
+// spill, same as a table lookup probing both candidate buckets. With
+// replication the fallthrough gains teeth: both candidates hold a copy,
+// reads go out as GETV, and every hit is admitted against the client's
+// per-key version floor so a lagging replica can never serve back data
+// older than a write (or read) this client already observed. Hot keys
+// (per the servers' HOTKEYS ranking) are additionally served from the
+// local hot cache and spread across both candidates.
 func (cl *Cluster) Get(key string) (string, bool, error) {
+	if cl.hot != nil {
+		if v, ver, ok := cl.hot.get(key, time.Now()); ok && cl.admitRead(key, ver) {
+			return v, true, nil
+		}
+	}
 	pri, alt := cl.candidates(key)
-	v, ok, err := pri.pool.Get1(key)
-	if ok && err == nil {
+	first, second := pri, alt
+	if cl.hot != nil && pri != alt && cl.hot.isHot(key) {
+		// Read spreading: a hot key's copies live on both candidates,
+		// so alternate the node a cache miss lands on.
+		if cl.altSpread.Add(1)&1 == 1 {
+			first, second = alt, pri
+		}
+	}
+	v, ver, ok, err := first.pool.GetV1(key)
+	if ok && err == nil && cl.admitRead(key, ver) {
+		cl.noteRead(key, v, ver)
 		return v, true, nil
 	}
-	if alt == pri {
+	if second == first {
 		return v, ok, err
 	}
-	alt.altReads.Add(1)
-	v2, ok2, err2 := alt.pool.Get1(key)
-	if ok2 && err2 == nil {
-		alt.altHits.Add(1)
+	second.altReads.Add(1)
+	v2, ver2, ok2, err2 := second.pool.GetV1(key)
+	if ok2 && err2 == nil && cl.admitRead(key, ver2) {
+		second.altHits.Add(1)
+		cl.noteRead(key, v2, ver2)
 		return v2, true, nil
 	}
-	// Prefer reporting the primary's error if both paths failed.
+	// Prefer reporting the first node's error if both paths failed.
 	if err != nil {
 		return "", false, err
 	}
-	return v2, ok2, err2
+	if err2 != nil {
+		return "", false, err2
+	}
+	// A hit rejected by the version floor reports a miss: serving
+	// nothing beats serving a value older than one already seen.
+	return "", false, nil
 }
 
 // Del removes key from both candidate nodes (a key can live on either
 // after spills and migrations) and reports whether any copy existed.
 func (cl *Cluster) Del(key string) (bool, error) {
+	if cl.hot != nil {
+		cl.hot.invalidate(key)
+	}
 	pri, alt := cl.candidates(key)
 	found, err := pri.pool.Del(key)
 	if alt == pri {
@@ -624,4 +708,18 @@ func (cl *Cluster) Collect(m *obs.Metrics) {
 	m.Gauge("cuckood_cluster_load_skew",
 		"Relative load skew across the ring: (max-mean)/mean of probed loads.",
 		cl.Skew())
+	m.Counter("cuckood_client_stale_rejected_total",
+		"Versioned reads rejected because the reply was older than this client's per-key floor.",
+		float64(cl.staleRejected.Load()))
+	if cl.hot != nil {
+		m.Counter("cuckood_client_hot_cache_hits_total",
+			"Hot-key reads served from the local invalidation-aware cache.",
+			float64(cl.hot.hits.Load()))
+		m.Counter("cuckood_client_hot_cache_misses_total",
+			"Hot-key cache lookups that fell through to the servers.",
+			float64(cl.hot.misses.Load()))
+		m.Counter("cuckood_client_hot_cache_invalidations_total",
+			"Hot-key cache entries dropped by writes through this client.",
+			float64(cl.hot.invalidations.Load()))
+	}
 }

@@ -1,0 +1,68 @@
+package client_test
+
+// Pool.GetOrFill against a real server: the miss-lease protocol must
+// collapse a thundering herd to a single backend fill while every
+// caller still gets the value.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cuckoohash/client"
+)
+
+// TestGetOrFillSingleFlight launches a herd of concurrent GetOrFill
+// calls for one missing key and counts backend fills: exactly one
+// caller may win the lease and run its fill function.
+func TestGetOrFillSingleFlight(t *testing.T) {
+	s := startServer(t)
+	p := client.NewPool(s.Addr().String(), 8)
+	defer p.Close()
+
+	const herd = 16
+	var fills atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, herd)
+	vals := make([]string, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = p.GetOrFill("herd-key", 0, false, func() (string, error) {
+				fills.Add(1)
+				time.Sleep(10 * time.Millisecond) // a slow origin, to widen the race
+				return "origin-value", nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < herd; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if vals[i] != "origin-value" {
+			t.Fatalf("caller %d got %q", i, vals[i])
+		}
+	}
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("herd of %d triggered %d backend fills, want exactly 1", herd, n)
+	}
+
+	st := p.Stats()
+	if st.LeaseFills != 1 {
+		t.Fatalf("pool counted %d lease fills, want 1", st.LeaseFills)
+	}
+	if st.LeaseWaits == 0 {
+		t.Fatal("no caller ever waited; the herd never raced")
+	}
+
+	// The filled value is now a plain cache hit for everyone.
+	if v, err := p.GetOrFill("herd-key", 0, false, func() (string, error) {
+		t.Error("fill ran for a present key")
+		return "", nil
+	}); err != nil || v != "origin-value" {
+		t.Fatalf("post-fill read = %q/%v", v, err)
+	}
+}

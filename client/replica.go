@@ -1,0 +1,208 @@
+package client
+
+// Client-side halves of cuckoorepl (docs/REPLICATION.md): the per-key
+// version memory that makes two-choice fallthrough reads monotonic, and
+// the hot-key cache fed by the servers' HOTKEYS top-K.
+//
+// The version memory is the client's staleness guard. Every versioned
+// reply (SETV ack, GETV hit) ratchets a bounded per-key floor; a read
+// served by either candidate node is accepted only if its version word
+// is at or above the floor, so a lagging replica can never shadow a
+// newer write this client has already observed — monotonic reads over
+// an asynchronous mirror, enforced at the only place that has the
+// history: the reader.
+//
+// The hot cache is read scale-out's last layer: for keys the servers
+// report hot, a just-fetched value is served locally for a very short
+// TTL (default 100ms), and any write through this Cluster invalidates
+// the local copy immediately. Both candidates hold replicated copies of
+// hot keys, so cache misses also spread across the pair.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// verMemoryCap bounds the version memory. When full, an arbitrary entry
+// is evicted to admit the new key: forgetting a floor is safe — it only
+// widens what a replica may serve back to the freshness of a client
+// that never saw the key — while unbounded growth is not.
+const verMemoryCap = 4096
+
+// verMemory is a bounded map from key to the highest version word this
+// client has observed for it.
+type verMemory struct {
+	mu  sync.Mutex
+	m   map[string]uint64
+	cap int
+}
+
+func newVerMemory(capacity int) *verMemory {
+	if capacity <= 0 {
+		capacity = verMemoryCap
+	}
+	return &verMemory{m: make(map[string]uint64, capacity), cap: capacity}
+}
+
+// observe ratchets key's floor to at least ver.
+func (vm *verMemory) observe(key string, ver uint64) {
+	if ver == 0 {
+		return
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if cur, ok := vm.m[key]; ok {
+		if ver > cur {
+			vm.m[key] = ver
+		}
+		return
+	}
+	if len(vm.m) >= vm.cap {
+		// Evict one arbitrary entry (map iteration order): cheap, and
+		// any eviction policy is correct here (see verMemoryCap).
+		for k := range vm.m {
+			delete(vm.m, k)
+			break
+		}
+	}
+	vm.m[key] = ver
+}
+
+// floor returns the highest version observed for key (0 = no memory).
+func (vm *verMemory) floor(key string) uint64 {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.m[key]
+}
+
+// hotEntry is one locally cached hot-key value.
+type hotEntry struct {
+	val       string
+	ver       uint64
+	fetchedAt time.Time
+}
+
+// hotCache is the invalidation-aware hot-key cache: membership comes
+// from the servers' HOTKEYS sketches (refreshed by the Cluster's
+// background poller), values are filled by ordinary reads passing
+// through, and every write through the Cluster invalidates its key.
+type hotCache struct {
+	ttl time.Duration
+
+	mu   sync.Mutex
+	hot  map[string]struct{}
+	vals map[string]hotEntry
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+func newHotCache(ttl time.Duration) *hotCache {
+	return &hotCache{
+		ttl:  ttl,
+		hot:  make(map[string]struct{}),
+		vals: make(map[string]hotEntry),
+	}
+}
+
+// setHotSet replaces the hot membership with the latest top-K ranking,
+// dropping cached values for keys that fell out.
+func (h *hotCache) setHotSet(keys []HotKey) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hot = make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		h.hot[k.Key] = struct{}{}
+	}
+	for k := range h.vals {
+		if _, ok := h.hot[k]; !ok {
+			delete(h.vals, k)
+		}
+	}
+}
+
+// isHot reports whether key is in the current hot set.
+func (h *hotCache) isHot(key string) bool {
+	h.mu.Lock()
+	_, ok := h.hot[key]
+	h.mu.Unlock()
+	return ok
+}
+
+// get serves a cached hot value if one is fresh enough.
+func (h *hotCache) get(key string, now time.Time) (string, uint64, bool) {
+	h.mu.Lock()
+	e, ok := h.vals[key]
+	h.mu.Unlock()
+	if !ok || now.Sub(e.fetchedAt) > h.ttl {
+		h.misses.Add(1)
+		return "", 0, false
+	}
+	h.hits.Add(1)
+	return e.val, e.ver, true
+}
+
+// put caches a value just read for a hot key.
+func (h *hotCache) put(key, val string, ver uint64, now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.hot[key]; !ok {
+		return
+	}
+	h.vals[key] = hotEntry{val: val, ver: ver, fetchedAt: now}
+}
+
+// invalidate drops key's cached value after a write through this
+// client. Writes from other clients are bounded by the TTL instead —
+// that is the staleness contract (docs/REPLICATION.md).
+func (h *hotCache) invalidate(key string) {
+	h.mu.Lock()
+	if _, ok := h.vals[key]; ok {
+		delete(h.vals, key)
+		h.invalidations.Add(1)
+	}
+	h.mu.Unlock()
+}
+
+// hotRefresher polls the cluster-wide HOTKEYS ranking and refreshes the
+// hot set until Close. Poll errors are ignored: the previous hot set
+// simply persists, and ordinary reads are never blocked on it.
+func (cl *Cluster) hotRefresher() {
+	defer cl.hotWG.Done()
+	t := time.NewTicker(cl.opt.HotRefresh)
+	defer t.Stop()
+	for {
+		select {
+		case <-cl.hotStop:
+			return
+		case <-t.C:
+			if hk, err := cl.HotKeys(cl.opt.HotKeyCount); err == nil {
+				cl.hot.setHotSet(hk)
+			}
+		}
+	}
+}
+
+// admitRead applies the monotonic-reads check: a versioned read is
+// rejected (treated as a miss on that node) when its version word is
+// below the floor this client has already observed for the key. Reads
+// carrying ver 0 (legacy entries stored before replication) pass only
+// if no floor exists.
+func (cl *Cluster) admitRead(key string, ver uint64) bool {
+	if fl := cl.verMem.floor(key); ver < fl {
+		cl.staleRejected.Add(1)
+		return false
+	}
+	return true
+}
+
+// noteRead records a successfully served read in the version memory and
+// the hot cache.
+func (cl *Cluster) noteRead(key, val string, ver uint64) {
+	cl.verMem.observe(key, ver)
+	if cl.hot != nil {
+		cl.hot.put(key, val, ver, time.Now())
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +59,10 @@ func main() {
 		faultSpec   = flag.String("fault-plan", "", "deterministic fault-injection spec, e.g. latency=2ms:0.05,reset:0.01 (testing only)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for -fault-plan schedules")
 
+		// Replication (docs/REPLICATION.md).
+		replNodes = flag.String("repl-nodes", "", "comma-separated cluster node list in ring order, this node included; enables async two-choice replication (empty disables)")
+		replSeed  = flag.Uint64("repl-seed", 0, "ring placement seed for -repl-nodes; must match the cluster's clients")
+
 		// Observability.
 		admin     = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/vars, /debug/pprof/ (empty disables)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, or error")
@@ -73,7 +78,8 @@ func main() {
 		dist     = flag.String("dist", "uniform", "key distribution: uniform or zipf")
 		theta    = flag.Float64("theta", 0.99, "zipf skew (0,1)")
 		zipfS    = flag.Float64("zipf-s", 0, "heavy-skew zipf exponent s > 1 (e.g. 1.2); overrides -dist/-theta when set")
-		workload = flag.String("workload", "mixed", "operation shape: mixed (GET/SET), incr (hot counters), or txn (MULTI…EXEC batches)")
+		workload = flag.String("workload", "mixed", "operation shape: mixed (GET/SET), incr (hot counters), txn (MULTI…EXEC batches), or hot (hot-set read scale-out)")
+		hotN     = flag.Uint64("hot-n", 0, "hot-set size for -workload hot (0 = default 64)")
 		setFrac  = flag.Float64("set", 0.1, "fraction of SET operations")
 		keys     = flag.Uint64("keys", 1<<20, "key universe size")
 		valSize  = flag.Int("valsize", 32, "value size in bytes")
@@ -88,7 +94,7 @@ func main() {
 		runLoadgen(loadgen.Config{
 			Addr: *addr, Conns: *conns, OpsPerConn: *ops, Batch: *batch,
 			Dist: *dist, Theta: *theta, ZipfS: *zipfS, Workload: *workload,
-			SetFrac: *setFrac, Keys: *keys,
+			HotN: *hotN, SetFrac: *setFrac, Keys: *keys,
 			ValueSize: *valSize, TTL: *ttl, Seed: *seed, RingSeed: *ringSeed,
 			Trace: *trace,
 		})
@@ -131,6 +137,16 @@ func main() {
 	}
 	if err := srv.Listen(); err != nil {
 		fatal("listen failed", err)
+	}
+	if *replNodes != "" {
+		nodes := strings.Split(*replNodes, ",")
+		for i := range nodes {
+			nodes[i] = strings.TrimSpace(nodes[i])
+		}
+		if err := srv.EnableReplication(nodes, *replSeed, *listen); err != nil {
+			fatal("replication startup failed", err)
+		}
+		logger.Info("replication enabled", "nodes", *replNodes, "seed", *replSeed)
 	}
 
 	if *admin != "" {

@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{"hotalloc", "Hot-path allocations per op: byte-key GET vs legacy string conversion", HotAlloc},
 		{"churn", "Steady-state delete+insert at fixed occupancy (§6.3's second use mode)", Churn},
 		{"growpause", "Resize pause: stop-the-world rebuild vs incremental migration (max op latency)", GrowPause},
+		{"replread", "Replicated hot-set read scale-out and miss-lease herd collapse (cuckoorepl)", ReplRead},
 	}
 }
 

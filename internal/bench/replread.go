@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cuckoohash/client"
+	"cuckoohash/internal/cluster"
+	"cuckoohash/server"
+)
+
+// ReplRead measures the two service-level claims of cuckoorepl
+// (docs/REPLICATION.md) against real daemons on loopback TCP:
+//
+//   - Read scale-out: a replicated hot set is served by both of each
+//     key's candidate nodes instead of its primary alone. Read capacity
+//     is bounded by the hottest node's share of the stream, so the
+//     figure reports that share for single-home vs spread reads and the
+//     resulting scale-out factor (peak-capacity ratio, exactly 2x for a
+//     two-choice mirror), alongside the measured wall-clock throughput
+//     of each arm. On a single-core host the wall-clock columns measure
+//     per-op cost only — client and both servers share the CPU — while
+//     the capacity factor is what a multi-node deployment gains.
+//
+//   - Lease anti-herd: a miss storm of concurrent clients through
+//     Pool.GetOrFill must collapse to ONE backend fill, where the naive
+//     get-miss-fill-set loop fills once per client.
+func ReplRead(sc Scale) *Report {
+	const (
+		hotN     = 16
+		connsPer = 2  // client connections per participating node
+		batch    = 64 // pipeline depth
+		herd     = 32 // concurrent clients in the miss storm
+	)
+	r := &Report{
+		ID:      "replread",
+		Title:   fmt.Sprintf("Replicated hot-set reads (%d keys) and miss-lease herd (%d clients)", hotN, herd),
+		Columns: []string{"Mops/s", "peak node share", "backend fills"},
+	}
+
+	a, b := startReplNode(), startReplNode()
+	defer a.Close()
+	defer b.Close()
+	addrs := []string{a.Addr().String(), b.Addr().String()}
+	for _, s := range []*server.Server{a, b} {
+		if err := s.EnableReplication(addrs, sc.Seed, ""); err != nil {
+			panic("replread: " + err.Error())
+		}
+	}
+	ring, err := cluster.New(addrs, sc.Seed)
+	if err != nil {
+		panic("replread: " + err.Error())
+	}
+
+	// A hot set homed entirely on node a: the worst case for single-home
+	// reads (one node absorbs everything) and exactly the case the
+	// two-choice mirror halves.
+	keys := make([]string, 0, hotN)
+	for i := 0; len(keys) < hotN; i++ {
+		k := fmt.Sprintf("hot%d", i)
+		if pi, _ := ring.Candidates(k); pi == 0 {
+			keys = append(keys, k)
+		}
+	}
+	seedConn := dialBench(addrs[0])
+	for _, k := range keys {
+		if _, err := seedConn.SetV(k, "value-"+k, 0); err != nil {
+			panic("replread seed: " + err.Error())
+		}
+	}
+	seedConn.Close()
+	waitReplDrain(a, b)
+
+	ops := sc.LookupOps
+	// Single-home: every read goes to the primary; only its capacity
+	// (connsPer pipelined connections) is available.
+	singleMops, singlePeak := readArm([]string{addrs[0]}, keys, connsPer, ops, batch)
+	// Spread: reads alternate over both candidates; both nodes' capacity
+	// serves the same hot set, each seeing half the stream.
+	spreadMops, spreadPeak := readArm(addrs, keys, connsPer, ops, batch)
+	r.AddRow("single-home reads", singleMops, singlePeak, math.NaN())
+	r.AddRow("replicated spread reads", spreadMops, spreadPeak, math.NaN())
+	r.AddRow("read scale-out factor (peak-capacity ratio)", singlePeak/spreadPeak, math.NaN(), math.NaN())
+	r.AddNote("scale-out factor = single-home peak node share / spread peak node share: the hottest node serves half the stream, doubling the aggregate read capacity a node-bound deployment sustains")
+	r.AddNote("wall-clock arms share one host (client + both servers); on a single-core machine they measure per-op cost, not parallel capacity")
+
+	// Lease herd: one missing key, a storm of concurrent read-through
+	// clients, a deliberately slow origin fill.
+	naive := herdArm(addrs[0], "naive-miss", herd, false)
+	leased := herdArm(addrs[0], "leased-miss", herd, true)
+	r.AddRow(fmt.Sprintf("naive herd (%d clients)", herd), math.NaN(), math.NaN(), float64(naive))
+	r.AddRow(fmt.Sprintf("leased herd (%d clients)", herd), math.NaN(), math.NaN(), float64(leased))
+	if leased != 1 {
+		panic(fmt.Sprintf("replread: leased herd ran %d backend fills, want exactly 1", leased))
+	}
+	r.AddNote("acceptance: spread reads engage both candidates (factor >= 2x single-home peak capacity); a %d-client miss storm through GetOrFill costs exactly 1 backend fill vs %d naive", herd, naive)
+	return r
+}
+
+func startReplNode() *server.Server {
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Shards:        4,
+		SlotsPerShard: 1 << 12,
+		SweepInterval: -1,
+	})
+	if err != nil {
+		panic("replread: " + err.Error())
+	}
+	if err := s.Listen(); err != nil {
+		panic("replread: " + err.Error())
+	}
+	go s.Serve()
+	return s
+}
+
+func dialBench(addr string) *client.Conn {
+	c, err := client.Dial(addr)
+	if err != nil {
+		panic("replread dial: " + err.Error())
+	}
+	return c
+}
+
+func waitReplDrain(servers ...*server.Server) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		depth := 0
+		for _, s := range servers {
+			depth += s.ReplQueueDepth()
+		}
+		if depth == 0 {
+			// One settle window for the batch already handed to the wire.
+			time.Sleep(100 * time.Millisecond)
+			return
+		}
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("replread: mirror logs never drained (%d queued)", depth))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// readArm drives totalOps pipelined GETV reads of the hot set, spread
+// round-robin over connsPer connections to each listed node, and
+// returns the aggregate Mops/s plus the busiest node's share of the
+// request stream (the quantity read capacity is bound by). Every read
+// must hit: a miss means the mirror never converged, which is a
+// harness bug worth a panic.
+func readArm(nodeAddrs []string, keys []string, connsPer int, totalOps uint64, batch int) (mops, peakShare float64) {
+	nconns := connsPer * len(nodeAddrs)
+	perConn := totalOps / uint64(nconns)
+	perNode := make([]atomic.Uint64, len(nodeAddrs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < nconns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			node := ci % len(nodeAddrs)
+			conn := dialBench(nodeAddrs[node])
+			defer conn.Close()
+			done := uint64(0)
+			for done < perConn {
+				n := uint64(batch)
+				if rem := perConn - done; n > rem {
+					n = rem
+				}
+				for i := uint64(0); i < n; i++ {
+					if err := conn.QueueGetV(keys[(done+i)%uint64(len(keys))]); err != nil {
+						panic("replread queue: " + err.Error())
+					}
+				}
+				reps, err := conn.Flush()
+				if err != nil {
+					panic("replread flush: " + err.Error())
+				}
+				for i := range reps {
+					if !reps[i].Found {
+						panic("replread: hot-set read missed; mirror never converged")
+					}
+				}
+				perNode[node].Add(n)
+				done += n
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := perConn * uint64(nconns)
+	peak := uint64(0)
+	for i := range perNode {
+		if c := perNode[i].Load(); c > peak {
+			peak = c
+		}
+	}
+	return float64(total) / elapsed.Seconds() / 1e6, float64(peak) / float64(total)
+}
+
+// herdArm unleashes `herd` concurrent read-through clients on one
+// missing key and returns how many backend fills the origin absorbed.
+// leased=true goes through Pool.GetOrFill (the anti-herd protocol);
+// false is the naive get-miss-fill-set loop every cache tutorial warns
+// about.
+func herdArm(addr, key string, herd int, leased bool) int64 {
+	p := client.NewPool(addr, herd)
+	defer p.Close()
+	var fills atomic.Int64
+	fill := func() (string, error) {
+		fills.Add(1)
+		time.Sleep(5 * time.Millisecond) // a slow origin widens the stampede window
+		return "origin-value", nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if leased {
+				if _, err := p.GetOrFill(key, 0, false, fill); err != nil {
+					panic("replread herd: " + err.Error())
+				}
+				return
+			}
+			if _, ok, err := p.Get1(key); err == nil && ok {
+				return
+			}
+			v, _ := fill()
+			if err := p.Set(key, v, 0); err != nil {
+				panic("replread herd: " + err.Error())
+			}
+		}()
+	}
+	wg.Wait()
+	return fills.Load()
+}

@@ -125,6 +125,7 @@ func (r *Ring) Without(addr string) (*Ring, error) {
 // level analogue of hashfn.TwoBuckets. On a one-node ring both
 // candidates are node 0.
 func (r *Ring) Candidates(key string) (primary, alternate int) {
+	//lint:allow cuckoovet:allocfree the []byte view of key does not escape XXHash64; short keys stay on the stack
 	h := hashfn.XXHash64([]byte(key), r.seed)
 	n := uint64(len(r.nodes))
 	primary = int(h % n)

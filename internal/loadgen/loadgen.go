@@ -53,9 +53,16 @@ type Config struct {
 	ZipfS float64
 	// Workload selects the operation shape: "mixed" (default; GETs with a
 	// SetFrac fraction of SETs), "incr" (every op is INCR key 1 — the
-	// hot-counter workload), or "txn" (each batch ships as one MULTI…EXEC
-	// transaction of INCRs).
+	// hot-counter workload), "txn" (each batch ships as one MULTI…EXEC
+	// transaction of INCRs), or "hot" (read-mostly traffic concentrated
+	// on a HotN-key hot set — the cuckoorepl read-scale-out workload;
+	// against a cluster address list, hot GETs spread across both
+	// candidate nodes the way a replication-aware client reads).
 	Workload string
+	// HotN is the hot-set size for the "hot" workload (default 64):
+	// hotFrac of operations land uniformly on keys [0, HotN), the rest
+	// on the uniform tail of the universe.
+	HotN uint64
 	// ValueSize is the SET payload length in bytes (default 32).
 	ValueSize int
 	// TTL, when positive, is attached to every SET.
@@ -104,8 +111,16 @@ func (c *Config) setDefaults() error {
 	if c.Workload == "" {
 		c.Workload = "mixed"
 	}
-	if c.Workload != "mixed" && c.Workload != "incr" && c.Workload != "txn" {
-		return fmt.Errorf("loadgen: unknown workload %q (want mixed, incr or txn)", c.Workload)
+	if c.Workload != "mixed" && c.Workload != "incr" && c.Workload != "txn" && c.Workload != "hot" {
+		return fmt.Errorf("loadgen: unknown workload %q (want mixed, incr, txn or hot)", c.Workload)
+	}
+	if c.Workload == "hot" {
+		if c.HotN == 0 {
+			c.HotN = 64
+		}
+		if c.HotN > c.Keys {
+			return fmt.Errorf("loadgen: -hot-n %d exceeds the key universe %d", c.HotN, c.Keys)
+		}
 	}
 	if c.Workload == "txn" && c.Batch > 64 {
 		c.Batch = 64 // server-side MULTI queue bound (maxTxnOps)
@@ -262,6 +277,9 @@ func runConn(cfg Config, id int, st *connStats) {
 	default:
 		keys = uniformUniverse{rnd: workload.NewRand(seed), n: cfg.Keys}
 	}
+	if cfg.Workload == "hot" {
+		keys = hotSetKeys{rnd: workload.NewRand(seed + 2), hot: cfg.HotN, n: cfg.Keys}
+	}
 	if cfg.Workload == "txn" {
 		runConnTxn(cfg, ring, conns, keys, st)
 		return
@@ -302,7 +320,14 @@ func runConn(cfg Config, id int, st *connStats) {
 			key := "k" + string(keyBuf)
 			target := 0
 			if ring != nil {
-				target, _ = ring.Candidates(key)
+				pri, alt := ring.Candidates(key)
+				target = pri
+				// Hot-set GETs alternate between the two candidate nodes:
+				// the hot set is replicated on both, and spreading reads is
+				// the whole point of the "hot" workload's cluster mode.
+				if cfg.Workload == "hot" && !set && k < cfg.HotN && opRnd.Intn(2) == 1 {
+					target = alt
+				}
 			}
 			var err error
 			switch {
@@ -414,3 +439,27 @@ type uniformUniverse struct {
 
 func (u uniformUniverse) NextKey() uint64     { return u.rnd.Intn(u.n) }
 func (u uniformUniverse) ExistingKey() uint64 { return u.rnd.Intn(u.n) }
+
+// hotFrac is the share of "hot"-workload operations that land on the
+// hot-set head; the remainder draw from the uniform tail so the cache
+// still sees a realistic long tail of cold keys.
+const hotFrac = 0.9
+
+// hotSetKeys concentrates hotFrac of draws uniformly on keys [0, hot)
+// and the rest on the tail [hot, n) — the hot-set read-scale-out
+// workload of docs/REPLICATION.md.
+type hotSetKeys struct {
+	rnd *workload.Rand
+	hot uint64
+	n   uint64
+}
+
+func (h hotSetKeys) draw() uint64 {
+	if h.rnd.Float64() < hotFrac || h.hot == h.n {
+		return h.rnd.Intn(h.hot)
+	}
+	return h.hot + h.rnd.Intn(h.n-h.hot)
+}
+
+func (h hotSetKeys) NextKey() uint64     { return h.draw() }
+func (h hotSetKeys) ExistingKey() uint64 { return h.draw() }

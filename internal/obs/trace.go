@@ -45,6 +45,12 @@ const (
 	StageMigrate
 	// StageFlush: writing the batched reply to the socket.
 	StageFlush
+	// StageRepl: applying inbound replication traffic (REPLSET/REPLDEL
+	// version checks and stores) inside a request.
+	StageRepl
+	// StageLease: miss-lease table work (grant, validate, release) on the
+	// LEASE/SETL verbs.
+	StageLease
 	// StageOther: the remainder, so per-verb stage sums equal wall time.
 	StageOther
 
@@ -54,7 +60,7 @@ const (
 
 var stageNames = [NumStages]string{
 	"read", "parse", "dispatch", "lock", "probe", "evict",
-	"txn_retry", "migrate", "flush", "other",
+	"txn_retry", "migrate", "flush", "repl", "lease", "other",
 }
 
 // String returns the stage's label as exported on /metrics.

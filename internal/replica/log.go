@@ -1,0 +1,146 @@
+// Package replica holds the building blocks of cuckoorepl, the
+// two-choice replication layer: a bounded, spinlock-guarded mirror log
+// that buffers writes destined for a key's alternate node, and a miss
+// lease table that collapses thundering herds into a single backend
+// fill.
+//
+// Both structures are deliberately server-agnostic: the server wires a
+// Log per peer into its write path (the enqueue runs while a key-stripe
+// spinlock is held, which is why the log must never park) and drains it
+// from a background mirror worker; the lease table is consulted only
+// from connection dispatch, outside any stripe.
+package replica
+
+import "cuckoohash/internal/spinlock"
+
+// Entry is one replicated mutation: an absolute value (or tombstone)
+// plus the version word that makes application last-writer-wins. The
+// producer stamps EnqueuedAt (unix nanoseconds) so the drain side can
+// report replication lag without the log reading the clock.
+type Entry struct {
+	Key        string
+	Val        string
+	ExpireAt   int64 // absolute unix nanos; 0 = no expiry
+	Ver        uint64
+	Del        bool
+	EnqueuedAt int64
+}
+
+// Log is a bounded FIFO of replication entries for one peer. Append is
+// called with a key-stripe spinlock held, so the log uses a spinlock
+// internally and never allocates after construction: the ring is sized
+// once and overflow drops the oldest entry rather than growing.
+//
+// A drop means the peer missed a mutation, so the log latches an
+// overflow flag; the mirror worker turns that into a bulk catch-up
+// (snapshot-format handoff) and clears it via TakeOverflow.
+type Log struct {
+	mu   spinlock.Mutex
+	ring []Entry
+	head uint64 // next slot to read
+	tail uint64 // next slot to write
+
+	overflowed bool
+	// Counters, guarded by mu. Snapshot via Stats.
+	enqueued uint64
+	dropped  uint64
+}
+
+// NewLog builds a log holding at most capacity entries (minimum 1).
+func NewLog(capacity int) *Log {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Log{ring: make([]Entry, capacity)}
+}
+
+// Append enqueues e, dropping the oldest buffered entry (and latching
+// the overflow flag) when the ring is full. Safe to call under a
+// key-stripe spinlock: it spins, never parks, never allocates.
+func (l *Log) Append(e Entry) {
+	l.mu.Lock()
+	if l.tail-l.head == uint64(len(l.ring)) {
+		// Full: sacrifice the oldest entry. The peer will be repaired
+		// by bulk catch-up, so dropping old beats dropping new.
+		l.ring[l.head%uint64(len(l.ring))] = Entry{}
+		l.head++
+		l.dropped++
+		l.overflowed = true
+	}
+	l.ring[l.tail%uint64(len(l.ring))] = e
+	l.tail++
+	l.enqueued++
+	l.mu.Unlock()
+}
+
+// Drain moves up to max buffered entries into dst (reusing its backing
+// array) and returns the filled slice. An empty result means the log
+// was empty.
+func (l *Log) Drain(dst []Entry, max int) []Entry {
+	dst = dst[:0]
+	l.mu.Lock()
+	for len(dst) < max && l.head != l.tail {
+		i := l.head % uint64(len(l.ring))
+		dst = append(dst, l.ring[i])
+		l.ring[i] = Entry{} // release string references promptly
+		l.head++
+	}
+	l.mu.Unlock()
+	return dst
+}
+
+// Len returns the number of buffered entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	n := int(l.tail - l.head)
+	l.mu.Unlock()
+	return n
+}
+
+// OldestEnqueuedAt returns the enqueue timestamp of the oldest buffered
+// entry, or 0 when the log is empty. The mirror worker subtracts it
+// from "now" to export replication lag.
+func (l *Log) OldestEnqueuedAt() int64 {
+	l.mu.Lock()
+	var ts int64
+	if l.head != l.tail {
+		ts = l.ring[l.head%uint64(len(l.ring))].EnqueuedAt
+	}
+	l.mu.Unlock()
+	return ts
+}
+
+// TakeOverflow reports whether the log dropped entries since the last
+// call, clearing the flag. The caller owes the peer a bulk catch-up
+// when it returns true.
+func (l *Log) TakeOverflow() bool {
+	l.mu.Lock()
+	v := l.overflowed
+	l.overflowed = false
+	l.mu.Unlock()
+	return v
+}
+
+// ForceCatchup latches the overflow flag so the next TakeOverflow
+// returns true. The mirror worker uses it when a send fails mid-batch:
+// the drained entries are gone, so the peer must be repaired in bulk.
+func (l *Log) ForceCatchup() {
+	l.mu.Lock()
+	l.overflowed = true
+	l.mu.Unlock()
+}
+
+// LogStats is a counter snapshot for STATS/metrics export.
+type LogStats struct {
+	Enqueued uint64
+	Dropped  uint64
+	Depth    int
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	s := LogStats{Enqueued: l.enqueued, Dropped: l.dropped, Depth: int(l.tail - l.head)}
+	l.mu.Unlock()
+	return s
+}

@@ -47,6 +47,15 @@ const (
 	// Observability verbs (docs/OBSERVABILITY.md): the server-measured
 	// hot-key top-K.
 	opHotKeys
+	// Replication and lease verbs (docs/REPLICATION.md): versioned
+	// reads/writes, the miss-lease anti-herd protocol, and the inbound
+	// side of the asynchronous two-choice mirror stream.
+	opGetV
+	opSetV
+	opLease
+	opSetLease
+	opReplSet
+	opReplDel
 	// opBad marks a line that failed to parse; it is never dispatched, only
 	// reported in logs.
 	opBad opCode = 0xff
@@ -93,6 +102,18 @@ func (o opCode) String() string {
 		return "DISCARD"
 	case opHotKeys:
 		return "HOTKEYS"
+	case opGetV:
+		return "GETV"
+	case opSetV:
+		return "SETV"
+	case opLease:
+		return "LEASE"
+	case opSetLease:
+		return "SETL"
+	case opReplSet:
+		return "REPLSET"
+	case opReplDel:
+		return "REPLDEL"
 	}
 	return "INVALID"
 }
@@ -121,6 +142,10 @@ type request struct {
 	// (docs/OBSERVABILITY.md); nil when the request is untraced. Like
 	// key/val it aliases the read buffer.
 	trace []byte
+	// ver carries REPLSET/REPLDEL's version word and SETL's lease token
+	// (both unsigned 64-bit words); delta doubles as REPLSET's absolute
+	// expireAt (unix nanoseconds, 0 = no expiry).
+	ver uint64
 }
 
 // migrateArgs are the parsed operands of a MIGRATE line:
@@ -158,6 +183,9 @@ var (
 
 	errBadTrace   = errors.New("trace wants: TRACE <id (1..64 bytes)> <command...>")
 	errBadHotKeys = errors.New("hotkeys wants: HOTKEYS [count (1.." + hotKeysMaxStr + ")]")
+
+	errBadVer   = errors.New("version must be an unsigned 64-bit integer")
+	errBadToken = errors.New("lease token must be 1..16 hex digits")
 )
 
 // nextToken splits the first space-separated token off line.
@@ -273,8 +301,114 @@ func parseRequest1(line []byte, allowTrace bool) (request, error) {
 		return request{op: opDiscard}, nil
 	case asciiEqualFold(cmd, "HOTKEYS"):
 		return parseHotKeys(rest)
+	case asciiEqualFold(cmd, "GETV"):
+		return parseKeyOnly(opGetV, rest)
+	case asciiEqualFold(cmd, "SETV"):
+		return parseSetV(rest)
+	case asciiEqualFold(cmd, "LEASE"):
+		return parseKeyOnly(opLease, rest)
+	case asciiEqualFold(cmd, "SETL"):
+		return parseSetLease(rest)
+	case asciiEqualFold(cmd, "REPLSET"):
+		return parseReplSet(rest)
+	case asciiEqualFold(cmd, "REPLDEL"):
+		return parseReplDel(rest)
 	}
 	return request{}, errUnknownCmd
+}
+
+// parseSetV parses SETV <key> <ttl_ms> <val>: SET returning the write's
+// version word. Unlike SETEX, ttl 0 is legal and means no expiry, so
+// one verb covers both SET and SETEX shapes for version-aware clients.
+func parseSetV(rest []byte) (request, error) {
+	key, rest2 := nextToken(rest)
+	ttlTok, val := nextToken(rest2)
+	if len(key) == 0 || len(ttlTok) == 0 || val == nil {
+		return request{}, errBadArgs
+	}
+	if len(key) > maxKeyLen {
+		return request{}, errKeyTooLong
+	}
+	//lint:allow cuckoovet:allocfree the TTL token is copied for strconv; SETV pays one bounded copy like SETEX
+	ms, err := strconv.ParseUint(string(ttlTok), 10, 32)
+	if err != nil {
+		return request{}, errBadTTL
+	}
+	return request{op: opSetV, key: key, ttl: time.Duration(ms) * time.Millisecond, val: val}, nil
+}
+
+// parseSetLease parses SETL <key> <token> <ttl_ms> <val>: the lease
+// winner's fill. token is the hex word a LEASE grant handed out; ttl 0
+// means no expiry.
+func parseSetLease(rest []byte) (request, error) {
+	key, rest2 := nextToken(rest)
+	tokTok, rest3 := nextToken(rest2)
+	ttlTok, val := nextToken(rest3)
+	if len(key) == 0 || len(tokTok) == 0 || len(ttlTok) == 0 || val == nil {
+		return request{}, errBadArgs
+	}
+	if len(key) > maxKeyLen {
+		return request{}, errKeyTooLong
+	}
+	if len(tokTok) > 16 {
+		return request{}, errBadToken
+	}
+	//lint:allow cuckoovet:allocfree lease fills happen once per miss storm; the token copy is bounded to 16 bytes
+	token, err := strconv.ParseUint(string(tokTok), 16, 64)
+	if err != nil || token == 0 {
+		return request{}, errBadToken
+	}
+	//lint:allow cuckoovet:allocfree the TTL token is copied for strconv, same as SETEX
+	ms, err := strconv.ParseUint(string(ttlTok), 10, 32)
+	if err != nil {
+		return request{}, errBadTTL
+	}
+	return request{op: opSetLease, key: key, ver: token, ttl: time.Duration(ms) * time.Millisecond, val: val}, nil
+}
+
+// parseReplSet parses REPLSET <key> <ver> <expireAtNs> <val>, the
+// inbound mirror write. ver is the origin's version word; expireAt is
+// absolute unix nanoseconds (0 = no expiry) so TTLs survive the hop
+// without clock math.
+func parseReplSet(rest []byte) (request, error) {
+	key, rest2 := nextToken(rest)
+	verTok, rest3 := nextToken(rest2)
+	expTok, val := nextToken(rest3)
+	if len(key) == 0 || len(verTok) == 0 || len(expTok) == 0 || val == nil {
+		return request{}, errBadArgs
+	}
+	if len(key) > maxKeyLen {
+		return request{}, errKeyTooLong
+	}
+	//lint:allow cuckoovet:allocfree mirror traffic copies its two numeric tokens for strconv; bounded to 20 bytes each
+	ver, err := strconv.ParseUint(string(verTok), 10, 64)
+	if err != nil || ver == 0 {
+		return request{}, errBadVer
+	}
+	//lint:allow cuckoovet:allocfree see above
+	exp, err := strconv.ParseInt(string(expTok), 10, 64)
+	if err != nil || exp < 0 {
+		return request{}, errBadDelta
+	}
+	return request{op: opReplSet, key: key, ver: ver, delta: exp, val: val}, nil
+}
+
+// parseReplDel parses REPLDEL <key> <ver>, the mirrored tombstone.
+func parseReplDel(rest []byte) (request, error) {
+	key, rest2 := nextToken(rest)
+	verTok, extra := nextToken(rest2)
+	if len(key) == 0 || len(verTok) == 0 || extra != nil {
+		return request{}, errBadArgs
+	}
+	if len(key) > maxKeyLen {
+		return request{}, errKeyTooLong
+	}
+	//lint:allow cuckoovet:allocfree mirror traffic copies its version token for strconv; bounded to 20 bytes
+	ver, err := strconv.ParseUint(string(verTok), 10, 64)
+	if err != nil || ver == 0 {
+		return request{}, errBadVer
+	}
+	return request{op: opReplDel, key: key, ver: ver}, nil
 }
 
 // maxTraceIDLen mirrors obs.MaxTraceIDLen without importing obs into
@@ -542,6 +676,66 @@ func writeHandoff(w *bufio.Writer, loaded int) {
 	w.WriteString("HANDOFF ")
 	w.WriteString(strconv.Itoa(loaded))
 	w.WriteByte('\n')
+}
+
+// writeValueV renders a GETV hit: "VALUEV <ver> <val>". The version
+// word precedes the value because values may contain spaces — parsers
+// split twice and take the rest, like HOTKEY lines.
+//
+//cuckoo:hotpath the versioned GET reply writer
+func writeValueV(w *bufio.Writer, ver uint64, val string) {
+	w.WriteString("VALUEV ")
+	var num [20]byte
+	//lint:allow cuckoovet:allocfree AppendUint into the stack scratch never allocates
+	w.Write(strconv.AppendUint(num[:0], ver, 10))
+	w.WriteByte(' ')
+	w.WriteString(val)
+	w.WriteByte('\n')
+}
+
+// writeVer acknowledges a versioned write (SETV, accepted SETL).
+func writeVer(w *bufio.Writer, ver uint64) {
+	w.WriteString("VER ")
+	var num [20]byte
+	w.Write(strconv.AppendUint(num[:0], ver, 10))
+	w.WriteByte('\n')
+}
+
+// writeLease renders a granted fill token: "LEASE <token-hex> <ttl_ms>".
+func writeLease(w *bufio.Writer, token uint64, ttlMS int64) {
+	w.WriteString("LEASE ")
+	var num [20]byte
+	w.Write(strconv.AppendUint(num[:0], token, 16))
+	w.WriteByte(' ')
+	w.Write(strconv.AppendInt(num[:0], ttlMS, 10))
+	w.WriteByte('\n')
+}
+
+// writeWait tells a non-winning client how long to back off before
+// retrying its LEASE: "WAIT <ms>".
+func writeWait(w *bufio.Writer, ms int64) {
+	w.WriteString("WAIT ")
+	var num [20]byte
+	w.Write(strconv.AppendInt(num[:0], ms, 10))
+	w.WriteByte('\n')
+}
+
+// writeStaleValue serves an expired-but-present copy while a fill is in
+// flight: "STALE <ver> <val>".
+func writeStaleValue(w *bufio.Writer, ver uint64, val string) {
+	w.WriteString("STALE ")
+	var num [20]byte
+	w.Write(strconv.AppendUint(num[:0], ver, 10))
+	w.WriteByte(' ')
+	w.WriteString(val)
+	w.WriteByte('\n')
+}
+
+// writeStale is the REPLSET/REPLDEL "your write lost" reply: the local
+// copy was newer, nothing was applied. Distinct from STALE-with-value so
+// mirror senders can treat it as success without parsing further.
+func writeStale(w *bufio.Writer) {
+	w.WriteString("STALE\n")
 }
 
 // writeHotKeys renders a HOTKEYS reply: one "HOTKEY <count> <key>" line

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// TestReplReplyWireFormat pins the exact byte sequences the replication
+// and lease reply writers emit. client.readReply parses these strings
+// verbatim (client/replica_codec_test.go round-trips them through a real
+// Conn), so any drift here is a cross-package protocol break.
+func TestReplReplyWireFormat(t *testing.T) {
+	cases := []struct {
+		name  string
+		emit  func(w *bufio.Writer)
+		wants string
+	}{
+		{"valuev", func(w *bufio.Writer) { writeValueV(w, 42, "hello world") }, "VALUEV 42 hello world\n"},
+		{"valuev-empty", func(w *bufio.Writer) { writeValueV(w, 7, "") }, "VALUEV 7 \n"},
+		{"valuev-maxver", func(w *bufio.Writer) { writeValueV(w, ^uint64(0), "v") }, "VALUEV 18446744073709551615 v\n"},
+		{"ver", func(w *bufio.Writer) { writeVer(w, 9) }, "VER 9\n"},
+		{"lease", func(w *bufio.Writer) { writeLease(w, 0xdeadbeef, 2000) }, "LEASE deadbeef 2000\n"},
+		{"lease-maxtoken", func(w *bufio.Writer) { writeLease(w, ^uint64(0), 1) }, "LEASE ffffffffffffffff 1\n"},
+		{"wait", func(w *bufio.Writer) { writeWait(w, 20) }, "WAIT 20\n"},
+		{"stale-value", func(w *bufio.Writer) { writeStaleValue(w, 5, "old value") }, "STALE 5 old value\n"},
+		{"stale-bare", writeStale, "STALE\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			w := bufio.NewWriter(&buf)
+			tc.emit(w)
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if got := buf.String(); got != tc.wants {
+				t.Fatalf("wire bytes = %q, want %q", got, tc.wants)
+			}
+		})
+	}
+}

@@ -299,6 +299,7 @@ func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer, cs 
 	switch req.op {
 	case opDel:
 		if s.cache.DeleteTraced(string(req.key), &cs.span) {
+			s.leaseInvalidate(req.key)
 			writeOK(w)
 		} else {
 			writeMiss(w)
@@ -315,6 +316,46 @@ func (s *Server) serveRequest(line []byte, r *bufio.Reader, w *bufio.Writer, cs 
 		writeCluster(w, s.clusterInfo())
 	case opHotKeys:
 		writeHotKeys(w, s.cache.stats.HotKeys(int(req.delta)))
+	case opGetV:
+		if v, ver, ok := s.cache.GetVBytesTraced(req.key, &cs.span); ok {
+			writeValueV(w, ver, v)
+		} else {
+			writeMiss(w)
+		}
+	case opSetV:
+		s.dispatchSetV(req, w, cs)
+	case opLease:
+		s.dispatchLease(req, w, cs)
+	case opSetLease:
+		s.dispatchSetLease(req, w, cs)
+	case opReplSet:
+		t0 := cs.span.Begin()
+		applied, err := s.cache.applyReplicaSet(string(req.key),
+			entry{val: string(req.val), expireAt: req.delta, ver: req.ver}, &cs.span)
+		cs.span.End(obs.StageRepl, t0)
+		switch {
+		case err != nil:
+			s.replyErr(w, cs, err)
+		case applied:
+			s.cache.stats.replApplied.Add(1)
+			s.leaseInvalidate(req.key)
+			writeOK(w)
+		default:
+			s.cache.stats.replStale.Add(1)
+			writeStale(w)
+		}
+	case opReplDel:
+		t0 := cs.span.Begin()
+		applied := s.cache.applyReplicaDel(string(req.key), req.ver, &cs.span)
+		cs.span.End(obs.StageRepl, t0)
+		if applied {
+			s.cache.stats.replApplied.Add(1)
+			s.leaseInvalidate(req.key)
+			writeOK(w)
+		} else {
+			s.cache.stats.replStale.Add(1)
+			writeStale(w)
+		}
 	case opMigrate:
 		if n, err := s.Migrate(req.mig, req.trace); err != nil {
 			s.replyErr(w, cs, err)
@@ -404,12 +445,95 @@ func (s *Server) dispatchFast(req request, w *bufio.Writer, cs *connState) bool 
 		if err := s.cache.SetTraced(string(req.key), string(req.val), req.ttl, &cs.span); err != nil {
 			s.replyErr(w, cs, err)
 		} else {
+			s.leaseInvalidate(req.key)
 			writeOK(w)
 		}
 	default:
 		return false
 	}
 	return true
+}
+
+// dispatchSetV handles SETV: a SET that acknowledges with the write's
+// version word so version-aware clients can maintain a monotonic floor
+// for their own writes. The version is read back from the table rather
+// than threaded out of the store: if a concurrent writer has already
+// replaced the entry, the later version is reported, which only
+// tightens the client's floor (and VER 0 means the entry was evicted
+// between store and read-back — the client learns nothing, safely).
+func (s *Server) dispatchSetV(req request, w *bufio.Writer, cs *connState) {
+	key := string(req.key)
+	if err := s.cache.SetTraced(key, string(req.val), req.ttl, &cs.span); err != nil {
+		s.replyErr(w, cs, err)
+		return
+	}
+	s.leaseInvalidate(req.key)
+	writeVer(w, s.cache.versionOf(key))
+}
+
+// dispatchLease handles LEASE, the miss-storm collapse verb. A live hit
+// short-circuits to VALUEV (the common case once the key is filled).
+// Otherwise the first caller wins the fill lease and gets LEASE
+// <token> <ttl_ms>; later callers are served the expired copy as
+// STALE <ver> <val> when one is still in the table, or told to WAIT.
+func (s *Server) dispatchLease(req request, w *bufio.Writer, cs *connState) {
+	val, ver, state := s.cache.leaseProbe(req.key, &cs.span)
+	if state == probeLive {
+		writeValueV(w, ver, val)
+		return
+	}
+	st := s.cache.stats
+	t0 := cs.span.Begin()
+	token, granted, waitMS := s.leases.Acquire(string(req.key), time.Now().UnixNano())
+	cs.span.End(obs.StageLease, t0)
+	switch {
+	case granted:
+		st.leaseGrants.Add(1)
+		writeLease(w, token, s.leases.TTLMillis())
+	case state == probeStale:
+		st.leaseStaleServes.Add(1)
+		writeStaleValue(w, ver, val)
+	default:
+		st.leaseWaits.Add(1)
+		writeWait(w, waitMS)
+	}
+}
+
+// dispatchSetLease handles SETL, the lease winner's fill. The token is
+// validated-and-released atomically first: a fill racing a fresher SET
+// or DEL (which invalidated the lease) is rejected with MISS and stores
+// nothing, so a slow filler can never resurrect data a newer write
+// superseded. An accepted fill stores through the normal SET path —
+// versioned, mirrored, evicting — and acknowledges like SETV.
+func (s *Server) dispatchSetLease(req request, w *bufio.Writer, cs *connState) {
+	st := s.cache.stats
+	key := string(req.key)
+	t0 := cs.span.Begin()
+	ok := s.leases.ValidateRelease(key, req.ver, time.Now().UnixNano())
+	cs.span.End(obs.StageLease, t0)
+	if !ok {
+		st.leaseRejects.Add(1)
+		writeMiss(w)
+		return
+	}
+	if err := s.cache.SetTraced(key, string(req.val), req.ttl, &cs.span); err != nil {
+		s.replyErr(w, cs, err)
+		return
+	}
+	st.leaseFills.Add(1)
+	writeVer(w, s.cache.versionOf(key))
+}
+
+// leaseInvalidate kills any outstanding fill lease on key after a
+// client-visible write, so an in-flight SETL holding a now-stale token
+// loses its ValidateRelease. Gated on one atomic load: the hot write
+// path pays nothing when no leases are outstanding anywhere.
+func (s *Server) leaseInvalidate(key []byte) {
+	// nil-safe: tests drive dispatch on hand-built Servers without a
+	// lease table; production servers always get one from New.
+	if s.leases != nil && s.leases.Active() > 0 {
+		s.leases.Invalidate(string(key))
+	}
 }
 
 // replyErr writes an error reply and classifies the request for the

@@ -75,6 +75,34 @@ func FuzzParseCommand(f *testing.F) {
 		"HOTKEYS 128",
 		"HOTKEYS 129",
 		"HOTKEYS 5 extra",
+		// Replication & lease verbs (docs/REPLICATION.md).
+		"GETV k",
+		"GETV",
+		"SETV k 0 v",
+		"SETV k 1500 value with spaces",
+		"SETV k -1 v",         // negative TTL must be rejected
+		"SETV k 4294967296 v", // TTL overflows uint32
+		"LEASE k",
+		"LEASE",
+		"SETL k deadbeef 0 v",
+		"SETL k DEADBEEF 1500 v",
+		"SETL k 0 0 v",                 // token 0 is never granted
+		"SETL k ffffffffffffffff 0 v",  // max 16-hex-digit token
+		"SETL k 1ffffffffffffffff 0 v", // 17 digits: too long
+		"SETL k nothex 0 v",
+		"SETL k deadbeef v", // truncated: ttl missing
+		"SETL k",            // truncated: everything missing
+		"REPLSET k 5 0 v",
+		"REPLSET k 18446744073709551615 0 v", // MaxUint64 version word
+		"REPLSET k 18446744073709551616 0 v", // MaxUint64+1 must be rejected, not aliased
+		"REPLSET k 0 0 v",                    // version 0 reserved for "absent"
+		"REPLSET k 5 -1 v",                   // negative absolute expiry
+		"REPLSET k 5 9223372036854775807 value with spaces",
+		"REPLSET " + string(bytes.Repeat([]byte("k"), 251)) + " 5 0 v",
+		"REPLDEL k 7",
+		"REPLDEL k 0",
+		"REPLDEL k 7 extra", // batch framing: exactly two operands
+		"REPLDEL k",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -136,6 +164,50 @@ func FuzzParseCommand(f *testing.F) {
 			}
 			if bytes.ContainsRune(req.old, ' ') {
 				t.Fatalf("CAS old value %q contains a space; old must be a single token", req.old)
+			}
+		case opGetV, opLease:
+			if len(req.key) == 0 || len(req.key) > maxKeyLen {
+				t.Fatalf("%s accepted key of length %d", req.op, len(req.key))
+			}
+			if req.val != nil || req.old != nil {
+				t.Fatalf("%s parsed with value operands %+v", req.op, req)
+			}
+		case opSetV:
+			if len(req.key) == 0 || len(req.key) > maxKeyLen || req.val == nil {
+				t.Fatalf("SETV accepted bad operands %+v", req)
+			}
+			if req.ttl < 0 {
+				t.Fatalf("SETV accepted negative ttl %v", req.ttl)
+			}
+		case opSetLease:
+			if len(req.key) == 0 || len(req.key) > maxKeyLen || req.val == nil {
+				t.Fatalf("SETL accepted bad operands %+v", req)
+			}
+			if req.ver == 0 {
+				t.Fatal("SETL accepted the zero lease token, which is never granted")
+			}
+			if req.ttl < 0 {
+				t.Fatalf("SETL accepted negative ttl %v", req.ttl)
+			}
+		case opReplSet:
+			if len(req.key) == 0 || len(req.key) > maxKeyLen || req.val == nil {
+				t.Fatalf("REPLSET accepted bad operands %+v", req)
+			}
+			if req.ver == 0 {
+				t.Fatal("REPLSET accepted version 0, reserved for absent entries")
+			}
+			if req.delta < 0 {
+				t.Fatalf("REPLSET accepted negative absolute expiry %d", req.delta)
+			}
+		case opReplDel:
+			if len(req.key) == 0 || len(req.key) > maxKeyLen {
+				t.Fatalf("REPLDEL accepted key of length %d", len(req.key))
+			}
+			if req.ver == 0 {
+				t.Fatal("REPLDEL accepted version 0, reserved for absent entries")
+			}
+			if req.val != nil || req.old != nil {
+				t.Fatalf("REPLDEL parsed with value operands %+v", req)
 			}
 		case opHandoff:
 			if req.payload == 0 || req.payload > handoffMaxBytes {

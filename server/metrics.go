@@ -64,6 +64,52 @@ func (s *Server) Collect(m *obs.Metrics) {
 	s.collectTable(m)
 	s.collectTxn(m)
 	s.collectTrace(m)
+	s.collectRepl(m)
+	s.collectLease(m)
+}
+
+// collectRepl exports the cuckoorepl mirror-path series
+// (docs/REPLICATION.md): how much write traffic is being mirrored to
+// the alternate node, how far behind the mirror stream is, and how
+// often the bulk catch-up path had to repair it.
+func (s *Server) collectRepl(m *obs.Metrics) {
+	st := s.cache.stats
+	depth, dropped := s.cache.replLogTotals()
+
+	m.Counter("cuckood_repl_enqueued_total", "Writes enqueued for mirroring to the alternate node.", float64(st.replEnqueued.Load()))
+	m.Counter("cuckood_repl_mirrored_total", "Mirror log entries delivered to the alternate node.", float64(st.replMirrored.Load()))
+	m.Counter("cuckood_repl_batches_total", "Mirror batches flushed to the alternate node.", float64(st.replBatches.Load()))
+	m.Counter("cuckood_repl_send_failures_total", "Mirror sends that failed and latched a bulk catch-up.", float64(st.replSendFails.Load()))
+	m.Counter("cuckood_repl_catchups_total", "Snapshot-format bulk catch-ups shipped after overflow or send failure.", float64(st.replCatchups.Load()))
+	m.Counter("cuckood_repl_dropped_total", "Mirror log entries overwritten by drop-oldest overflow (repaired by catch-up).", float64(dropped))
+	m.Counter("cuckood_repl_applied_total", "Inbound replicated writes applied, by result.",
+		float64(st.replApplied.Load()), "result", "applied")
+	m.Counter("cuckood_repl_applied_total", "Inbound replicated writes applied, by result.",
+		float64(st.replStale.Load()), "result", "stale_dropped")
+	m.Gauge("cuckood_repl_queue_depth", "Mutations buffered in the mirror logs awaiting delivery.", float64(depth))
+	m.Gauge("cuckood_repl_lag_seconds", "Age of the oldest undelivered mirror entry at the last flush (0 when drained).", float64(st.replLagNs.Load())/1e9)
+}
+
+// collectLease exports the miss-lease series: grants tell you miss
+// storms are being collapsed, waits/stale-serves tell you how the
+// non-winning clients were handled, and rejects count fills that lost
+// to a fresher write.
+func (s *Server) collectLease(m *obs.Metrics) {
+	st := s.cache.stats
+	m.Counter("cuckood_lease_grants_total", "Fill leases granted to the first client missing a key.", float64(st.leaseGrants.Load()))
+	m.Counter("cuckood_lease_waits_total", "LEASE requests told to wait for an in-flight fill.", float64(st.leaseWaits.Load()))
+	m.Counter("cuckood_lease_stale_serves_total", "LEASE requests served an expired copy while a fill was in flight.", float64(st.leaseStaleServes.Load()))
+	m.Counter("cuckood_lease_fills_total", "SETL fills accepted from lease winners.", float64(st.leaseFills.Load()))
+	m.Counter("cuckood_lease_rejects_total", "SETL fills rejected because the lease was invalidated or expired.", float64(st.leaseRejects.Load()))
+	m.Gauge("cuckood_lease_active", "Outstanding fill leases.", float64(s.leaseActive()))
+}
+
+// leaseActive is nil-safe for hand-built test servers.
+func (s *Server) leaseActive() int64 {
+	if s.leases == nil {
+		return 0
+	}
+	return s.leases.Active()
 }
 
 // collectTrace exports the cuckootrace series (docs/OBSERVABILITY.md):

@@ -11,10 +11,18 @@ package server
 // Layout (all integers little-endian):
 //
 //	u64 magic "cuckood1"   u64 version
-//	repeated records: u32 keyLen, key, u32 valLen, val, i64 expireAt
+//	repeated records: u32 keyLen, key, u32 valLen, val, i64 expireAt,
+//	                  u64 ver          (ver present from version 2 on)
 //	u32 end marker 0xFFFFFFFF
 //	u64 record count
 //	u64 CRC64-ECMA of everything above
+//
+// Version 2 (cuckoorepl) appends each entry's replication version word
+// to the record and loads records last-writer-wins, which is what lets
+// the HANDOFF verb double as replication bulk catch-up: replaying a
+// snapshot over fresher data can never regress a key. Version 1
+// streams are still read (records load with ver 0, which loses to any
+// replicated write).
 //
 // Keys are bounded by the protocol (250 bytes) and values by the line
 // limit, so a length word past maxSnapshotStr means corruption, not a
@@ -36,8 +44,11 @@ import (
 
 const (
 	cacheSnapMagic   = 0x6375636B6F6F6431 // "cuckood1"
-	cacheSnapVersion = 1
-	cacheSnapEnd     = ^uint32(0)
+	cacheSnapVersion = 2
+	// cacheSnapVersionNoVer is the pre-replication format: identical but
+	// for the per-record version word. Still accepted on load.
+	cacheSnapVersionNoVer = 1
+	cacheSnapEnd          = ^uint32(0)
 	// maxSnapshotStr bounds one record string; generous over the protocol's
 	// own limits so format evolution has headroom.
 	maxSnapshotStr = 1 << 20
@@ -85,6 +96,7 @@ func (e *snapEncoder) add(key string, ent entry) {
 	e.putU32(uint32(len(ent.val)))
 	e.bw.WriteString(ent.val)
 	e.putU64(uint64(ent.expireAt))
+	e.putU64(ent.ver)
 	e.count++
 }
 
@@ -130,6 +142,7 @@ func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
 	type record struct {
 		key, val string
 		expireAt int64
+		ver      uint64
 	}
 	var recs []record
 
@@ -138,7 +151,7 @@ func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
 		return 0, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
 	version, err := readSnapU64(br, crc)
-	if err != nil || version != cacheSnapVersion {
+	if err != nil || (version != cacheSnapVersion && version != cacheSnapVersionNoVer) {
 		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, version)
 	}
 	for {
@@ -165,7 +178,13 @@ func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("%w: truncated record", ErrBadSnapshot)
 		}
-		recs = append(recs, record{key: key, val: val, expireAt: int64(exp)})
+		var ver uint64
+		if version >= cacheSnapVersion {
+			if ver, err = readSnapU64(br, crc); err != nil {
+				return 0, fmt.Errorf("%w: truncated record", ErrBadSnapshot)
+			}
+		}
+		recs = append(recs, record{key: key, val: val, expireAt: int64(exp), ver: ver})
 	}
 	count, err := readSnapU64(br, crc)
 	if err != nil || count != uint64(len(recs)) {
@@ -183,17 +202,24 @@ func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
 	now := time.Now().UnixNano()
 	loaded := 0
 	for _, rec := range recs {
-		e := entry{val: rec.val, expireAt: rec.expireAt}
+		e := entry{val: rec.val, expireAt: rec.expireAt, ver: rec.ver}
 		if e.expired(now) {
 			continue
 		}
-		if err := c.setEntry(rec.key, e, nil); err != nil {
+		// Version-preserving, last-writer-wins apply: a record older than
+		// the copy already stored (a catch-up replaying history the mirror
+		// stream has since overtaken) is dropped, and applied records keep
+		// their origin version so replicas stay comparable.
+		applied, err := c.applyReplicaSet(rec.key, e, nil)
+		if err != nil {
 			// A shard smaller than the snapshot's origin can fill up; the
 			// remaining records are dropped silently — a cache restore is
 			// best-effort by definition.
 			continue
 		}
-		loaded++
+		if applied {
+			loaded++
+		}
 	}
 	return loaded, nil
 }

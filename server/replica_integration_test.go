@@ -1,0 +1,239 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startReplicatedPair launches two servers mirroring to each other over
+// a two-node ring and returns them with their resolved addresses.
+func startReplicatedPair(t *testing.T, seed uint64) (a, b *Server) {
+	t.Helper()
+	a = startServer(t, Config{Shards: 2, SlotsPerShard: 1 << 10, SweepInterval: -1})
+	b = startServer(t, Config{Shards: 2, SlotsPerShard: 1 << 10, SweepInterval: -1})
+	nodes := []string{a.Addr().String(), b.Addr().String()}
+	if err := a.EnableReplication(nodes, seed, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.EnableReplication(nodes, seed, ""); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// waitGetV polls GETV key on c until the reply satisfies ok, failing
+// the test after two seconds. It returns the final reply line.
+func waitGetV(t *testing.T, c *rawClient, key string, ok func(string) bool) string {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	var line string
+	for {
+		c.send("GETV " + key + "\n")
+		line = c.readLine()
+		if ok(line) {
+			return line
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GETV %s never converged; last reply %q", key, line)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplicationMirrorsWrites checks the tentpole end to end: writes
+// accepted by one node of a two-node ring appear on the other with the
+// same version word, and deletes propagate as versioned tombstones.
+func TestReplicationMirrorsWrites(t *testing.T) {
+	a, b := startReplicatedPair(t, 1)
+	ca, cb := dialRaw(t, a), dialRaw(t, b)
+
+	const n = 50
+	vers := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("mirror%d", i)
+		ca.send(fmt.Sprintf("SETV %s 0 val%d\n", key, i))
+		rep := ca.readLine()
+		var ver uint64
+		if _, err := fmt.Sscanf(rep, "VER %d", &ver); err != nil || ver == 0 {
+			t.Fatalf("SETV reply %q", rep)
+		}
+		vers[key] = rep[len("VER "):]
+	}
+	// Every key's alternate on a two-node ring is the other node, so all
+	// fifty copies must converge on b with their origin version words.
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("mirror%d", i)
+		want := "VALUEV " + vers[key] + " " + fmt.Sprintf("val%d", i)
+		got := waitGetV(t, cb, key, func(line string) bool { return line == want })
+		if got != want {
+			t.Fatalf("replica read %q, want %q", got, want)
+		}
+	}
+	if d := a.ReplQueueDepth(); d != 0 {
+		t.Fatalf("mirror log still holds %d entries after convergence", d)
+	}
+
+	// A delete on the origin becomes a tombstone on the replica.
+	ca.send("DEL mirror0\n")
+	if rep := ca.readLine(); rep != "OK" {
+		t.Fatalf("DEL reply %q", rep)
+	}
+	waitGetV(t, cb, "mirror0", func(line string) bool { return line == "MISS" })
+}
+
+// TestReplicationConvergesBothDirections writes interleaved keys to both
+// nodes and expects the union everywhere: the mirror is symmetric.
+func TestReplicationConvergesBothDirections(t *testing.T) {
+	a, b := startReplicatedPair(t, 7)
+	ca, cb := dialRaw(t, a), dialRaw(t, b)
+	for i := 0; i < 20; i++ {
+		origin, key := ca, fmt.Sprintf("both%d", i)
+		if i%2 == 1 {
+			origin = cb
+		}
+		origin.send(fmt.Sprintf("SETV %s 0 v%d\n", key, i))
+		if rep := origin.readLine(); !strings.HasPrefix(rep, "VER ") {
+			t.Fatalf("SETV reply %q", rep)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		key, val := fmt.Sprintf("both%d", i), fmt.Sprintf("v%d", i)
+		match := func(line string) bool {
+			return strings.HasPrefix(line, "VALUEV ") && strings.HasSuffix(line, " "+val)
+		}
+		waitGetV(t, ca, key, match)
+		waitGetV(t, cb, key, match)
+	}
+}
+
+// TestReplicaApplyStaleDrop pins the last-writer-wins contract of the
+// inbound mirror verbs: an older REPLSET/REPLDEL never clobbers a newer
+// local copy, and the reply says which way it went.
+func TestReplicaApplyStaleDrop(t *testing.T) {
+	s := startServer(t, Config{Shards: 1, SlotsPerShard: 1 << 10, SweepInterval: -1})
+	c := dialRaw(t, s)
+
+	steps := []struct{ send, want string }{
+		{"REPLSET k 100 0 fresh", "OK"},
+		{"REPLSET k 50 0 older", "STALE"},       // stale mirror write dropped
+		{"GETV k", "VALUEV 100 fresh"},          // the newer copy survived
+		{"REPLSET k 100 0 redelivery", "STALE"}, // equal version = redelivery, idempotent
+		{"GETV k", "VALUEV 100 fresh"},
+		{"REPLDEL k 50", "STALE"}, // stale tombstone dropped
+		{"GETV k", "VALUEV 100 fresh"},
+		{"REPLDEL k 100", "OK"}, // equal-version tombstone wins
+		{"GETV k", "MISS"},
+		{"REPLDEL k 100", "OK"}, // deleting an absent key is idempotent
+		{"REPLSET k 200 0 back", "OK"},
+		{"GETV k", "VALUEV 200 back"},
+	}
+	for _, st := range steps {
+		c.send(st.send + "\n")
+		if got := c.readLine(); got != st.want {
+			t.Fatalf("%s → %q, want %q", st.send, got, st.want)
+		}
+	}
+}
+
+// TestReplicaSetOrdersLocalWrites checks the version-clock ratchet: a
+// local write issued after a replica apply must order above it.
+func TestReplicaSetOrdersLocalWrites(t *testing.T) {
+	s := startServer(t, Config{Shards: 1, SlotsPerShard: 1 << 10, SweepInterval: -1})
+	c := dialRaw(t, s)
+	// A replica write far in the "future" of this node's clock.
+	future := uint64(time.Now().Add(time.Hour).UnixNano())
+	c.send(fmt.Sprintf("REPLSET k %d 0 remote\n", future))
+	if got := c.readLine(); got != "OK" {
+		t.Fatalf("REPLSET reply %q", got)
+	}
+	c.send("SETV k 0 local\n")
+	rep := c.readLine()
+	var ver uint64
+	if _, err := fmt.Sscanf(rep, "VER %d", &ver); err != nil {
+		t.Fatalf("SETV reply %q", rep)
+	}
+	if ver <= future {
+		t.Fatalf("local write version %d does not order above applied replica version %d", ver, future)
+	}
+}
+
+// TestLeaseProtocol drives the LEASE/SETL anti-herd state machine over
+// the wire: one winner fills, losers get back-off hints, late and
+// invalidated fills are rejected, and expired entries serve stale.
+func TestLeaseProtocol(t *testing.T) {
+	s := startServer(t, Config{Shards: 1, SlotsPerShard: 1 << 10, SweepInterval: -1})
+	c1, c2 := dialRaw(t, s), dialRaw(t, s)
+
+	// Miss: first LEASE wins a token, second gets a WAIT hint.
+	c1.send("LEASE k\n")
+	grant := c1.readLine()
+	var token string
+	var ttlMS int64
+	if _, err := fmt.Sscanf(grant, "LEASE %s %d", &token, &ttlMS); err != nil || ttlMS <= 0 {
+		t.Fatalf("first LEASE reply %q", grant)
+	}
+	c2.send("LEASE k\n")
+	if rep := c2.readLine(); !strings.HasPrefix(rep, "WAIT ") {
+		t.Fatalf("second LEASE reply %q, want WAIT hint", rep)
+	}
+
+	// The winner fills; waiters then read the filled value.
+	c1.send("SETL k " + token + " 0 filled\n")
+	fill := c1.readLine()
+	if !strings.HasPrefix(fill, "VER ") {
+		t.Fatalf("SETL reply %q", fill)
+	}
+	c2.send("LEASE k\n")
+	if rep := c2.readLine(); rep != "VALUEV "+fill[len("VER "):]+" filled" {
+		t.Fatalf("post-fill LEASE reply %q", rep)
+	}
+
+	// A fill with the wrong token is rejected and stores nothing.
+	c1.send("LEASE k2\n")
+	if _, err := fmt.Sscanf(c1.readLine(), "LEASE %s %d", &token, &ttlMS); err != nil {
+		t.Fatal("second grant failed")
+	}
+	c1.send("SETL k2 abc123 0 bogus\n")
+	if rep := c1.readLine(); rep != "MISS" {
+		t.Fatalf("wrong-token SETL reply %q, want MISS", rep)
+	}
+	c1.send("GET k2\n")
+	if rep := c1.readLine(); rep != "MISS" {
+		t.Fatalf("rejected fill stored a value: %q", rep)
+	}
+
+	// A write racing the lease invalidates it: the late fill loses.
+	c1.send("LEASE k3\n")
+	if _, err := fmt.Sscanf(c1.readLine(), "LEASE %s %d", &token, &ttlMS); err != nil {
+		t.Fatal("third grant failed")
+	}
+	c2.send("SET k3 racing\n")
+	if rep := c2.readLine(); rep != "OK" {
+		t.Fatalf("SET reply %q", rep)
+	}
+	c1.send("SETL k3 " + token + " 0 late\n")
+	if rep := c1.readLine(); rep != "MISS" {
+		t.Fatalf("late SETL reply %q, want MISS", rep)
+	}
+	c1.send("GET k3\n")
+	if rep := c1.readLine(); rep != "VALUE racing" {
+		t.Fatalf("k3 = %q, want the racing write", rep)
+	}
+
+	// Expired-but-present entries: the winner refreshes, others serve stale.
+	c1.send("SETEX k4 1 oldcopy\n")
+	if rep := c1.readLine(); rep != "OK" {
+		t.Fatalf("SETEX reply %q", rep)
+	}
+	time.Sleep(5 * time.Millisecond) // let the 1ms TTL lapse
+	c1.send("LEASE k4\n")
+	if rep := c1.readLine(); !strings.HasPrefix(rep, "LEASE ") {
+		t.Fatalf("expired-entry LEASE reply %q, want a grant", rep)
+	}
+	c2.send("LEASE k4\n")
+	if rep := c2.readLine(); !strings.HasPrefix(rep, "STALE ") || !strings.HasSuffix(rep, " oldcopy") {
+		t.Fatalf("expired-entry follower reply %q, want STALE …oldcopy", rep)
+	}
+}

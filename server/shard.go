@@ -15,6 +15,7 @@ import (
 	"hash/maphash"
 	"log/slog"
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"cuckoohash/generic"
@@ -51,10 +52,17 @@ const growInitialDivisor = 8
 // table's background sweeper handles the idle-shard case.
 const migrateBatchPerOp = 2
 
-// entry is the stored value plus its absolute expiry time.
+// entry is the stored value plus its absolute expiry time and the
+// version word that orders it against replicated copies of the same
+// key. Versions come from the cache's hybrid clock (nextVersion): they
+// are unique and monotonic per node, and wall-clock-comparable across
+// nodes, so replica application can be last-writer-wins (docs/
+// REPLICATION.md). ver 0 marks a pre-replication record (legacy v1
+// snapshots) and loses to every real version.
 type entry struct {
 	val      string
 	expireAt int64 // unix nanoseconds; 0 = never expires
+	ver      uint64
 }
 
 func (e entry) expired(now int64) bool {
@@ -78,6 +86,22 @@ type Cache struct {
 	// sink here before serving traffic.
 	growHook func(shard int, ev generic.GrowEvent)
 
+	// verClock is the node's hybrid version clock: nextVersion returns
+	// max(wall nanos, prev+1), so versions are strictly monotonic locally
+	// and approximately wall-clock ordered across nodes (the basis of
+	// last-writer-wins replica application). observeVersion ratchets it
+	// forward past any version received from a peer, so a node whose
+	// clock lags never issues versions that lose to writes it has
+	// already applied.
+	verClock atomic.Uint64
+
+	// repl, when non-nil, is the cuckoorepl mirror state: every
+	// successful write enqueues onto the peer log of the key's other
+	// two-choice candidate. Installed once before traffic by
+	// Server.EnableReplication; nil keeps the write path at a single
+	// pointer check.
+	repl *replState
+
 	// txn is the cuckootxn layer (internal/txn): per-key version/lock
 	// stripes, atomic verbs, OCC transactions, and split counters. Every
 	// mutation of the shards — including plain SET/DEL, TTL expiry,
@@ -97,8 +121,8 @@ type shard struct {
 	// ring critical sections are a handful of word writes.
 	mu   spinlock.Mutex
 	ring []string
-	head uint64 // next victim
-	tail uint64 // next free slot; tail-head = live ring entries
+	head uint64  // next victim
+	tail uint64  // next free slot; tail-head = live ring entries
 	_    [8]byte // spinlock is 4 bytes where sync.Mutex was 8: restore the 64-byte line
 }
 
@@ -198,6 +222,38 @@ func (c *Cache) driveMigration(si int, sp *obs.Span) {
 // Txn exposes the transaction layer, e.g. for metrics and tests.
 func (c *Cache) Txn() *txn.Store { return c.txn }
 
+// nextVersion issues the next write version: wall-clock nanoseconds,
+// bumped past the previous issue when the clock stalls or steps back.
+// Lock-free (CAS loop), so it is legal under a key stripe.
+func (c *Cache) nextVersion() uint64 {
+	now := uint64(time.Now().UnixNano())
+	for {
+		prev := c.verClock.Load()
+		v := now
+		if v <= prev {
+			v = prev + 1
+		}
+		if c.verClock.CompareAndSwap(prev, v) {
+			return v
+		}
+	}
+}
+
+// observeVersion ratchets the version clock to at least v. Called when
+// applying a replicated write so locally issued versions always order
+// after everything this node has already accepted.
+func (c *Cache) observeVersion(v uint64) {
+	for {
+		prev := c.verClock.Load()
+		if v <= prev {
+			return
+		}
+		if c.verClock.CompareAndSwap(prev, v) {
+			return
+		}
+	}
+}
+
 // cacheKV adapts the sharded cuckoo tables to txn.KV. Its methods do raw
 // table operations only — no eviction, no stripe management — because the
 // txn layer calls them while already holding the key's stripe.
@@ -221,15 +277,24 @@ func (k cacheKV) Store(key, val string, expireAt int64, keepTTL bool) error {
 			expireAt = cur.expireAt
 		}
 	}
-	e := entry{val: val, expireAt: expireAt}
+	// Every store — plain SET, counter fold, CAS swap, transaction
+	// commit — funnels through here with the key's stripe held, so
+	// versioning this one site makes per-key versions monotonic, and the
+	// mirror enqueue below sees writes in stripe order.
+	e := entry{val: val, expireAt: expireAt, ver: k.c.nextVersion()}
 	switch err := sh.table.Insert(key, e); err {
 	case nil:
 		sh.pushRing(key)
+		k.c.replEnqueueSet(key, e)
 		return nil
 	case generic.ErrExists:
 		// Overwrite in place; no new slot is consumed, so the ring keeps
 		// its existing record for this key.
-		return sh.table.Upsert(key, e)
+		if err := sh.table.Upsert(key, e); err != nil {
+			return err
+		}
+		k.c.replEnqueueSet(key, e)
+		return nil
 	default:
 		// ErrFull: the caller must evict outside the stripe and retry —
 		// deleting victims here would mutate other keys' entries without
@@ -239,7 +304,11 @@ func (k cacheKV) Store(key, val string, expireAt int64, keepTTL bool) error {
 }
 
 func (k cacheKV) Delete(key string) bool {
-	return k.c.shards[k.c.shardFor(key)].table.Delete(key)
+	ok := k.c.shards[k.c.shardFor(key)].table.Delete(key)
+	if ok {
+		k.c.replEnqueueDel(key, k.c.nextVersion())
+	}
+	return ok
 }
 
 // setLogger swaps the cache's logger; called before the cache is shared.
@@ -647,10 +716,89 @@ func (c *Cache) DeleteTraced(key string, sp *obs.Span) bool {
 			}
 		default:
 			ok = s.table.Delete(key)
+			if ok {
+				// Client-visible deletes mirror to the alternate copy;
+				// expiries do not (each replica holds the same absolute
+				// expireAt and lapses on its own).
+				c.replEnqueueDel(key, c.nextVersion())
+			}
 		}
 	})
 	c.driveMigration(si, sp)
 	return ok
+}
+
+// GetVBytesTraced is GetBytesTraced returning the entry's replication
+// version alongside the value, for the GETV verb: clients compare the
+// version against the newest one they have observed for the key, so a
+// lagging replica can never shadow a newer primary write.
+//
+//cuckoo:hotpath the versioned GET path shares the 0-alloc probe with GetBytesTraced
+func (c *Cache) GetVBytesTraced(key []byte, sp *obs.Span) (string, uint64, bool) {
+	c.txn.ReconcileKeyBytes(key)
+	si := c.shardForBytes(key)
+	s := c.shards[si]
+	c.stats.gets.Add(si, 1)
+	t0 := sp.Begin()
+	e, ok := generic.GetBytes(s.table, key)
+	sp.End(obs.StageProbe, t0)
+	if ok && e.expired(time.Now().UnixNano()) {
+		//lint:allow cuckoovet:allocfree lazy expiry of a dead entry is rare and the deletion needs an owned key
+		c.expireKey(si, string(key))
+		ok = false
+	}
+	if !ok {
+		c.stats.misses.Add(si, 1)
+		return "", 0, false
+	}
+	c.stats.hits.Add(si, 1)
+	return e.val, e.ver, true
+}
+
+// versionOf reports the stored version word for key (0 when absent).
+// SETV reads its own write back through here; a concurrent later write
+// may already have replaced the entry, in which case the later version
+// is returned — which only tightens the client's monotonic floor.
+func (c *Cache) versionOf(key string) uint64 {
+	e, ok := c.shards[c.shardFor(key)].table.Get(key)
+	if !ok {
+		return 0
+	}
+	return e.ver
+}
+
+// Lease-probe outcomes: a live hit, an expired-but-unswept copy the
+// server may serve stale while a fill is in flight, or nothing at all.
+const (
+	probeLive = iota
+	probeStale
+	probeAbsent
+)
+
+// leaseProbe is the LEASE verb's read: like GetVBytesTraced, but an
+// expired entry is reported as probeStale instead of being lazily
+// deleted — the whole point of stale-while-revalidate is that the dead
+// copy stays servable until the lease winner refills it (the background
+// sweeper still reclaims it eventually, bounding the stale window).
+func (c *Cache) leaseProbe(key []byte, sp *obs.Span) (val string, ver uint64, state int) {
+	c.txn.ReconcileKeyBytes(key)
+	si := c.shardForBytes(key)
+	s := c.shards[si]
+	c.stats.gets.Add(si, 1)
+	t0 := sp.Begin()
+	e, ok := generic.GetBytes(s.table, key)
+	sp.End(obs.StageProbe, t0)
+	switch {
+	case !ok:
+		c.stats.misses.Add(si, 1)
+		return "", 0, probeAbsent
+	case e.expired(time.Now().UnixNano()):
+		c.stats.misses.Add(si, 1)
+		return e.val, e.ver, probeStale
+	default:
+		c.stats.hits.Add(si, 1)
+		return e.val, e.ver, probeLive
+	}
 }
 
 // expireKey removes an entry observed to be expired, re-checking under

@@ -72,6 +72,25 @@ type stats struct {
 	handoffs       atomic.Uint64 // inbound bulk transfers applied
 	handoffRejects atomic.Uint64 // inbound transfers rejected (bad payload)
 	migrateFails   atomic.Uint64 // outbound transfers that failed
+
+	// Replication counters (docs/REPLICATION.md): the two-choice mirror
+	// stream, outbound (enqueue → batch send / catch-up) and inbound
+	// (REPLSET/REPLDEL application).
+	replEnqueued  atomic.Uint64 // mutations enqueued onto peer mirror logs
+	replMirrored  atomic.Uint64 // entries acknowledged by a peer
+	replBatches   atomic.Uint64 // pipelined mirror batches sent
+	replSendFails atomic.Uint64 // mirror sends/dials that failed
+	replCatchups  atomic.Uint64 // bulk catch-up handoffs completed
+	replApplied   atomic.Uint64 // inbound replica writes applied
+	replStale     atomic.Uint64 // inbound replica writes dropped as stale
+	replLagNs     atomic.Uint64 // age of the oldest queued mutation at last drain
+
+	// Lease counters: the miss-lease anti-herd protocol (LEASE/SETL).
+	leaseGrants      atomic.Uint64 // fill tokens granted
+	leaseWaits       atomic.Uint64 // clients told to wait for a fill in flight
+	leaseStaleServes atomic.Uint64 // expired copies served while a fill runs
+	leaseFills       atomic.Uint64 // SETL fills accepted
+	leaseRejects     atomic.Uint64 // SETL fills rejected (token stale/invalid)
 }
 
 // hotSketches is how many independent top-K sketches traffic spreads
@@ -89,16 +108,21 @@ const hotSketchK = 48
 // verbClassOf. "other" absorbs QUIT/MULTI bookkeeping and bad lines.
 var stageVerbs = []string{
 	"GET", "SET", "DEL", "TTL", "STATS", "CLUSTER", "MIGRATE",
-	"HANDOFF", "INCR", "MAXUPDATE", "CAS", "EXEC", "HOTKEYS", "other",
+	"HANDOFF", "INCR", "MAXUPDATE", "CAS", "EXEC", "HOTKEYS",
+	"LEASE", "REPL", "other",
 }
 
 // verbClassOf maps an opCode to its stageVerbs index. SETEX folds into
-// SET, DECR/ADD into INCR: same code path, same stage profile.
+// SET, DECR/ADD into INCR: same code path, same stage profile. The
+// versioned variants fold into their plain classes (GETV→GET, SETV→SET);
+// the lease protocol (LEASE + its SETL fill) and inbound replication
+// (REPLSET/REPLDEL) each get their own class — their stage profiles are
+// what the new repl/lease span stages exist to expose.
 func verbClassOf(op opCode) int {
 	switch op {
-	case opGet:
+	case opGet, opGetV:
 		return 0
-	case opSet, opSetEx:
+	case opSet, opSetEx, opSetV:
 		return 1
 	case opDel:
 		return 2
@@ -122,6 +146,10 @@ func verbClassOf(op opCode) int {
 		return 11
 	case opHotKeys:
 		return 12
+	case opLease, opSetLease:
+		return 13
+	case opReplSet, opReplDel:
+		return 14
 	}
 	return len(stageVerbs) - 1
 }
@@ -213,6 +241,24 @@ func (c *Cache) tableTotals() (generic.Stats, spinlock.StripeStats) {
 	return tab, lock
 }
 
+// replLogTotals aggregates the peer mirror logs: buffered depth and
+// entries dropped to overflow. Both are zero when replication is off.
+func (c *Cache) replLogTotals() (depth int, dropped uint64) {
+	r := c.repl
+	if r == nil {
+		return 0, 0
+	}
+	for _, p := range r.peers {
+		if p == nil {
+			continue
+		}
+		s := p.log.Stats()
+		depth += s.Depth
+		dropped += s.Dropped
+	}
+	return depth, dropped
+}
+
 // growingShards counts shards with an incremental resize in flight.
 func (c *Cache) growingShards() int {
 	n := 0
@@ -237,6 +283,7 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 	lat := st.lat.Snapshot() // lock-free merge of the per-connection shards
 	tab, lock := c.tableTotals()
 	tx := c.txn.StatsSnapshot()
+	replDepth, replDropped := c.replLogTotals()
 
 	out := []Stat{
 		{"entries", fmt.Sprint(c.Len())},
@@ -276,6 +323,21 @@ func (c *Cache) Snapshot(st *stats) []Stat {
 		{"cluster_handoffs", fmt.Sprint(st.handoffs.Load())},
 		{"cluster_handoff_rejects", fmt.Sprint(st.handoffRejects.Load())},
 		{"cluster_migrate_failures", fmt.Sprint(st.migrateFails.Load())},
+		{"repl_enqueued", fmt.Sprint(st.replEnqueued.Load())},
+		{"repl_mirrored", fmt.Sprint(st.replMirrored.Load())},
+		{"repl_batches", fmt.Sprint(st.replBatches.Load())},
+		{"repl_send_failures", fmt.Sprint(st.replSendFails.Load())},
+		{"repl_catchups", fmt.Sprint(st.replCatchups.Load())},
+		{"repl_applied", fmt.Sprint(st.replApplied.Load())},
+		{"repl_stale_rejected", fmt.Sprint(st.replStale.Load())},
+		{"repl_dropped", fmt.Sprint(replDropped)},
+		{"repl_queue_depth", fmt.Sprint(replDepth)},
+		{"repl_lag_ns", fmt.Sprint(st.replLagNs.Load())},
+		{"lease_grants", fmt.Sprint(st.leaseGrants.Load())},
+		{"lease_waits", fmt.Sprint(st.leaseWaits.Load())},
+		{"lease_stale_serves", fmt.Sprint(st.leaseStaleServes.Load())},
+		{"lease_fills", fmt.Sprint(st.leaseFills.Load())},
+		{"lease_rejects", fmt.Sprint(st.leaseRejects.Load())},
 		{"txn_commits", fmt.Sprint(tx.Commits)},
 		{"txn_aborts", fmt.Sprint(tx.Aborts)},
 		{"txn_epoch_aborts", fmt.Sprint(tx.EpochAborts)},
